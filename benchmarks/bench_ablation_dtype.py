@@ -1,0 +1,10 @@
+"""Benchmark: ablation (Sec III-B).
+
+The 128-byte alignment rule expressed per dtype: FP32 saturates at 32
+elements, FP16 at 64, INT8 at 128 — the element-count breakpoints shift
+with element size exactly as Sec III-B's byte rule dictates.
+"""
+
+
+def bench_ablation_dtype(regenerate):
+    regenerate("ablation_dtype")

@@ -1,0 +1,10 @@
+"""Benchmark: ablation (Sec V).
+
+Design-choice ablation: the cuBLAS-like tile auto-selection vs pinning
+the 128x256 kernel across the transformer GEMM set; selection matters
+most for skinny decode GEMMs.
+"""
+
+
+def bench_ablation_tile(regenerate):
+    regenerate("ablation_tile")

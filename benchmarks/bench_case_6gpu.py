@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Sec VII-A.
+
+The Summit 6-GPU-node trilemma: t=6 infeasibility of 8-GPU shapes, the
+6-divisible concession, and its pow-2 penalty when deployed on 8-GPU
+nodes.
+"""
+
+
+def bench_case_6gpu(regenerate):
+    regenerate("case_6gpu")

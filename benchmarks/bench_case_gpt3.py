@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Sec VI-B.
+
+The GPT-3 2.7B retune case study: advisor proposals ranked by modelled
+speedup at identical parameter count (paper: 1.18x).
+"""
+
+
+def bench_case_gpt3(regenerate):
+    regenerate("case_gpt3")

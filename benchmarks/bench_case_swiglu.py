@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Sec VII-B.
+
+The SwiGLU intermediate-size brute force near 8h/3 for h=4096;
+Llama-2-7B's 11008 ranks top-decile while the naive 10923 is far slower.
+"""
+
+
+def bench_case_swiglu(regenerate):
+    regenerate("case_swiglu")

@@ -1,0 +1,11 @@
+"""Benchmark: extension (Sec VII-C).
+
+The decode batching curve: batching amortizes the per-token weight
+stream (near-2x throughput per early doubling), then per-sequence
+KV-cache traffic takes over and returns diminish — the trade-off every
+serving engine navigates, derived from the paper's decode-GEMV view.
+"""
+
+
+def bench_ext_batching(regenerate):
+    regenerate("ext_batching")

@@ -1,0 +1,10 @@
+"""Benchmark: extension (Sec VI-C3).
+
+End-to-end layer speedup from FlashAttention across hidden sizes;
+largest for small models, supporting the paper's 'use FlashAttention v2
+for small models' recommendation.
+"""
+
+
+def bench_ext_flash_e2e(regenerate):
+    regenerate("ext_flash_e2e")

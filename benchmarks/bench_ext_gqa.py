@@ -1,0 +1,9 @@
+"""Benchmark: extension (Sec VI-C).
+
+Grouped-query attention on the Llama-2-70B shape: KV-cache traffic and
+decode latency vs KV head count (64 = MHA, 8 = Llama-2's GQA, 1 = MQA).
+"""
+
+
+def bench_ext_gqa(regenerate):
+    regenerate("ext_gqa")

@@ -1,0 +1,10 @@
+"""Benchmark: extension (Sec VI-B rule 6).
+
+Event-simulated GPipe and 1F1B pipeline schedules: uniform stages
+reproduce the (p-1)/m bubble exactly, and 1F1B's in-flight activation
+cap (p - stage) emerges from the dependency structure.
+"""
+
+
+def bench_ext_pipeline_sim(regenerate):
+    regenerate("ext_pipeline_sim")

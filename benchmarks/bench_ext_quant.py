@@ -1,0 +1,10 @@
+"""Benchmark: extension (Sec VII-C).
+
+Weight-only INT8/INT4 quantization at decode time: latency falls nearly
+with weight bytes until the fp16 KV cache and kernel-launch overheads
+dominate at long context.
+"""
+
+
+def bench_ext_quant(regenerate):
+    regenerate("ext_quant")

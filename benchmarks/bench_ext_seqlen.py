@@ -1,0 +1,10 @@
+"""Benchmark: extension (Sec III-C).
+
+The attention share of per-layer compute and latency as sequence length
+grows: the s/6h term of the paper's 24bsh^2(1 + s/6h) formula made
+visible.
+"""
+
+
+def bench_ext_seqlen(regenerate):
+    regenerate("ext_seqlen")

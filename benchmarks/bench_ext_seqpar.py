@@ -1,0 +1,11 @@
+"""Benchmark: extension (Sec III-C).
+
+Sequence parallelism layered on tensor parallelism, the analysis the
+paper defers: communication volume unchanged, pointwise regions sharded
+s/t, norm-region activations shrunk by 1 - 1/t — plus the new sizing
+rule s % t == 0.
+"""
+
+
+def bench_ext_seqpar(regenerate):
+    regenerate("ext_seqpar")

@@ -1,0 +1,10 @@
+"""Benchmark: extension (Sec VI-C).
+
+Sliding-window attention on the Mistral-7B shape: the fused kernel's
+FLOPs follow the attended-pair count (big wins once context exceeds the
+window) and the decode-time KV cache plateaus at the window size.
+"""
+
+
+def bench_ext_window(regenerate):
+    regenerate("ext_window")

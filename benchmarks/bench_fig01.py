@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 1.
+
+Single-layer throughput of equal-parameter 2.7B-class shapes on A100:
+the paper's headline bar chart (GPT-3 2.7B default vs its C1/C2 retunes
+and the Sec VI-B a=20 fix).
+"""
+
+
+def bench_fig01(regenerate):
+    regenerate("fig1")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Fig 2.
+
+Latency proportion of each transformer component for one layer of a
+medium-sized model; the paper reports GEMM kernels at 68.3% here.
+"""
+
+
+def bench_fig02(regenerate):
+    regenerate("fig2")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 5.
+
+Plain GEMM throughput vs matrix size on V100 and A100, with the 128x256
+tile pinned (raw wave-quantization sawtooth) and with auto tile
+selection (PyTorch-like softening).
+"""
+
+
+def bench_fig05(regenerate):
+    regenerate("fig5")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Fig 6.
+
+Batched matrix multiplication throughput across batch counts and matrix
+sizes; throughput rises with BMM size / arithmetic intensity.
+"""
+
+
+def bench_fig06(regenerate):
+    regenerate("fig6")

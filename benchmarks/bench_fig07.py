@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 7a/7b.
+
+Attention score and attention-over-value BMM throughput at a=32, split
+into series by the largest power of two dividing h/a; higher pow-2
+series lie above.
+"""
+
+
+def bench_fig07(regenerate):
+    regenerate("fig7")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 8.
+
+Attention key-query score BMM throughput at fixed h/a=64 as h (and thus
+a) sweeps; rising with a wave-quantization ripple whose period depends
+on a.
+"""
+
+
+def bench_fig08(regenerate):
+    regenerate("fig8")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Fig 9.
+
+Attention-over-value BMM throughput at fixed h/a=64; same structure as
+Fig 8 for the second attention BMM.
+"""
+
+
+def bench_fig09(regenerate):
+    regenerate("fig9")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 10a/10b.
+
+MLP h->4h and 4h->h GEMM throughput vs hidden size at a=128; throughput
+saturates at large h (the 'increase h to the saturation point'
+recommendation).
+"""
+
+
+def bench_fig10(regenerate):
+    regenerate("fig10")

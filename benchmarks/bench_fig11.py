@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Fig 11.
+
+Proportion of GEMM latency per transformer GEMM module across model
+sizes; QKV+MLP dominate at large h and attention-over-value is smallest.
+"""
+
+
+def bench_fig11(regenerate):
+    regenerate("fig11")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 12.
+
+FlashAttention-2 throughput sweep over hidden size at a=128: a clean
+roofline with no pow-2(h/a) spikes, simplifying the attention takeaway
+to 'h as large as possible'.
+"""
+
+
+def bench_fig12(regenerate):
+    regenerate("fig12")

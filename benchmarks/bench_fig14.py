@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Fig 14 (appendix).
+
+Dimension-ordering invariance: (2048,4,n), (4,2048,n) and (8192,n)
+orderings of the same GEMM model identically.
+"""
+
+
+def bench_fig14(regenerate):
+    regenerate("fig14")

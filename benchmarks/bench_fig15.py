@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Figs 15/16.
+
+QKV transform GEMM throughput vs hidden size across tensor-parallel
+degrees; smaller t gives larger per-GPU GEMMs and higher throughput.
+"""
+
+
+def bench_fig15(regenerate):
+    regenerate("fig15")

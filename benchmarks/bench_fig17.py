@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Fig 17.
+
+Attention key-query score computation sweep at a=128 over hidden size.
+"""
+
+
+def bench_fig17(regenerate):
+    regenerate("fig17")

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Fig 18.
+
+Attention score times values sweep at a=128 over hidden size.
+"""
+
+
+def bench_fig18(regenerate):
+    regenerate("fig18")

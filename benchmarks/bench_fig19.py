@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Fig 19.
+
+Post-attention linear projection GEMM throughput vs hidden size.
+"""
+
+
+def bench_fig19(regenerate):
+    regenerate("fig19")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig 20a/20b.
+
+Logit (vocabulary) GEMM throughput: coarse sweep over v plus the zoom
+around GPT-2's 50257, where multiples of 64 spike (the 50257 -> 50304
+padding win).
+"""
+
+
+def bench_fig20(regenerate):
+    regenerate("fig20")

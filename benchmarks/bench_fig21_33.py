@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figs 21-33.
+
+Attention key-query score BMM throughput for every appendix head count
+(8..512), each split by pow2(h/a); the pow-2 ordering holds per head
+count.
+"""
+
+
+def bench_fig21_33(regenerate):
+    regenerate("fig21_33")

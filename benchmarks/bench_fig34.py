@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Fig 34.
+
+Attention key-query score BMM at fixed h/a=64 over the full hidden-size
+range (the appendix extension of Fig 8).
+"""
+
+
+def bench_fig34(regenerate):
+    regenerate("fig34")

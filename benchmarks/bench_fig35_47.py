@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Figs 35-47.
+
+Attention-over-value BMM throughput for every appendix head count
+(8..512), each split by pow2(h/a).
+"""
+
+
+def bench_fig35_47(regenerate):
+    regenerate("fig35_47")

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Sec I.
+
+GEMM kernels' share of layer latency for medium vs large models (paper:
+68.3% and 94.9%) plus a hidden-size sweep.
+"""
+
+
+def bench_gemm_share(regenerate):
+    regenerate("gemm_share")

@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the library's computational primitives.
+
+These time the building blocks a user pays for when sweeping shapes:
+one analytic GEMM evaluation, one discrete-event simulation, a full
+layer-latency composition, the rule engine, an advisor search, and the
+real NumPy substrates (transformer forward, FlashAttention kernel).
+"""
+
+import numpy as np
+
+from repro.core.advisor import ShapeAdvisor
+from repro.core.config import get_model
+from repro.core.latency import LayerLatencyModel
+from repro.core.rules import RuleEngine
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.simulator import SMSimulator
+from repro.transformer.flash import flash_attention
+from repro.transformer.model import DecoderModel
+from repro.transformer.trace import NullTrace
+
+
+def bench_gemm_model_evaluate(benchmark):
+    model = GemmModel("A100")
+    perf = benchmark(model.evaluate, 8192, 10240, 2560)
+    assert perf.latency_s > 0
+
+
+def bench_gemm_model_bmm_evaluate(benchmark):
+    model = GemmModel("A100")
+    perf = benchmark(model.evaluate, 2048, 2048, 80, 128)
+    assert perf.bound == "memory"
+
+
+def bench_simulator_run(benchmark):
+    sim = SMSimulator("A100")
+    result = benchmark(sim.run, 4096, 4096, 1024)
+    assert result.blocks > 0
+
+
+def bench_layer_breakdown(benchmark):
+    model = LayerLatencyModel("A100")
+    cfg = get_model("gpt3-2.7b")
+    bd = benchmark(model.layer_breakdown, cfg)
+    assert bd.total_s > 0
+
+
+def bench_rule_engine(benchmark):
+    engine = RuleEngine("A100")
+    cfg = get_model("gpt3-2.7b")
+    diags = benchmark(engine.check, cfg)
+    assert diags
+
+
+def bench_advisor_propose(benchmark):
+    advisor = ShapeAdvisor("A100")
+    cfg = get_model("gpt3-2.7b")
+    proposals = benchmark(advisor.propose, cfg)
+    assert proposals
+
+
+def bench_numpy_transformer_forward(benchmark):
+    model = DecoderModel(
+        vocab_size=512,
+        max_seq=64,
+        hidden_size=128,
+        num_heads=8,
+        num_layers=2,
+        rng=np.random.default_rng(0),
+    )
+    ids = np.random.default_rng(1).integers(0, 512, size=(64, 2))
+    trace = NullTrace()
+    logits = benchmark(model.forward, ids, trace)
+    assert logits.shape == (64, 2, 512)
+
+
+def bench_flash_attention_numpy(benchmark):
+    rng = np.random.default_rng(0)
+    q, k, v = (rng.normal(size=(8, 256, 64)) for _ in range(3))
+    out = benchmark(flash_attention, q, k, v)
+    assert out.shape == q.shape

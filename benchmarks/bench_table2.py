@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table II.
+
+The operator -> GEMM mapping: analytic shapes diffed against the matmul
+shapes actually executed by the traced NumPy transformer.
+"""
+
+
+def bench_table2(regenerate):
+    regenerate("table2")

@@ -1,0 +1,37 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Every ``bench_figXX.py`` calls :func:`regenerate`, which
+
+1. runs the registered experiment once up front and **prints the
+   regenerated rows/series** (the same data the paper's figure plots),
+2. asserts the qualitative paper-shape check passes, and
+3. times the regeneration under pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import run_experiment
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run + verify + time one experiment; print its table."""
+
+    def _run(exp_id: str, max_rows: int = 20):
+        report = run_experiment(exp_id)
+        with capsys.disabled():
+            print()
+            print(report.render(max_rows=max_rows))
+        assert report.passed, f"{exp_id}: {report.check.details}"
+        # Time the regeneration itself (table construction + model
+        # evaluation), which is what a user iterating on shapes pays.
+        benchmark(lambda: run_experiment(exp_id))
+        return report
+
+    return _run

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Case study: shape effects at inference time (paper Sec VII-C, Fig 13).
+
+The paper's claim: models trained efficiently on a GPU also infer
+efficiently on it, because the forward-pass GEMMs are the same.  The
+Pythia suite makes this visible — Pythia-1B (16 layers, 8 heads,
+h=2048) sits *below* the suite's latency-vs-parameters trend while
+Pythia-410M (24 layers, 16 heads, h=1024) sits above it.
+
+Run:  python examples/inference_pythia.py
+"""
+
+from repro import InferenceModel, get_model
+from repro.inference.pythia import run_suite
+
+
+def main() -> None:
+    print("Pythia suite: modelled per-token decode latency on A100")
+    print(f"{'model':<14} {'params':>8} {'ms/token':>9} {'trend':>8} {'residual':>9}")
+    for point in run_suite():
+        flag = ""
+        if point.name == "pythia-410m":
+            flag = "  <- above trend (deep + narrow)"
+        elif point.name == "pythia-1b":
+            flag = "  <- below trend (shallow + wide)"
+        print(
+            f"{point.name:<14} {point.params / 1e6:7.0f}M "
+            f"{point.latency_ms:9.3f} {point.predicted_ms:8.3f} "
+            f"{point.residual:+9.3f}{flag}"
+        )
+
+    # Decompose the off-trend pair's decode step.
+    model = InferenceModel("A100")
+    print("\nDecode-step decomposition at 512 tokens of context:")
+    for name in ("pythia-410m", "pythia-1b"):
+        cfg = get_model(name)
+        step = model.decode_step(cfg, context_len=512)
+        print(
+            f"  {name:<14} weights {step.weight_s * 1e3:6.3f} ms  "
+            f"kv {step.kv_cache_s * 1e3:6.3f} ms  "
+            f"kernel overhead {step.overhead_s * 1e3:6.3f} ms  "
+            f"-> {step.latency_s * 1e3:6.3f} ms/token"
+        )
+    print(
+        "\n410M's 24 layers launch 1.5x the kernels of 1B's 16 layers, and\n"
+        "its narrow h=1024 GEMMs amortize overhead poorly — shape, not\n"
+        "size, separates them."
+    )
+
+    print("\nEnd-to-end generation (prompt 128, generate 128, batch 1):")
+    for name in ("pythia-160m", "pythia-410m", "pythia-1b", "pythia-2.8b"):
+        cfg = get_model(name)
+        total = model.generate_latency(cfg, prompt_len=128, new_tokens=128)
+        print(f"  {name:<14} {total:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

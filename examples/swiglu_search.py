@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Case study: sizing a SwiGLU MLP (paper Sec VII-B).
+
+SwiGLU adds a third MLP matrix, so its intermediate width is nominally
+shrunk to 8h/3 to hold parameters constant.  For h=4096 that suggests
+10922.67 — and rounding to 10923 leaves an odd dimension that breaks
+every alignment the paper's rules fought for.  The fix is to treat 8/3
+as a suggestion and brute-force nearby widths; Llama-2-7B's published
+11008 (= 2^8 * 43) is exactly such a choice.
+
+Run:  python examples/swiglu_search.py
+"""
+
+from repro.autotune.swiglu import candidate_for, swiglu_intermediate_search
+
+
+def main() -> None:
+    h = 4096
+    nominal = 8 * h / 3
+    print(f"h = {h}; nominal SwiGLU width 8h/3 = {nominal:.2f}")
+
+    candidates = swiglu_intermediate_search(
+        h=h, gpu="A100", window=0.06, step=8, must_include=[round(nominal)]
+    )
+    print(f"searched {len(candidates)} widths within ±6% of nominal\n")
+
+    print("Top widths by MLP-block GEMM efficiency:")
+    for cand in candidates[:8]:
+        print("  " + cand.describe())
+
+    llama = candidate_for(candidates, 11008)
+    naive = candidate_for(candidates, round(nominal))
+    print(f"\nLlama-2-7B's published choice:  {llama.describe()}")
+    print(f"Naive rounding of 8h/3:         {naive.describe()}")
+    print(
+        f"\nThe naive width costs {naive.latency_s / llama.latency_s:.2f}x "
+        "the block latency of Llama's choice — the paper's point that the "
+        "8/3 coefficient 'is only a suggestion'."
+    )
+
+    # Llama-2-70B went the other way: 28672 = 3.5h at h=8192, accepting
+    # more parameters for a very aligned width (2^12 * 7).
+    print(
+        "\nLlama-2-70B uses 28672 = 3.5h at h=8192 "
+        f"(pow2 factor {28672 & -28672}), trading parameters for alignment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Generic ranked brute-force search over one integer dimension.
+
+The paper's Sec VII-B methodology is exactly this: "one can now search
+for a good nearby number that still leads to high-performance GEMMs".
+:func:`search_dimension` evaluates a user-supplied latency function over
+an integer range (optionally restricted to a step grid) and returns the
+candidates ranked best-first, with percentile annotations so "one of the
+best performing sizes in its range" is a checkable statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One evaluated candidate value."""
+
+    value: int
+    latency_s: float
+    rank: int
+    total: int
+
+    @property
+    def percentile(self) -> float:
+        """Fraction of candidates this value beats (1.0 = best)."""
+        if self.total <= 1:
+            return 1.0
+        return 1.0 - self.rank / (self.total - 1)
+
+    @property
+    def is_top_decile(self) -> bool:
+        return self.percentile >= 0.9
+
+
+def search_dimension(
+    latency_fn: Callable[[int], float],
+    lo: int,
+    hi: int,
+    step: int = 1,
+    must_include: Sequence[int] = (),
+    constraint: Optional[Callable[[int], bool]] = None,
+) -> List[SearchResult]:
+    """Evaluate ``latency_fn`` over [lo, hi] and rank ascending latency.
+
+    ``must_include`` values are evaluated even if off the step grid
+    (e.g. a published model's actual choice).  ``constraint`` filters
+    candidates (e.g. divisibility by the tensor-parallel degree).
+    """
+    if lo <= 0 or hi < lo:
+        raise ConfigError(f"invalid range [{lo}, {hi}]")
+    if step <= 0:
+        raise ConfigError(f"step must be positive, got {step}")
+    values = set(range(lo, hi + 1, step))
+    values.update(v for v in must_include if lo <= v <= hi)
+    if constraint is not None:
+        values = {v for v in values if constraint(v)}
+    if not values:
+        raise ConfigError("no candidates satisfy the constraint")
+
+    scored = sorted(
+        ((latency_fn(v), v) for v in sorted(values)), key=lambda t: (t[0], t[1])
+    )
+    total = len(scored)
+    return [
+        SearchResult(value=v, latency_s=lat, rank=i, total=total)
+        for i, (lat, v) in enumerate(scored)
+    ]
+
+
+def result_for(results: Sequence[SearchResult], value: int) -> SearchResult:
+    """Find the entry for a specific candidate value."""
+    for res in results:
+        if res.value == value:
+            return res
+    raise ConfigError(f"value {value} was not part of the search")

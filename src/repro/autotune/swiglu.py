@@ -1,0 +1,135 @@
+"""SwiGLU intermediate-size search (paper Sec VII-B).
+
+SwiGLU's nominal ``d_ff = 8h/3`` destroys the alignment a well-chosen
+``h`` bought: for h=4096 it suggests 10922.67, and rounding to 10923
+leaves an odd dimension in every MLP GEMM.  The fix the paper walks
+through is to treat 8/3 as a suggestion and brute-force nearby sizes;
+Llama-2-7B's published 11008 (= 2^8 * 43) comes out "one of the best
+performing sizes in its range".
+
+:func:`swiglu_intermediate_search` scores each candidate by the full
+SwiGLU MLP block latency (gate + up + down GEMMs) on the target GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.autotune.search import SearchResult, search_dimension
+from repro.errors import ConfigError
+from repro.gpu.alignment import largest_pow2_divisor
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.specs import GPUSpec
+from repro.types import DType
+
+#: Llama-2 published intermediate sizes (h -> d_ff), for reference.
+LLAMA2_CHOICES = {4096: 11008, 8192: 28672}
+
+
+@dataclass(frozen=True)
+class SwiGLUCandidate:
+    """One intermediate size with its block latency and alignment."""
+
+    d_ff: int
+    latency_s: float
+    percentile: float
+    pow2: int
+    coefficient: float
+
+    def describe(self) -> str:
+        return (
+            f"d_ff={self.d_ff} ({self.coefficient:.4f}h, pow2 {self.pow2}): "
+            f"{self.latency_s * 1e6:.1f} us, beats {100 * self.percentile:.0f}% "
+            "of range"
+        )
+
+
+def mlp_block_latency(
+    h: int,
+    d_ff: int,
+    tokens: int,
+    model: GemmModel,
+    tp_degree: int = 1,
+) -> float:
+    """Latency of one SwiGLU MLP block: two up GEMMs + one down GEMM."""
+    if d_ff % tp_degree:
+        raise ConfigError(f"d_ff {d_ff} not divisible by t={tp_degree}")
+    shard = d_ff // tp_degree
+    up = model.latency(tokens, shard, h)
+    down = model.latency(tokens, h, shard)
+    return 2 * up + down
+
+
+def swiglu_intermediate_search(
+    h: int,
+    gpu: "str | GPUSpec" = "A100",
+    dtype: "str | DType" = DType.FP16,
+    tokens: int = 8192,
+    window: float = 0.08,
+    step: int = 1,
+    tp_degree: int = 1,
+    must_include: "Optional[List[int]]" = None,
+) -> List[SwiGLUCandidate]:
+    """Rank intermediate sizes within ``±window`` of the nominal 8h/3.
+
+    Returns candidates best-first.  ``step=1`` performs the paper's
+    full brute force; coarser steps (e.g. 64) prescreen.
+    """
+    if not (0 < window < 1):
+        raise ConfigError(f"window must be in (0,1), got {window}")
+    nominal = 8 * h / 3
+    lo = max(tp_degree, int(nominal * (1 - window)))
+    # Snap the grid origin to the step so a coarse prescreen samples
+    # alignment classes (an odd origin would make every point odd).
+    lo -= lo % step
+    hi = int(nominal * (1 + window))
+    model = GemmModel(gpu, dtype)
+    include = list(must_include or [])
+    if h in LLAMA2_CHOICES and lo <= LLAMA2_CHOICES[h] <= hi:
+        include.append(LLAMA2_CHOICES[h])
+
+    # Rank by per-FLOP latency (inverse throughput): candidates differ
+    # in width and therefore in useful work, so raw latency would bias
+    # the ranking toward the narrowest sizes rather than the
+    # "high-performance GEMMs" the paper asks for.
+    def per_flop_latency(d: int) -> float:
+        flops = 2 * mlp_matrices_flops(h, d, tokens)
+        return mlp_block_latency(h, d, tokens, model, tp_degree) / flops
+
+    results = search_dimension(
+        per_flop_latency,
+        lo,
+        hi,
+        step=step,
+        must_include=include,
+        constraint=lambda d: d % tp_degree == 0,
+    )
+    return [_to_candidate(res, h, tokens, model, tp_degree) for res in results]
+
+
+def mlp_matrices_flops(h: int, d_ff: int, tokens: int) -> int:
+    """Multiply-adds of the three SwiGLU matmuls: 3 * tokens * h * d."""
+    return 3 * tokens * h * d_ff
+
+
+def _to_candidate(
+    res: SearchResult, h: int, tokens: int, model: GemmModel, tp_degree: int
+) -> SwiGLUCandidate:
+    return SwiGLUCandidate(
+        d_ff=res.value,
+        latency_s=mlp_block_latency(h, res.value, tokens, model, tp_degree),
+        percentile=res.percentile,
+        pow2=largest_pow2_divisor(res.value),
+        coefficient=res.value / h,
+    )
+
+
+def candidate_for(
+    candidates: List[SwiGLUCandidate], d_ff: int
+) -> SwiGLUCandidate:
+    """Find a specific intermediate size in the ranked results."""
+    for cand in candidates:
+        if cand.d_ff == d_ff:
+            return cand
+    raise ConfigError(f"d_ff {d_ff} was not in the searched range")

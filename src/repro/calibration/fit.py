@@ -1,0 +1,156 @@
+"""Least-squares fitting of GPU-model constants to measurements.
+
+When a user has real kernel timings (from nsight / torch profiler) for
+their own GPU, these fitters adjust the model's two most influential
+scalar knobs so modelled latencies track the measurements:
+
+- :func:`fit_bw_efficiency` — the sustained fraction of datasheet DRAM
+  bandwidth, identified from memory-bound samples;
+- :func:`fit_efficiency_floor` — the alignment-efficiency value at the
+  minimum MMA granularity (the spread between the pow2=8 and pow2=64
+  series of Figs 7/21-47), identified from compute-bound samples with
+  varying k alignment.
+
+Both use :func:`scipy.optimize.minimize_scalar` over a bounded range,
+minimizing mean squared relative latency error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import CalibrationError
+from repro.gpu import alignment
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.types import DType
+
+
+@dataclass(frozen=True)
+class MeasuredGemm:
+    """One measured kernel: shape plus observed latency."""
+
+    m: int
+    n: int
+    k: int
+    latency_s: float
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k, self.batch) <= 0 or self.latency_s <= 0:
+            raise CalibrationError(f"invalid measurement {self}")
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted constant plus goodness of fit."""
+
+    name: str
+    value: float
+    rms_rel_error: float
+    samples: int
+
+
+def _rel_errors(model: GemmModel, samples: Sequence[MeasuredGemm]) -> np.ndarray:
+    predicted = np.array(
+        [model.latency(s.m, s.n, s.k, s.batch) for s in samples]
+    )
+    measured = np.array([s.latency_s for s in samples])
+    return (predicted - measured) / measured
+
+
+def fit_bw_efficiency(
+    samples: Sequence[MeasuredGemm],
+    gpu: "str | GPUSpec" = "A100",
+    dtype: "str | DType" = DType.FP16,
+    bounds: "tuple[float, float]" = (0.4, 1.0),
+) -> CalibrationResult:
+    """Fit the sustained-bandwidth fraction from measured latencies."""
+    if len(samples) < 2:
+        raise CalibrationError("need at least 2 samples to fit bw efficiency")
+    spec = get_gpu(gpu)
+
+    def loss(bw_eff: float) -> float:
+        model = GemmModel(spec, dtype, bw_efficiency=float(bw_eff))
+        return float(np.mean(_rel_errors(model, samples) ** 2))
+
+    res = optimize.minimize_scalar(loss, bounds=bounds, method="bounded")
+    if not res.success:  # pragma: no cover - bounded method always succeeds
+        raise CalibrationError(f"bw fit failed: {res.message}")
+    return CalibrationResult(
+        name="bw_efficiency",
+        value=float(res.x),
+        rms_rel_error=float(np.sqrt(res.fun)),
+        samples=len(samples),
+    )
+
+
+def fit_efficiency_floor(
+    samples: Sequence[MeasuredGemm],
+    gpu: "str | GPUSpec" = "A100",
+    dtype: "str | DType" = DType.FP16,
+    bounds: "tuple[float, float]" = (0.2, 0.95),
+) -> CalibrationResult:
+    """Fit the alignment-efficiency floor (_EFF_AT_MIN) from samples.
+
+    Temporarily overrides the module constant during the search and
+    restores it afterwards; the returned value can then be applied by
+    the caller if desired.
+    """
+    if len(samples) < 2:
+        raise CalibrationError("need at least 2 samples to fit the floor")
+    spec = get_gpu(gpu)
+    original = alignment._EFF_AT_MIN
+
+    def loss(floor: float) -> float:
+        alignment._EFF_AT_MIN = float(floor)
+        try:
+            model = GemmModel(spec, dtype)
+            return float(np.mean(_rel_errors(model, samples) ** 2))
+        finally:
+            alignment._EFF_AT_MIN = original
+
+    try:
+        res = optimize.minimize_scalar(loss, bounds=bounds, method="bounded")
+    finally:
+        alignment._EFF_AT_MIN = original
+    return CalibrationResult(
+        name="alignment_efficiency_floor",
+        value=float(res.x),
+        rms_rel_error=float(np.sqrt(res.fun)),
+        samples=len(samples),
+    )
+
+
+def synthetic_samples(
+    gpu: "str | GPUSpec" = "A100",
+    dtype: "str | DType" = DType.FP16,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> List[MeasuredGemm]:
+    """Generate self-consistent 'measurements' from the model itself.
+
+    Used by tests (fitters must recover the generating constants) and
+    by the quickstart example as a stand-in for profiler output.
+    """
+    rng = np.random.default_rng(seed)
+    model = GemmModel(gpu, dtype)
+    shapes = [
+        (8192, 4096, 4096),
+        (8192, 10240, 2560),
+        (4096, 4096, 64),
+        (2048, 2048, 80),
+        (8192, 2560, 2560),
+        (1024, 1024, 1024),
+        (8192, 50304, 2560),
+    ]
+    out = []
+    for m, n, k in shapes:
+        latency = model.latency(m, n, k)
+        jitter = 1.0 + noise * float(rng.standard_normal())
+        out.append(MeasuredGemm(m=m, n=n, k=k, latency_s=latency * max(jitter, 0.1)))
+    return out

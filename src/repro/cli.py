@@ -1,0 +1,322 @@
+"""Command-line interface.
+
+Verbs::
+
+    repro analyze  <model> [--gpu A100]       latency breakdown of a preset
+    repro rules    <model> [--gpu A100]       run the Sec VI-B rule engine
+    repro advise   <model> [--gpu A100]       propose faster shapes
+    repro figure   <id> [--csv] [--check]     regenerate a paper figure/table
+    repro figures                             list all experiment ids
+    repro list-models / list-gpus             show registries
+
+Run as ``python -m repro.cli`` or via the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.advisor import ShapeAdvisor
+from repro.core.config import get_model, list_models
+from repro.core.latency import LayerLatencyModel
+from repro.core.rules import RuleEngine
+from repro.errors import ReproError
+from repro.gpu.specs import list_gpus
+from repro.harness.figures import list_experiments
+from repro.harness.runner import run_experiment
+
+
+def _add_gpu(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gpu", default="A100", help="target GPU (default A100)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hardware-aware transformer shape analysis "
+        "(reproduction of Anthony et al., ICPP 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="latency breakdown of a model preset")
+    p.add_argument("model")
+    _add_gpu(p)
+    p.add_argument("--flash", action="store_true", help="use FlashAttention")
+
+    p = sub.add_parser("rules", help="run the sizing-rule diagnostics")
+    p.add_argument("model")
+    _add_gpu(p)
+    p.add_argument("--pipeline-stages", type=int, default=1)
+
+    p = sub.add_parser("advise", help="propose faster equal-size shapes")
+    p.add_argument("model")
+    _add_gpu(p)
+    p.add_argument("--top", type=int, default=5)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure/table")
+    p.add_argument("id")
+    p.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    p.add_argument("--check", action="store_true", help="only print the check result")
+    p.add_argument(
+        "--plot", action="store_true", help="render an ASCII plot of the series"
+    )
+
+    sub.add_parser("figures", help="list experiment ids")
+    sub.add_parser("list-models", help="list model presets")
+    sub.add_parser("list-gpus", help="list GPU specs")
+
+    p = sub.add_parser(
+        "report", help="run every experiment and emit a markdown report"
+    )
+    p.add_argument("--output", default="-", help="file path or '-' for stdout")
+    p.add_argument(
+        "--ids", nargs="*", default=None, help="subset of experiment ids"
+    )
+
+    p = sub.add_parser("gemm", help="inspect one GEMM shape on one GPU")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+    p.add_argument("--batch", type=int, default=1)
+    _add_gpu(p)
+    p.add_argument("--dtype", default="fp16")
+
+    p = sub.add_parser("whatif", help="rank shape knobs by modelled payoff")
+    p.add_argument("model")
+    _add_gpu(p)
+
+    p = sub.add_parser(
+        "export", help="run experiments and write csv/md/plot artifacts"
+    )
+    p.add_argument("--dir", required=True, help="output directory")
+    p.add_argument("--ids", nargs="*", default=None, help="subset of ids")
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit model constants to measured kernel timings (CSV: m,n,k,latency_s[,batch])",
+    )
+    p.add_argument("csv", help="measurement file, or '-' for stdin")
+    _add_gpu(p)
+    p.add_argument("--dtype", default="fp16")
+    return parser
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    cfg = get_model(args.model)
+    model = LayerLatencyModel(args.gpu, flash_attention=args.flash)
+    bd = model.model_breakdown(cfg)
+    print(cfg.describe())
+    print(f"target: {args.gpu}" + (" + FlashAttention" if args.flash else ""))
+    print()
+    print(bd.summary())
+    print(
+        f"\ntokens/s: {model.tokens_per_second(cfg):,.0f}   "
+        f"MFU: {100 * model.mfu(cfg):.1f}%"
+    )
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    cfg = get_model(args.model)
+    engine = RuleEngine(args.gpu)
+    print(engine.report(cfg, pipeline_stages=args.pipeline_stages))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    cfg = get_model(args.model)
+    advisor = ShapeAdvisor(args.gpu)
+    proposals = advisor.propose(cfg, top=args.top)
+    print(f"baseline: {cfg.describe()}")
+    if not proposals:
+        print("no qualifying proposals")
+        return 0
+    for i, prop in enumerate(proposals, 1):
+        print(f"\n#{i}: {prop.describe()}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    report = run_experiment(args.id)
+    if args.check:
+        print(("PASS: " if report.passed else "FAIL: ") + report.check.details)
+    elif args.csv:
+        print(report.table.to_csv(), end="")
+    elif args.plot:
+        from repro.harness.ascii_plot import plot_experiment
+
+        print(plot_experiment(args.id, report.table))
+        print(f"\ncheck: {'PASS' if report.passed else 'FAIL'}")
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    for exp in list_experiments():
+        print(exp.describe())
+    return 0
+
+
+def cmd_list_models(_args: argparse.Namespace) -> int:
+    for cfg in list_models():
+        print(cfg.describe())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.runner import run_all, to_markdown_report
+
+    reports = run_all(args.ids)
+    text = to_markdown_report(reports)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    return 0 if all(r.passed for r in reports) else 1
+
+
+def cmd_gemm(args: argparse.Namespace) -> int:
+    from repro.gpu.alignment import largest_pow2_divisor
+    from repro.gpu.gemm_model import GemmModel
+    from repro.gpu.roofline import RooflinePoint
+    from repro.gpu.tiles import candidate_tiles, tile_score
+    from repro.types import DType
+
+    dtype = DType.parse(args.dtype)
+    model = GemmModel(args.gpu, dtype)
+    perf = model.evaluate(args.m, args.n, args.k, batch=args.batch)
+    print(perf.describe())
+    point = RooflinePoint.for_gemm(
+        args.m, args.n, args.k, model.spec, dtype, batch=args.batch
+    )
+    print(
+        f"roofline: intensity {point.intensity:.1f} FLOP/B, "
+        f"attainable {point.attainable_tflops:.1f} TFLOP/s ({point.bound}-bound)"
+    )
+    print(
+        "alignment: pow2(m, n, k) = "
+        f"({largest_pow2_divisor(args.m)}, {largest_pow2_divisor(args.n)}, "
+        f"{largest_pow2_divisor(args.k)}); efficiency {perf.alignment_eff:.2f}"
+    )
+    print(
+        f"grid: {perf.blocks} blocks, {perf.waves} waves of "
+        f"{model.spec.num_sms} SMs (wave efficiency {perf.wave_eff:.2f}, "
+        f"tile waste {100 * perf.tile_waste:.1f}%)"
+    )
+    print("\ntile candidates (model's relative compute scores, lower wins):")
+    scores = [
+        (tile_score(t, args.m, args.n, args.k, model.spec, dtype, args.batch), t)
+        for t in candidate_tiles(model.spec, dtype)
+    ]
+    best = min(s for s, _ in scores)
+    for score, tile in sorted(scores, key=lambda st: (st[0], st[1].name)):
+        mark = " <- selected" if tile == perf.tile else ""
+        print(f"  {tile.name:<8} {score / best:7.2f}x{mark}")
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.core.whatif import WhatIfAnalyzer
+
+    cfg = get_model(args.model)
+    print(WhatIfAnalyzer(args.gpu).report(cfg))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.harness.export import export_all
+
+    written = export_all(args.dir, ids=args.ids)
+    print(f"wrote {len(written)} files under {args.dir}")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.calibration.fit import (
+        MeasuredGemm,
+        fit_bw_efficiency,
+        fit_efficiency_floor,
+    )
+    from repro.errors import CalibrationError
+
+    if args.csv == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.csv) as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            raise CalibrationError(f"cannot read {args.csv}: {exc}") from exc
+    samples = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#") or line.lower().startswith("m,"):
+            continue
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) not in (4, 5):
+            raise CalibrationError(
+                f"line {lineno}: expected m,n,k,latency_s[,batch], got {line!r}"
+            )
+        m, n, k = (int(p) for p in parts[:3])
+        latency = float(parts[3])
+        batch = int(parts[4]) if len(parts) == 5 else 1
+        samples.append(MeasuredGemm(m=m, n=n, k=k, latency_s=latency, batch=batch))
+    print(f"loaded {len(samples)} measurements")
+
+    bw = fit_bw_efficiency(samples, gpu=args.gpu, dtype=args.dtype)
+    floor = fit_efficiency_floor(samples, gpu=args.gpu, dtype=args.dtype)
+    for res in (bw, floor):
+        print(
+            f"{res.name:<28} = {res.value:.3f}  "
+            f"(rms relative error {100 * res.rms_rel_error:.1f}% "
+            f"over {res.samples} samples)"
+        )
+    print(
+        "\napply with: GemmModel(gpu, bw_efficiency=...) and "
+        "repro.gpu.alignment._EFF_AT_MIN"
+    )
+    return 0
+
+
+def cmd_list_gpus(_args: argparse.Namespace) -> int:
+    for spec in list_gpus():
+        print(
+            f"{spec.name:<10} {spec.vendor:<7} {spec.num_sms:>3} SMs  "
+            f"{spec.mem_bw_gbs:>6.0f} GB/s  "
+            f"align {spec.tc_align_bytes}B"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "analyze": cmd_analyze,
+    "rules": cmd_rules,
+    "advise": cmd_advise,
+    "figure": cmd_figure,
+    "figures": cmd_figures,
+    "list-models": cmd_list_models,
+    "list-gpus": cmd_list_gpus,
+    "report": cmd_report,
+    "gemm": cmd_gemm,
+    "whatif": cmd_whatif,
+    "export": cmd_export,
+    "calibrate": cmd_calibrate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

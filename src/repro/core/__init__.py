@@ -1,0 +1,49 @@
+"""The paper's primary contribution: shape-aware transformer analysis.
+
+- :mod:`repro.core.config` — transformer shape configurations and the
+  named model presets used throughout the paper (GPT-3 family, Pythia
+  suite, Llama-2, the Fig 1 C1/C2 retunes, ...),
+- :mod:`repro.core.formulas` — parameter/FLOP/memory formulas (Sec III-C),
+- :mod:`repro.core.gemms` — the Table II operator -> GEMM mapping,
+- :mod:`repro.core.rules` — the Sec VI-B sizing rules as a diagnostics
+  engine,
+- :mod:`repro.core.latency` — per-layer / per-model latency composition
+  over the GPU substrate,
+- :mod:`repro.core.breakdown` — latency-proportion analyses (Figs 2, 11),
+- :mod:`repro.core.advisor` — the shape-improvement search that
+  reproduces the paper's case studies (e.g. GPT-3 2.7B -> C2).
+"""
+
+from repro.core.config import TransformerConfig, get_model, list_models, register_model
+from repro.core.formulas import (
+    param_count,
+    param_count_approx,
+    forward_flops_per_layer,
+    forward_flops_model,
+)
+from repro.core.gemms import TransformerGemm, layer_gemms, model_gemms, logit_gemm
+from repro.core.rules import Diagnostic, RuleEngine, Severity
+from repro.core.latency import LayerLatencyModel, LatencyBreakdown
+from repro.core.advisor import ShapeAdvisor, Proposal
+
+__all__ = [
+    "TransformerConfig",
+    "get_model",
+    "list_models",
+    "register_model",
+    "param_count",
+    "param_count_approx",
+    "forward_flops_per_layer",
+    "forward_flops_model",
+    "TransformerGemm",
+    "layer_gemms",
+    "model_gemms",
+    "logit_gemm",
+    "Diagnostic",
+    "RuleEngine",
+    "Severity",
+    "LayerLatencyModel",
+    "LatencyBreakdown",
+    "ShapeAdvisor",
+    "Proposal",
+]

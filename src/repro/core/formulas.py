@@ -1,0 +1,158 @@
+"""Closed-form parameter / FLOP / memory formulas (paper Sec III-C).
+
+The paper states, for the classic GPT-2 architecture with learned
+positions and tied embeddings:
+
+- parameters: ``P = 12 h^2 L + 13 h L + (v + s) h`` (commonly
+  approximated ``12 h^2 L``),
+- forward compute per layer: ``24 b s h^2 + 4 b s^2 h
+  = 24 b s h^2 (1 + s / 6h)``.
+
+These are validated in the test suite against the actual NumPy model:
+the exact weight-array element count and the traced matmul FLOPs.
+Generalized variants cover SwiGLU (3 MLP matrices, arbitrary d_ff) so
+the Sec VII-B case study can account parameters honestly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def _check_positive(**values: int) -> None:
+    for key, value in values.items():
+        if value <= 0:
+            raise ConfigError(f"{key} must be positive, got {value}")
+
+
+def param_count(h: int, L: int, v: int, s: int) -> int:
+    """The paper's exact formula: ``12 h^2 L + 13 h L + (v + s) h``.
+
+    Assumes the classic block (4h MLP, biases, two norms), learned
+    positions and tied input/output embeddings.  The final layer norm
+    (2h parameters) is the only learned tensor it omits.
+    """
+    _check_positive(h=h, L=L, v=v, s=s)
+    return 12 * h * h * L + 13 * h * L + (v + s) * h
+
+
+def param_count_approx(h: int, L: int) -> int:
+    """The leading-order approximation ``12 h^2 L``."""
+    _check_positive(h=h, L=L)
+    return 12 * h * h * L
+
+
+def param_count_config(
+    h: int,
+    L: int,
+    v: int,
+    s: int,
+    d_ff: int,
+    mlp_matrices: int = 2,
+    kv_dim: "int | None" = None,
+    num_experts: "int | None" = None,
+) -> int:
+    """Exact parameter count for generalized configurations.
+
+    Per layer:
+
+    - attention: Q and output projections ``2 h^2``, K and V
+      projections ``2 h kv_dim`` (``kv_dim = h`` for classic MHA;
+      smaller under grouped-query attention), plus biases
+      ``2 h + 2 kv_dim``,
+    - classic MLP (2 matrices): ``2 h d_ff`` weights + ``d_ff + h``
+      biases,
+    - SwiGLU MLP (3 matrices): ``3 h d_ff`` weights, bias-free,
+    - two layer norms: ``4 h``.
+
+    Plus embeddings ``(v + s) h`` (pass ``s=0`` for non-learned
+    positional embeddings).  Reduces exactly to :func:`param_count`
+    when ``d_ff = 4h``, ``mlp_matrices = 2`` and ``kv_dim in (None, h)``.
+    """
+    _check_positive(h=h, L=L, v=v, d_ff=d_ff)
+    if s < 0:
+        raise ConfigError(f"s must be non-negative, got {s}")
+    kv_dim = h if kv_dim is None else kv_dim
+    _check_positive(kv_dim=kv_dim)
+    if mlp_matrices == 2:
+        mlp = 2 * h * d_ff + d_ff + h
+    elif mlp_matrices == 3:
+        mlp = 3 * h * d_ff
+    else:
+        raise ConfigError(f"mlp_matrices must be 2 or 3, got {mlp_matrices}")
+    if num_experts is not None:
+        if num_experts < 2:
+            raise ConfigError(f"num_experts must be >= 2, got {num_experts}")
+        # E experts plus the router's (h x E) weight.
+        mlp = num_experts * mlp + h * num_experts
+    attention = 2 * h * h + 2 * h * kv_dim + 2 * h + 2 * kv_dim
+    norms = 4 * h
+    return L * (attention + mlp + norms) + (v + s) * h
+
+
+def forward_flops_per_layer(b: int, s: int, h: int) -> int:
+    """The paper's per-layer forward FLOPs: ``24 b s h^2 + 4 b s^2 h``.
+
+    24bsh^2 covers the four dense GEMMs (QKV 6bsh^2, projection 2bsh^2,
+    MLP 16bsh^2) and 4bs^2h covers the two attention BMMs.
+    """
+    _check_positive(b=b, s=s, h=h)
+    return 24 * b * s * h * h + 4 * b * s * s * h
+
+
+def forward_flops_per_layer_general(
+    b: int, s: int, h: int, d_ff: int, mlp_matrices: int = 2
+) -> int:
+    """Per-layer forward FLOPs with an arbitrary MLP configuration."""
+    _check_positive(b=b, s=s, h=h, d_ff=d_ff)
+    attention = 8 * b * s * h * h + 4 * b * s * s * h
+    mlp = 2 * mlp_matrices * b * s * h * d_ff
+    return attention + mlp
+
+
+def forward_flops_model(
+    b: int,
+    s: int,
+    h: int,
+    L: int,
+    v: int,
+    d_ff: "int | None" = None,
+    mlp_matrices: int = 2,
+) -> int:
+    """Whole-model forward FLOPs: L layers plus the logit GEMM (2bshv)."""
+    _check_positive(b=b, s=s, h=h, L=L, v=v)
+    d_ff = 4 * h if d_ff is None else d_ff
+    per_layer = forward_flops_per_layer_general(b, s, h, d_ff, mlp_matrices)
+    return L * per_layer + 2 * b * s * h * v
+
+
+def training_flops_per_token(h: int, L: int, s: int) -> int:
+    """Rough training FLOPs per token: 3x the forward pass (fwd + bwd).
+
+    Uses the paper's per-layer expression normalized per token.
+    """
+    _check_positive(h=h, L=L, s=s)
+    fwd = forward_flops_per_layer(1, s, h) * L // s
+    return 3 * fwd
+
+
+def weight_memory_bytes(params: int, bytes_per_param: int = 2) -> int:
+    """Weight storage for the given element size (2 = FP16)."""
+    _check_positive(params=params, bytes_per_param=bytes_per_param)
+    return params * bytes_per_param
+
+
+def kv_cache_bytes(b: int, s: int, h: int, L: int, bytes_per_elem: int = 2) -> int:
+    """Decode-time key/value cache: ``2 * b * s * h * L`` elements."""
+    _check_positive(b=b, s=s, h=h, L=L)
+    return 2 * b * s * h * L * bytes_per_elem
+
+
+def activation_memory_bytes(
+    b: int, s: int, h: int, L: int, bytes_per_elem: int = 2
+) -> int:
+    """Rough stored-activation footprint for training without
+    recomputation: ~``L * s * b * h * 34`` bytes at FP16 (Korthikanti et
+    al.'s coefficient, ignoring the attention-score term)."""
+    _check_positive(b=b, s=s, h=h, L=L)
+    return L * s * b * h * 17 * bytes_per_elem

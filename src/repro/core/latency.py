@@ -1,0 +1,254 @@
+"""Per-layer / per-model latency composition (paper Sec VI-A).
+
+Composes the GPU substrate's kernel estimates into transformer-level
+latency: every Table II GEMM/BMM is evaluated by the analytic models,
+and the non-GEMM remainder (layer norms, softmax, activations, residual
+adds, rotary rotations) is costed as memory-bound pointwise kernels —
+bytes moved over effective bandwidth plus launch overhead.  This
+breakdown is exactly what the paper's Figs 1, 2 and 11 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import TransformerConfig
+from repro.core.gemms import TransformerGemm, layer_gemms, logit_gemm
+from repro.errors import ConfigError
+from repro.gpu.gemm_model import GemmModel, GemmPerf
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.transformer.flash import FlashAttentionModel
+from repro.types import DType, teraflops
+
+# Sustained fraction of datasheet bandwidth for pointwise kernels.
+_POINTWISE_BW_EFFICIENCY = 0.75
+
+#: Trace/gemms module labels that are GEMM components (vs pointwise).
+GEMM_COMPONENTS = (
+    "qkv_transform",
+    "attention_score",
+    "attention_over_value",
+    "attention_projection",
+    "mlp_h_to_4h",
+    "mlp_4h_to_h",
+    "mlp_gate",
+    "mlp_up",
+    "mlp_down",
+    "moe_router",
+    "moe_mlp_h_to_4h",
+    "moe_mlp_4h_to_h",
+    "moe_mlp_gate",
+    "moe_mlp_up",
+    "moe_mlp_down",
+    "logit",
+    "flash_attention",
+)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Ordered component -> seconds map with aggregate views."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+    flops: int = 0
+
+    def add(self, name: str, seconds: float) -> None:
+        self.components[name] = self.components.get(name, 0.0) + seconds
+
+    def merge(self, other: "LatencyBreakdown", times: int = 1) -> None:
+        for name, seconds in other.components.items():
+            self.add(name, seconds * times)
+        self.flops += other.flops * times
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def gemm_s(self) -> float:
+        return sum(
+            s for name, s in self.components.items() if name in GEMM_COMPONENTS
+        )
+
+    @property
+    def gemm_fraction(self) -> float:
+        """Fraction of latency spent in GEMM kernels (Fig 2's headline)."""
+        total = self.total_s
+        return self.gemm_s / total if total else 0.0
+
+    def proportions(self) -> Dict[str, float]:
+        """Component -> fraction of total latency (Figs 2 and 11)."""
+        total = self.total_s or 1.0
+        return {name: s / total for name, s in self.components.items()}
+
+    @property
+    def tflops(self) -> float:
+        """Achieved throughput over the accounted FLOPs."""
+        return teraflops(self.flops, self.total_s) if self.total_s else 0.0
+
+    def summary(self) -> str:
+        lines = []
+        for name, seconds in sorted(
+            self.components.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(
+                f"{name:<24} {seconds * 1e3:9.3f} ms  ({100 * seconds / self.total_s:5.1f}%)"
+            )
+        lines.append(
+            f"{'total':<24} {self.total_s * 1e3:9.3f} ms  "
+            f"(GEMM share {100 * self.gemm_fraction:.1f}%, {self.tflops:.1f} TFLOP/s)"
+        )
+        return "\n".join(lines)
+
+
+class LayerLatencyModel:
+    """Latency of transformer layers/models on one GPU.
+
+    Parameters
+    ----------
+    gpu, dtype:
+        Target architecture and GEMM element type.
+    flash_attention:
+        Replace the unfused score/softmax/attention-over-value path with
+        the fused FlashAttention kernel model (Sec VI-C3).
+    """
+
+    def __init__(
+        self,
+        gpu: "str | GPUSpec" = "A100",
+        dtype: "str | DType" = DType.FP16,
+        flash_attention: bool = False,
+    ) -> None:
+        self.spec = get_gpu(gpu)
+        self.dtype = DType.parse(dtype)
+        self.flash = flash_attention
+        self.gemm_model = GemmModel(self.spec, self.dtype)
+        self.flash_model = FlashAttentionModel(self.spec, self.dtype)
+
+    # -- pointwise kernels ------------------------------------------------------
+
+    def _pointwise_s(self, elements: float, reads_writes: int = 2) -> float:
+        """Latency of one memory-bound elementwise kernel."""
+        traffic = elements * reads_writes * self.dtype.bytes
+        bw = self.spec.mem_bw_bytes_per_s() * _POINTWISE_BW_EFFICIENCY
+        return traffic / bw + self.spec.kernel_overhead_s
+
+    def _layer_pointwise(self, cfg: TransformerConfig) -> Dict[str, float]:
+        """Non-GEMM kernels of one layer (per tensor-parallel rank)."""
+        b, s, h, a, t = (
+            cfg.microbatch,
+            cfg.seq_len,
+            cfg.hidden_size,
+            cfg.num_heads,
+            cfg.tp_degree,
+        )
+        sbh = s * b * h
+        out: Dict[str, float] = {}
+        # Two layer norms: each reads and writes the full activation
+        # (plus negligible statistics traffic).
+        out["layernorm"] = 2 * self._pointwise_s(sbh, reads_writes=2)
+        # Residual adds: read both operands, write the sum.
+        out["residual"] = 2 * self._pointwise_s(sbh, reads_writes=3)
+        if not self.flash:
+            # Softmax over the (b*a/t, s, s) score tensor: read + write.
+            scores = b * a // t * s * s
+            out["softmax"] = self._pointwise_s(scores, reads_writes=2)
+        if cfg.positional == "rotary":
+            # Rotate q and k: read + write each, h/t wide per rank.
+            out["rotary"] = 2 * self._pointwise_s(s * b * h // t, reads_writes=2)
+        # MLP activation over the intermediate width; each token passes
+        # through moe_top_k experts when the MLP is a mixture.
+        act_tokens = s * b * (cfg.moe_top_k if cfg.num_experts else 1)
+        out["activation"] = self._pointwise_s(act_tokens * cfg.d_ff // t, reads_writes=2)
+        if cfg.mlp_kind == "swiglu":
+            # The gate multiply reads two operands and writes one.
+            out["activation"] += self._pointwise_s(
+                act_tokens * cfg.d_ff // t, reads_writes=3
+            )
+        if cfg.num_experts:
+            # Router softmax/top-k plus the gather/scatter of routed
+            # tokens (read + write each way).
+            out["moe_dispatch"] = self._pointwise_s(
+                s * b * cfg.num_experts, reads_writes=2
+            ) + self._pointwise_s(act_tokens * h, reads_writes=4)
+        return out
+
+    # -- GEMM components ----------------------------------------------------------
+
+    def gemm_perf(self, op: TransformerGemm) -> GemmPerf:
+        """Evaluate one Table II operator on the GPU substrate."""
+        return self.gemm_model.evaluate(op.m, op.n, op.k, batch=op.batch)
+
+    def _layer_gemm_components(
+        self, cfg: TransformerConfig
+    ) -> "List[Tuple[str, float, int]]":
+        """(name, seconds, flops) per GEMM operator of one layer."""
+        out = []
+        for op in layer_gemms(cfg):
+            if self.flash and op.module in ("attention_score", "attention_over_value"):
+                continue
+            perf = self.gemm_perf(op)
+            out.append((op.module, perf.latency_s, op.flops))
+        if self.flash:
+            batch = cfg.microbatch * cfg.num_heads // cfg.tp_degree
+            fp = self.flash_model.evaluate(batch, cfg.seq_len, cfg.head_dim)
+            out.append(("flash_attention", fp.latency_s, fp.flops))
+        return out
+
+    # -- public API ------------------------------------------------------------------
+
+    def layer_breakdown(self, cfg: TransformerConfig) -> LatencyBreakdown:
+        """Latency breakdown of a single transformer layer."""
+        bd = LatencyBreakdown()
+        for name, seconds, flops in self._layer_gemm_components(cfg):
+            bd.add(name, seconds)
+            bd.flops += flops
+        for name, seconds in self._layer_pointwise(cfg).items():
+            bd.add(name, seconds)
+        return bd
+
+    def layer_latency(self, cfg: TransformerConfig) -> float:
+        """Seconds for one layer's forward pass."""
+        return self.layer_breakdown(cfg).total_s
+
+    def layer_throughput_tflops(self, cfg: TransformerConfig) -> float:
+        """Single-layer achieved TFLOP/s, the metric of the paper's Fig 1."""
+        bd = self.layer_breakdown(cfg)
+        return teraflops(bd.flops, bd.total_s)
+
+    def model_breakdown(self, cfg: TransformerConfig) -> LatencyBreakdown:
+        """Whole-model forward breakdown: L layers + embedding + logits."""
+        bd = LatencyBreakdown()
+        layer = self.layer_breakdown(cfg)
+        bd.merge(layer, times=cfg.num_layers)
+        sbh = cfg.seq_len * cfg.microbatch * cfg.hidden_size
+        # Embedding gather + positional add, and the final layer norm.
+        bd.add("embedding", self._pointwise_s(sbh, reads_writes=3))
+        bd.add("layernorm", self._pointwise_s(sbh, reads_writes=2))
+        logit = logit_gemm(cfg)
+        perf = self.gemm_perf(logit)
+        bd.add("logit", perf.latency_s)
+        bd.flops += logit.flops
+        return bd
+
+    def model_latency(self, cfg: TransformerConfig) -> float:
+        """Seconds for a full forward pass of one microbatch."""
+        return self.model_breakdown(cfg).total_s
+
+    def tokens_per_second(self, cfg: TransformerConfig) -> float:
+        """Forward-pass token throughput of one GPU (one rank's share)."""
+        latency = self.model_latency(cfg)
+        if latency <= 0:
+            raise ConfigError("model latency must be positive")
+        return cfg.tokens_per_microbatch / latency
+
+    def mfu(self, cfg: TransformerConfig) -> float:
+        """Model FLOPs utilization: achieved / peak matrix throughput."""
+        bd = self.model_breakdown(cfg)
+        peak = (
+            self.spec.matrix_peak_tflops(self.dtype)
+            if self.spec.supports_matrix(self.dtype)
+            else self.spec.vector_peak_tflops(self.dtype)
+        )
+        return bd.tflops / peak

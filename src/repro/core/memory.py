@@ -1,0 +1,153 @@
+"""Per-GPU memory accounting for training and inference.
+
+The paper's parallelism rules exist because memory forces sharding:
+"the microbatch size b should be as large as possible" *until activation
+memory binds*, and "t should be as small as possible" *subject to the
+model fitting*.  This module makes those constraints computable:
+
+- :func:`training_bytes` — mixed-precision Adam training footprint
+  (weights, gradients, optimizer states, activations) under (t, p)
+  sharding, with optional activation recomputation,
+- :func:`inference_bytes` — weights + KV cache at a context length,
+- :func:`max_microbatch` — the largest b that fits a memory budget,
+- :class:`MemoryBudget` — a per-GPU budget with headroom.
+
+Activation accounting follows the standard per-layer coefficient for
+the unfused transformer (Korthikanti et al.): ``s*b*h*(34 + 5*a*s/h)``
+bytes at fp16 without recomputation, divided by t for the tensor-
+parallel shards, with the attention term dropped under FlashAttention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TransformerConfig
+from repro.core.formulas import kv_cache_bytes
+from repro.errors import ConfigError
+from repro.gpu.specs import GPUSpec, get_gpu
+
+# Mixed-precision Adam: fp16 weight + fp16 grad + fp32 master + fp32 m
+# + fp32 v = 2 + 2 + 4 + 4 + 4 bytes per parameter.
+ADAM_STATE_BYTES_PER_PARAM = 16
+_FP16 = 2
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU memory decomposition in bytes."""
+
+    weights_and_optimizer: float
+    activations: float
+    kv_cache: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.weights_and_optimizer + self.activations + self.kv_cache
+
+    def gb(self) -> float:
+        return self.total / 1e9
+
+
+def activation_bytes_per_layer(
+    cfg: TransformerConfig, flash_attention: bool = False
+) -> float:
+    """Stored activations of one layer for one microbatch (fp16, no
+    recomputation), per tensor-parallel rank."""
+    s, b, h, a, t = (
+        cfg.seq_len,
+        cfg.microbatch,
+        cfg.hidden_size,
+        cfg.num_heads,
+        cfg.tp_degree,
+    )
+    dense = 34.0 * s * b * h
+    attention = 0.0 if flash_attention else 5.0 * a * s * s * b
+    return (dense + attention) / t
+
+
+def training_bytes(
+    cfg: TransformerConfig,
+    pipeline_stages: int = 1,
+    recompute_activations: bool = False,
+    flash_attention: bool = False,
+) -> MemoryBreakdown:
+    """Training footprint per GPU under (cfg.tp_degree, p) sharding."""
+    if pipeline_stages <= 0:
+        raise ConfigError("pipeline_stages must be positive")
+    params_per_gpu = cfg.param_count() / (cfg.tp_degree * pipeline_stages)
+    states = params_per_gpu * ADAM_STATE_BYTES_PER_PARAM
+
+    layers_per_stage = max(1, -(-cfg.num_layers // pipeline_stages))
+    per_layer = activation_bytes_per_layer(cfg, flash_attention)
+    if recompute_activations:
+        # Keep only the layer-boundary activations; recompute the rest.
+        per_layer = 2.0 * cfg.seq_len * cfg.microbatch * cfg.hidden_size / cfg.tp_degree
+    acts = per_layer * layers_per_stage
+    return MemoryBreakdown(weights_and_optimizer=states, activations=acts)
+
+
+def inference_bytes(
+    cfg: TransformerConfig, context_len: int, batch: int = 1
+) -> MemoryBreakdown:
+    """Inference footprint: fp16 weights + KV cache, per GPU.
+
+    Sliding-window attention bounds the cached context at the window.
+    """
+    if context_len <= 0 or batch <= 0:
+        raise ConfigError("context_len and batch must be positive")
+    weights = cfg.param_count() / cfg.tp_degree * _FP16
+    if cfg.attention_window is not None:
+        context_len = min(context_len, cfg.attention_window)
+    kv = kv_cache_bytes(batch, context_len, cfg.kv_dim, cfg.num_layers) / cfg.tp_degree
+    return MemoryBreakdown(
+        weights_and_optimizer=weights, activations=0.0, kv_cache=kv
+    )
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A per-GPU memory budget with a reserved headroom fraction."""
+
+    capacity_bytes: float
+    headroom: float = 0.08
+
+    @classmethod
+    def for_gpu(cls, gpu: "str | GPUSpec", headroom: float = 0.08) -> "MemoryBudget":
+        spec = get_gpu(gpu)
+        return cls(capacity_bytes=spec.memory_gb * 1e9, headroom=headroom)
+
+    @property
+    def usable_bytes(self) -> float:
+        return self.capacity_bytes * (1.0 - self.headroom)
+
+    def fits(self, breakdown: MemoryBreakdown) -> bool:
+        return breakdown.total <= self.usable_bytes
+
+
+def max_microbatch(
+    cfg: TransformerConfig,
+    budget: MemoryBudget,
+    pipeline_stages: int = 1,
+    recompute_activations: bool = False,
+    flash_attention: bool = False,
+    limit: int = 512,
+) -> int:
+    """Largest microbatch b fitting the budget (0 if even b=1 doesn't).
+
+    This operationalizes the paper's "b should be as large as possible"
+    rule: the answer is a memory bound, not a performance one.
+    """
+    best = 0
+    for b in range(1, limit + 1):
+        candidate = cfg.with_overrides(microbatch=b)
+        usage = training_bytes(
+            candidate,
+            pipeline_stages=pipeline_stages,
+            recompute_activations=recompute_activations,
+            flash_attention=flash_attention,
+        )
+        if not budget.fits(usage):
+            break
+        best = b
+    return best

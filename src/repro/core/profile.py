@@ -1,0 +1,95 @@
+"""Profile a recorded OpTrace with the GPU model.
+
+:class:`~repro.transformer.trace.OpTrace` records what a NumPy model
+*actually executed* — including the backward pass, tensor-parallel
+shards, GQA widths, whatever the run did.  This module bridges that
+record to the performance substrate: every traced matmul is priced by
+the analytic GEMM model, producing the per-module latency profile a
+GPU profiler (nsight) would show for the same computation on real
+hardware.
+
+This closes the loop the paper draws in Fig 2/11: from *executed
+operations* to *modelled kernel time*, without trusting any hand-derived
+mapping in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ExperimentError
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.specs import GPUSpec
+from repro.harness.results import ResultTable
+from repro.transformer.trace import OpTrace
+from repro.types import DType, teraflops
+
+
+@dataclass(frozen=True)
+class ProfiledModule:
+    """Aggregated modelled cost of one trace module label."""
+
+    module: str
+    calls: int
+    flops: int
+    latency_s: float
+
+    @property
+    def tflops(self) -> float:
+        return teraflops(self.flops, self.latency_s) if self.latency_s else 0.0
+
+
+class TraceProfiler:
+    """Prices every matmul of an OpTrace on one GPU."""
+
+    def __init__(
+        self, gpu: "str | GPUSpec" = "A100", dtype: "str | DType" = DType.FP16
+    ) -> None:
+        self.model = GemmModel(gpu, dtype)
+        # Identical shapes recur L times per trace; memoize evaluations.
+        self._cache: Dict[tuple, float] = {}
+
+    def _latency(self, batch: int, m: int, k: int, n: int) -> float:
+        key = (batch, m, k, n)
+        if key not in self._cache:
+            self._cache[key] = self.model.evaluate(m, n, k, batch=batch).latency_s
+        return self._cache[key]
+
+    def profile(self, trace: OpTrace) -> List[ProfiledModule]:
+        """Aggregate the trace per module label, largest latency first."""
+        if len(trace) == 0:
+            raise ExperimentError("cannot profile an empty trace")
+        agg: Dict[str, ProfiledModule] = {}
+        for rec in trace:
+            latency = self._latency(rec.batch, rec.m, rec.k, rec.n)
+            prev = agg.get(rec.module)
+            if prev is None:
+                agg[rec.module] = ProfiledModule(
+                    module=rec.module, calls=1, flops=rec.flops, latency_s=latency
+                )
+            else:
+                agg[rec.module] = ProfiledModule(
+                    module=rec.module,
+                    calls=prev.calls + 1,
+                    flops=prev.flops + rec.flops,
+                    latency_s=prev.latency_s + latency,
+                )
+        return sorted(agg.values(), key=lambda p: -p.latency_s)
+
+    def total_latency_s(self, trace: OpTrace) -> float:
+        """Sum of all modelled kernel times (serial execution)."""
+        return sum(p.latency_s for p in self.profile(trace))
+
+    def as_table(self, trace: OpTrace, title: str = "Trace profile") -> ResultTable:
+        """The profile as a ResultTable (for printing/export)."""
+        profiles = self.profile(trace)
+        total = sum(p.latency_s for p in profiles) or 1.0
+        table = ResultTable(
+            title,
+            ["module", "calls", "latency_ms", "share", "tflops"],
+            notes=f"priced on {self.model.spec.name} ({self.model.dtype.name})",
+        )
+        for p in profiles:
+            table.add(p.module, p.calls, p.latency_s * 1e3, p.latency_s / total, p.tflops)
+        return table

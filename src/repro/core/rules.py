@@ -1,0 +1,342 @@
+"""The paper's sizing rules (Sec VI-B) as a diagnostics engine.
+
+The paper distills its analysis into checkable recommendations:
+
+1. the vocabulary size should be divisible by 64;
+2. the microbatch size ``b`` should be as large as possible;
+3. ``b*s``, ``h/a`` and ``h/t`` should be divisible by a power of two,
+   with no further benefit beyond 64;
+4. ``(b*a)/t`` should be an integer;
+5. ``t`` should be as small as possible;
+6. the number of layers should be divisible by the number of pipeline
+   stages;
+7. (structural) ``h`` must be divisible by ``a``;
+8. (informational) the big GEMMs' wave-quantization status on the
+   target GPU.
+
+Each rule yields :class:`Diagnostic` objects with a severity, an
+explanation grounded in the GPU mechanism, and a concrete suggestion
+where one exists.  The engine is what `repro rules` on the CLI and the
+advisor's pre-screening use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.config import TransformerConfig
+from repro.core.gemms import layer_gemms, logit_gemm
+from repro.gpu.alignment import largest_pow2_divisor
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.gpu.tiles import default_tile
+from repro.gpu.waves import wave_quantization_free
+
+# "There is no further benefit to going beyond 64" (Sec VI-B).
+POW2_TARGET = 64
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity of a diagnostic (higher is worse)."""
+
+    OK = 0
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from one rule applied to one configuration."""
+
+    rule: str
+    severity: Severity
+    message: str
+    suggestion: Optional[str] = None
+
+    def __str__(self) -> str:
+        tail = f" -> {self.suggestion}" if self.suggestion else ""
+        return f"[{self.severity.name}] {self.rule}: {self.message}{tail}"
+
+
+RuleFn = Callable[[TransformerConfig, GPUSpec], List[Diagnostic]]
+
+
+def _pow2_diag(rule: str, label: str, value: int) -> Diagnostic:
+    p = largest_pow2_divisor(value)
+    if p >= POW2_TARGET:
+        return Diagnostic(
+            rule, Severity.OK, f"{label} = {value} is divisible by {POW2_TARGET}"
+        )
+    if p >= 8:
+        return Diagnostic(
+            rule,
+            Severity.WARNING,
+            f"{label} = {value} is only divisible by {p}; Tensor Core "
+            f"efficiency improves up to divisibility by {POW2_TARGET}",
+            suggestion=f"choose shapes making {label} a multiple of {POW2_TARGET}",
+        )
+    return Diagnostic(
+        rule,
+        Severity.ERROR,
+        f"{label} = {value} is divisible only by {p} (< 8 FP16 elements "
+        f"= 16 bytes), defeating Tensor Core fragment alignment",
+        suggestion=f"make {label} a multiple of at least 8, ideally {POW2_TARGET}",
+    )
+
+
+def rule_vocab_divisible(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """Vocabulary size should be divisible by 64 (Sec VI-B, Fig 20)."""
+    v = cfg.vocab_size
+    if v % 64 == 0:
+        return [Diagnostic("vocab_divisible_64", Severity.OK, f"v = {v} is a multiple of 64")]
+    padded = -(-v // 64) * 64
+    return [
+        Diagnostic(
+            "vocab_divisible_64",
+            Severity.WARNING,
+            f"v = {v} is not a multiple of 64; the logit GEMM "
+            f"(b*s, h) x (h, v) loses Tensor Core efficiency",
+            suggestion=f"pad the vocabulary to {padded} "
+            f"(+{padded - v} unused tokens)",
+        )
+    ]
+
+
+def rule_head_dim(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """h/a should be divisible by a power of two up to 64 (Figs 7, 21-47)."""
+    return [_pow2_diag("head_dim_pow2", "h/a", cfg.head_dim)]
+
+
+def rule_hidden_per_tp(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """h/t should be divisible by a power of two up to 64 (Sec VII-A)."""
+    h, t = cfg.hidden_size, cfg.tp_degree
+    if h % t:
+        return [
+            Diagnostic(
+                "hidden_per_tp_pow2",
+                Severity.ERROR,
+                f"h = {h} is not divisible by t = {t}; tensor-parallel "
+                "sharding is infeasible",
+                suggestion="choose t dividing h",
+            )
+        ]
+    return [_pow2_diag("hidden_per_tp_pow2", "h/t", h // t)]
+
+
+def rule_tokens_pow2(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """b*s should be divisible by a power of two up to 64.
+
+    The paper notes b itself needs no particular divisibility because s
+    is normally a large power of two already.
+    """
+    return [_pow2_diag("tokens_pow2", "b*s", cfg.tokens_per_microbatch)]
+
+
+def rule_heads_per_tp(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """(b*a)/t should be an integer (the BMM batch count)."""
+    b, a, t = cfg.microbatch, cfg.num_heads, cfg.tp_degree
+    if (b * a) % t == 0:
+        return [
+            Diagnostic(
+                "heads_per_tp_integer",
+                Severity.OK,
+                f"(b*a)/t = {b * a // t} is an integer",
+            )
+        ]
+    return [
+        Diagnostic(
+            "heads_per_tp_integer",
+            Severity.ERROR,
+            f"(b*a)/t = {b * a}/{t} is not an integer; the attention "
+            "BMM batch cannot be sharded evenly",
+            suggestion="choose t dividing b*a (ideally dividing a)",
+        )
+    ]
+
+
+def rule_microbatch(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """b should be as large as memory allows (Sec VI-B, citing Nado et al.)."""
+    if cfg.microbatch >= 4:
+        return [
+            Diagnostic(
+                "microbatch_large",
+                Severity.OK,
+                f"b = {cfg.microbatch}",
+            )
+        ]
+    return [
+        Diagnostic(
+            "microbatch_large",
+            Severity.INFO,
+            f"b = {cfg.microbatch} is small; larger microbatches raise "
+            "GEMM arithmetic intensity",
+            suggestion="increase b until activation memory is the binding constraint",
+        )
+    ]
+
+
+def rule_tp_minimal(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """t should be as small as the model's memory footprint allows."""
+    if cfg.tp_degree == 1:
+        return [Diagnostic("tp_minimal", Severity.OK, "t = 1")]
+    return [
+        Diagnostic(
+            "tp_minimal",
+            Severity.INFO,
+            f"t = {cfg.tp_degree} shrinks every per-GPU GEMM by {cfg.tp_degree}x; "
+            "use the smallest t that fits memory (Narayanan et al.)",
+        )
+    ]
+
+
+def rule_wave_quantization(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """Report wave-quantization status of the layer's dense GEMMs.
+
+    Informational: the paper proves no transformer configuration can
+    satisfy the Tensor Core rule and be wave-free with the 128x256 tile,
+    so this can only be minimized, not eliminated.
+    """
+    tile = default_tile()
+    out: List[Diagnostic] = []
+    for op in layer_gemms(cfg) + [logit_gemm(cfg)]:
+        if op.is_bmm:
+            continue
+        free = wave_quantization_free(op.m, op.n, tile.m, tile.n, gpu.num_sms)
+        if free:
+            out.append(
+                Diagnostic(
+                    "wave_quantization",
+                    Severity.OK,
+                    f"{op.module} ({op.m}x{op.n}) is wave-free on {gpu.name}",
+                )
+            )
+        else:
+            out.append(
+                Diagnostic(
+                    "wave_quantization",
+                    Severity.INFO,
+                    f"{op.module} output {op.m}x{op.n} has a partial tail "
+                    f"wave on {gpu.name} ({gpu.num_sms} SMs, tile {tile.name})",
+                )
+            )
+    return out
+
+
+def rule_pipeline_divisibility(
+    cfg: TransformerConfig, gpu: GPUSpec, pipeline_stages: int = 1
+) -> List[Diagnostic]:
+    """L should be divisible by the number of pipeline stages."""
+    if pipeline_stages <= 1 or cfg.num_layers % pipeline_stages == 0:
+        return [
+            Diagnostic(
+                "pipeline_divisibility",
+                Severity.OK,
+                f"L = {cfg.num_layers} divides evenly into "
+                f"{pipeline_stages} stage(s)",
+            )
+        ]
+    return [
+        Diagnostic(
+            "pipeline_divisibility",
+            Severity.WARNING,
+            f"L = {cfg.num_layers} is not divisible by {pipeline_stages} "
+            "pipeline stages; some stages carry an extra layer and the "
+            "pipeline runs at the slowest stage's rate",
+            suggestion=f"use L divisible by {pipeline_stages}",
+        )
+    ]
+
+
+def rule_moe_tokens(cfg: TransformerConfig, gpu: GPUSpec) -> List[Diagnostic]:
+    """MoE: the per-expert row count should be large and 64-aligned.
+
+    The expert GEMMs' m dimension is b*s*k/E — small or ragged values
+    waste tiles and launch overhead, the MoE face of the paper's
+    alignment rules.
+    """
+    if cfg.num_experts is None:
+        return []
+    m_e = cfg.tokens_per_expert
+    total = cfg.tokens_per_microbatch * cfg.moe_top_k
+    out: List[Diagnostic] = []
+    if total % cfg.num_experts:
+        out.append(
+            Diagnostic(
+                "moe_tokens",
+                Severity.INFO,
+                f"b*s*k = {total} does not divide evenly over "
+                f"{cfg.num_experts} experts; capacity padding wastes "
+                f"{cfg.num_experts * m_e - total} token slots per layer",
+            )
+        )
+    if m_e < 256:
+        out.append(
+            Diagnostic(
+                "moe_tokens",
+                Severity.WARNING,
+                f"only ~{m_e} tokens per expert: expert GEMMs are "
+                "launch-overhead- and tile-quantization-dominated",
+                suggestion="increase b, reduce experts, or raise top_k",
+            )
+        )
+    elif m_e % 64:
+        out.append(
+            Diagnostic(
+                "moe_tokens",
+                Severity.INFO,
+                f"tokens per expert ({m_e}) is not a multiple of 64; "
+                "expert GEMM tile rows are padded",
+            )
+        )
+    else:
+        out.append(
+            Diagnostic(
+                "moe_tokens",
+                Severity.OK,
+                f"~{m_e} tokens per expert (64-aligned)",
+            )
+        )
+    return out
+
+
+DEFAULT_RULES: "tuple[RuleFn, ...]" = (
+    rule_vocab_divisible,
+    rule_head_dim,
+    rule_hidden_per_tp,
+    rule_tokens_pow2,
+    rule_heads_per_tp,
+    rule_microbatch,
+    rule_tp_minimal,
+    rule_moe_tokens,
+    rule_wave_quantization,
+)
+
+
+class RuleEngine:
+    """Applies the Sec VI-B rule set to a configuration on a target GPU."""
+
+    def __init__(self, gpu: "str | GPUSpec" = "A100", rules=DEFAULT_RULES) -> None:
+        self.gpu = get_gpu(gpu)
+        self.rules = tuple(rules)
+
+    def check(
+        self, cfg: TransformerConfig, pipeline_stages: int = 1
+    ) -> List[Diagnostic]:
+        """Run every rule; returns diagnostics sorted worst-first."""
+        out: List[Diagnostic] = []
+        for rule in self.rules:
+            out.extend(rule(cfg, self.gpu))
+        out.extend(rule_pipeline_divisibility(cfg, self.gpu, pipeline_stages))
+        return sorted(out, key=lambda d: -d.severity)
+
+    def worst(self, cfg: TransformerConfig) -> Severity:
+        """Highest severity across all diagnostics."""
+        return max((d.severity for d in self.check(cfg)), default=Severity.OK)
+
+    def report(self, cfg: TransformerConfig, pipeline_stages: int = 1) -> str:
+        """Formatted multi-line report."""
+        lines = [cfg.describe(), f"target GPU: {self.gpu.name}", ""]
+        lines += [str(d) for d in self.check(cfg, pipeline_stages)]
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class.  Each subclass
+corresponds to a distinct failure domain (configuration, GPU modeling,
+parallelism planning, harness execution) to make programmatic handling
+possible without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A transformer or hardware configuration is invalid or inconsistent.
+
+    Raised when e.g. the hidden size is not divisible by the number of
+    attention heads, a dimension is non-positive, or a named preset is
+    unknown.
+    """
+
+
+class ShapeError(ReproError):
+    """A GEMM/BMM shape is malformed (non-positive dimension, bad batch)."""
+
+
+class GPUModelError(ReproError):
+    """The GPU performance model was given parameters it cannot evaluate.
+
+    Examples: unknown GPU name, a tile configuration that does not fit in
+    shared memory, or a dtype the target architecture does not support on
+    its matrix units.
+    """
+
+
+class ParallelismError(ReproError):
+    """A parallel decomposition is infeasible.
+
+    Raised when tensor-parallel sharding does not divide the relevant
+    dimensions, or when a pipeline stage assignment is impossible for the
+    requested number of stages.
+    """
+
+
+class ExperimentError(ReproError):
+    """A harness experiment is unknown or failed to produce results."""
+
+
+class CalibrationError(ReproError):
+    """Calibration failed to fit model constants to the provided samples."""

@@ -1,0 +1,121 @@
+"""Tensor Core alignment rules and efficiency curves.
+
+The paper's central microarchitectural observation (Sec III-B, VI-B) is:
+
+- Tensor Cores are *fully* utilized when every GEMM dimension (m, n, k)
+  is a multiple of ``tc_align_bytes`` (16 B on V100 -> 8 FP16 elements;
+  128 B on A100/H100 -> 64 FP16 elements).
+- Below full alignment, "Tensor Cores perform better with larger
+  multiples of 2": throughput is ordered by the largest power of two
+  dividing the dimension, saturating at 64 elements (Figs 7, 21-47).
+- Dimensions that do not even meet the MMA instruction granularity
+  (8 FP16 elements = 16 bytes) force padding or the vector-unit path,
+  with a large penalty.
+
+We encode this as a per-dimension efficiency in (0, 1] that is a
+monotone function of ``min(largest_pow2_divisor(dim), full_align)``,
+and combine dimensions by taking the minimum (the worst-aligned
+dimension gates the MMA pipeline, because every MMA instruction
+consumes fixed-size fragments along all three dimensions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ShapeError
+from repro.gpu.specs import GPUSpec
+from repro.types import DType
+
+
+def largest_pow2_divisor(n: int) -> int:
+    """Largest power of two dividing ``n`` (``n & -n`` for positive n).
+
+    >>> largest_pow2_divisor(80)
+    16
+    >>> largest_pow2_divisor(96)
+    32
+    >>> largest_pow2_divisor(7)
+    1
+    """
+    if n <= 0:
+        raise ShapeError(f"dimension must be positive, got {n}")
+    return n & -n
+
+
+def tensor_core_eligible(dims: Iterable[int], dtype: DType, spec: GPUSpec) -> bool:
+    """Whether a GEMM with the given dims can run on the matrix engines.
+
+    Requires the dtype to have a matrix path on this architecture and
+    every dimension to be a multiple of the minimum MMA granularity.
+    cuBLAS can pad odd shapes onto tensor cores at a cost; that cost is
+    captured by :func:`dim_efficiency` rather than a hard cliff here, so
+    this predicate reflects the *unpadded* eligibility rule the paper
+    states.
+    """
+    if not spec.supports_matrix(dtype):
+        return False
+    min_elems = spec.tc_min_elems(dtype)
+    return all(d % min_elems == 0 for d in dims)
+
+
+# Efficiency at the minimum MMA granularity (e.g. 8 FP16 elements on
+# A100, where full alignment is 64).  Chosen so that the ratio between
+# the pow2=64 and pow2=8 series matches the rough 2x spread visible in
+# the paper's Figs 7a/7b.
+_EFF_AT_MIN = 0.52
+# Efficiency floor applied when a dimension is odd (pow2 divisor 1):
+# cuBLAS pads to the instruction shape, wasting most fragment lanes.
+_EFF_ODD = 0.22
+
+
+def dim_efficiency(dim: int, dtype: DType, spec: GPUSpec) -> float:
+    """Matrix-engine efficiency contribution of one GEMM dimension.
+
+    Returns 1.0 when ``dim`` is a multiple of the full alignment
+    (``spec.tc_align_elems``), and decays log-linearly in the largest
+    power-of-two divisor below that, down to a padded-fragment floor for
+    odd sizes.  Matches the ordering in the paper's Figs 7 and 21-47:
+    each halving of the pow-2 divisor costs a roughly constant factor,
+    and there is "no further benefit to going beyond 64" (Sec VI-B).
+    """
+    if dim <= 0:
+        raise ShapeError(f"dimension must be positive, got {dim}")
+    full = spec.tc_align_elems(dtype)
+    min_elems = spec.tc_min_elems(dtype)
+    p = min(largest_pow2_divisor(dim), full)
+    if p >= full:
+        return 1.0
+    if p < min_elems:
+        # Sub-granularity: interpolate between the odd-size floor and the
+        # minimum-granularity efficiency so pow2=2,4 still beat pow2=1.
+        if min_elems <= 1:
+            return 1.0
+        frac = math.log2(p) / math.log2(min_elems) if p > 1 else 0.0
+        return _EFF_ODD + (_EFF_AT_MIN - _EFF_ODD) * frac
+    if full <= min_elems:
+        return 1.0
+    frac = (math.log2(p) - math.log2(min_elems)) / (
+        math.log2(full) - math.log2(min_elems)
+    )
+    return _EFF_AT_MIN + (1.0 - _EFF_AT_MIN) * frac
+
+
+def gemm_alignment_efficiency(
+    m: int, n: int, k: int, dtype: DType, spec: GPUSpec
+) -> float:
+    """Combined matrix-engine efficiency of a (m, n, k) GEMM.
+
+    Only the *contiguous* dimensions gate the pipeline: for row-major
+    operands, A is strided along k and B (and C) along n, so misaligned
+    k or n defeats the vectorized 16-byte fragment loads that feed the
+    MMA units on every k-loop iteration.  Misalignment of m costs only
+    edge-tile padding, which the tile-quantization term accounts for
+    separately — charging it here too would double count (this is why a
+    GEMV with m=1 still streams at full bandwidth on real hardware).
+    """
+    del m  # charged via tile quantization, see docstring
+    eff_k = dim_efficiency(k, dtype, spec)
+    eff_n = dim_efficiency(n, dtype, spec)
+    return min(eff_k, eff_n)

@@ -1,0 +1,128 @@
+"""L2 reuse model for GEMM operand traffic.
+
+A tiled GEMM re-reads each operand once per tile row/column of the
+output grid, but the block scheduler rasterizes tiles in a swizzled
+order so that the ~``wave_blocks`` concurrently resident tiles form a
+roughly square super-tile.  Within one wave, the A-rows and B-columns
+the super-tile touches are fetched once and served to all its blocks
+out of L2.  DRAM traffic is therefore::
+
+    reads(A) = M*K * ceil(grid_n / wave_n)
+    reads(B) = K*N * ceil(grid_m / wave_m)
+    writes(C) = M*N
+
+with ``(wave_m, wave_n)`` the balanced factorization of the wave over
+the tile grid.  This is the standard cooperative-wave traffic model and
+reproduces both regimes the paper relies on: small GEMMs (grid fits in
+one wave) incur only compulsory traffic — the regime of the memory-bound
+attention BMMs — while huge GEMMs re-read operands a small integer
+number of times, keeping them compute-bound as observed.
+
+When the wave's operand slices exceed effective L2 capacity the reuse
+degrades toward fully streamed traffic; :func:`l2_miss_rate` supplies
+the blend factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ShapeError
+from repro.gpu.specs import GPUSpec
+from repro.gpu.waves import tiles_along
+from repro.types import DType
+
+# Fraction of nominal L2 capacity usable for GEMM operand staging (the
+# rest is consumed by writes-in-flight, metadata, and conflict misses).
+_L2_EFFECTIVE_FRACTION = 0.75
+# Reduction-dimension window over which cross-block reuse must survive
+# in L2 (blocks in a wave sweep K loosely in step; slack of a few
+# hundred elements covers the observed skew).
+_K_REUSE_WINDOW = 512
+
+
+def streamed_bytes(
+    m: int, n: int, k: int, tile_m: int, tile_n: int, dtype: DType, batch: int = 1
+) -> int:
+    """DRAM traffic with no inter-tile reuse at all.
+
+    Each of the ``gm x gn`` tiles loads a full ``tile_m x k`` slice of A
+    and ``k x tile_n`` slice of B; C is written once.
+    """
+    if min(m, n, k, batch) <= 0:
+        raise ShapeError(f"GEMM dims must be positive: {(batch, m, n, k)}")
+    gm = tiles_along(m, tile_m)
+    gn = tiles_along(n, tile_n)
+    loads = gm * gn * (tile_m + tile_n) * k * dtype.bytes
+    stores = m * n * dtype.bytes
+    return batch * (loads + stores)
+
+
+def l2_miss_rate(working_set_bytes: int, spec: GPUSpec) -> float:
+    """Fraction of reusable reads that spill to DRAM, in [0, 1]."""
+    if working_set_bytes <= 0:
+        raise ShapeError("working set must be positive")
+    capacity = spec.l2_bytes * _L2_EFFECTIVE_FRACTION
+    if working_set_bytes <= capacity:
+        return 0.0
+    return min(1.0, (working_set_bytes - capacity) / working_set_bytes)
+
+
+def wave_super_tile(gm: int, gn: int, wave_blocks: int) -> "tuple[int, int]":
+    """Balanced (wave_m, wave_n) factorization of a wave over the grid.
+
+    Chooses a super-tile aspect ratio proportional to the grid so both
+    operands are re-read a comparable number of times, which is what
+    swizzled rasterization aims for.
+    """
+    if min(gm, gn, wave_blocks) <= 0:
+        raise ShapeError("grid and wave sizes must be positive")
+    w = min(wave_blocks, gm * gn)
+    wave_m = max(1, min(gm, round(math.sqrt(w * gm / gn))))
+    wave_n = max(1, min(gn, w // wave_m))
+    return wave_m, wave_n
+
+
+def effective_dram_bytes(
+    m: int,
+    n: int,
+    k: int,
+    tile_m: int,
+    tile_n: int,
+    spec: GPUSpec,
+    dtype: DType,
+    batch: int = 1,
+    wave_blocks: "int | None" = None,
+) -> float:
+    """Modelled DRAM traffic of a (batched) tiled GEMM, in bytes.
+
+    Always at least the compulsory traffic and at most the fully
+    streamed traffic.
+    """
+    compulsory = batch * (m * k + k * n + m * n) * dtype.bytes
+    if wave_blocks is None:
+        wave_blocks = spec.num_sms
+    gm = tiles_along(m, tile_m)
+    gn = tiles_along(n, tile_n)
+
+    if batch * gm * gn <= wave_blocks:
+        cooperative = float(compulsory)
+    else:
+        wave_m, wave_n = wave_super_tile(gm, gn, wave_blocks)
+        reads_a = m * k * math.ceil(gn / wave_n)
+        reads_b = k * n * math.ceil(gm / wave_m)
+        cooperative = float(batch * (reads_a + reads_b + m * n) * dtype.bytes)
+
+    streamed = float(streamed_bytes(m, n, k, tile_m, tile_n, dtype, batch))
+    # Cross-block reuse requires the wave's operand slices (over a
+    # bounded k window) to stay L2-resident; degrade toward streamed
+    # traffic when they do not fit.
+    wave_m, wave_n = wave_super_tile(gm, gn, wave_blocks)
+    ws = (
+        (wave_m * tile_m + wave_n * tile_n)
+        * min(k, _K_REUSE_WINDOW)
+        * dtype.bytes
+    )
+    miss = l2_miss_rate(max(ws, 1), spec)
+    traffic = cooperative + (streamed - cooperative) * miss
+    return min(max(traffic, float(compulsory)), streamed)

@@ -1,0 +1,90 @@
+"""Thread-block occupancy model.
+
+How many GEMM thread blocks can be resident on one SM at once is what
+turns a tile grid into *waves*.  Occupancy is limited by whichever
+resource runs out first: shared memory (tile operand staging buffers),
+registers (accumulator fragments), thread slots, or the hardware block
+limit.  We compute each limit from the tile geometry the same way the
+CUDA occupancy calculator does, at the fidelity needed for wave counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GPUModelError
+from repro.gpu.specs import GPUSpec
+from repro.types import DType
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Blocks-per-SM outcome and which resource limited it."""
+
+    blocks_per_sm: int
+    limiter: str
+    smem_per_block: int
+    regs_per_block: int
+    threads_per_block: int
+
+
+def smem_bytes_per_block(
+    tile_m: int, tile_n: int, k_stage: int, stages: int, dtype: DType
+) -> int:
+    """Shared-memory staging footprint of one GEMM thread block.
+
+    Each pipeline stage holds a ``tile_m x k_stage`` slice of A and a
+    ``k_stage x tile_n`` slice of B in shared memory.
+    """
+    per_stage = (tile_m + tile_n) * k_stage * dtype.bytes
+    return per_stage * stages
+
+
+def regs_per_block(tile_m: int, tile_n: int, threads: int, acc_bytes: int = 4) -> int:
+    """Register estimate: the fp32 accumulator tile plus fixed overhead.
+
+    Every output element of the tile lives in a register for the whole
+    k-loop; each thread additionally needs ~40 registers of addressing
+    and staging state.
+    """
+    acc_regs = tile_m * tile_n * acc_bytes // 4
+    return acc_regs + threads * 40
+
+
+def blocks_per_sm(
+    spec: GPUSpec,
+    tile_m: int,
+    tile_n: int,
+    k_stage: int,
+    threads: int,
+    dtype: DType,
+    stages: int = 2,
+) -> OccupancyResult:
+    """Maximum resident blocks per SM for a tile configuration.
+
+    Raises :class:`GPUModelError` when even a single block does not fit
+    (tile too large for this architecture's shared memory or registers).
+    """
+    smem = smem_bytes_per_block(tile_m, tile_n, k_stage, stages, dtype)
+    regs = regs_per_block(tile_m, tile_n, threads)
+
+    limits = {
+        "smem": spec.smem_per_sm_bytes // smem if smem else spec.max_blocks_per_sm,
+        "regs": spec.regs_per_sm // regs if regs else spec.max_blocks_per_sm,
+        "threads": spec.max_threads_per_sm // threads,
+        "blocks": spec.max_blocks_per_sm,
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise GPUModelError(
+            f"tile {tile_m}x{tile_n} (k_stage={k_stage}, stages={stages}) does "
+            f"not fit on one {spec.name} SM ({limiter} exhausted)"
+        )
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        limiter=limiter,
+        smem_per_block=smem,
+        regs_per_block=regs,
+        threads_per_block=threads,
+    )

@@ -1,0 +1,100 @@
+"""Roofline arithmetic: intensity, ridge points, attainable throughput.
+
+Small GEMMs are memory-bound (paper Sec V: "GEMMs are memory-bound for
+small matrices"), and the attention score / attention-over-value BMMs
+stay memory-bound at transformer sizes because one of their dimensions
+is only ``h/a`` (Sec VI-A).  The roofline model decides, for each
+kernel, whether the bandwidth term or the math term dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+from repro.gpu.specs import GPUSpec
+from repro.types import DType
+
+
+def gemm_flops(m: int, n: int, k: int, batch: int = 1) -> int:
+    """Useful floating-point operations of a (batched) GEMM: 2*b*m*n*k."""
+    if min(m, n, k, batch) <= 0:
+        raise ShapeError(f"GEMM dims must be positive: {(batch, m, n, k)}")
+    return 2 * batch * m * n * k
+
+
+def gemm_min_bytes(m: int, n: int, k: int, dtype: DType, batch: int = 1) -> int:
+    """Compulsory DRAM traffic: read A and B once, write C once."""
+    if min(m, n, k, batch) <= 0:
+        raise ShapeError(f"GEMM dims must be positive: {(batch, m, n, k)}")
+    return batch * (m * k + k * n + m * n) * dtype.bytes
+
+
+def arithmetic_intensity(
+    m: int, n: int, k: int, dtype: DType, batch: int = 1
+) -> float:
+    """FLOPs per compulsory DRAM byte of a (batched) GEMM."""
+    return gemm_flops(m, n, k, batch) / gemm_min_bytes(m, n, k, dtype, batch)
+
+
+def ridge_intensity(spec: GPUSpec, dtype: DType, peak_fraction: float = 1.0) -> float:
+    """Arithmetic intensity at which a kernel transitions to compute-bound.
+
+    ``peak * peak_fraction / bandwidth`` — below this intensity the
+    memory system is the bottleneck.
+    """
+    peak = (
+        spec.matrix_peak_tflops(dtype)
+        if spec.supports_matrix(dtype)
+        else spec.vector_peak_tflops(dtype)
+    )
+    return peak * peak_fraction * 1e12 / spec.mem_bw_bytes_per_s()
+
+
+def attainable_tflops(
+    intensity: float,
+    spec: GPUSpec,
+    dtype: DType,
+    peak_fraction: float = 1.0,
+    bw_fraction: float = 1.0,
+) -> float:
+    """Classic roofline: min(peak, intensity * bandwidth), in TFLOP/s."""
+    if intensity <= 0:
+        raise ShapeError(f"intensity must be positive, got {intensity}")
+    peak = (
+        spec.matrix_peak_tflops(dtype)
+        if spec.supports_matrix(dtype)
+        else spec.vector_peak_tflops(dtype)
+    )
+    mem_roof = intensity * spec.mem_bw_bytes_per_s() * bw_fraction / 1e12
+    return min(peak * peak_fraction, mem_roof)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    intensity: float
+    attainable_tflops: float
+    bound: str
+
+    @classmethod
+    def for_gemm(
+        cls,
+        m: int,
+        n: int,
+        k: int,
+        spec: GPUSpec,
+        dtype: DType,
+        batch: int = 1,
+        peak_fraction: float = 1.0,
+        bw_fraction: float = 1.0,
+    ) -> "RooflinePoint":
+        ai = arithmetic_intensity(m, n, k, dtype, batch)
+        tfl = attainable_tflops(ai, spec, dtype, peak_fraction, bw_fraction)
+        ridge = ridge_intensity(spec, dtype, peak_fraction)
+        return cls(
+            intensity=ai,
+            attainable_tflops=tfl,
+            bound="memory" if ai < ridge else "compute",
+        )

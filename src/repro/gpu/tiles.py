@@ -1,0 +1,156 @@
+"""Thread-block tile configurations and cuBLAS-like tile selection.
+
+cuBLAS ships a family of GEMM kernels with different output-tile shapes
+(e.g. 256x128 down to 32x32) and picks among them with a heuristic.  The
+paper leans on two consequences:
+
+- the most efficient tile is 128x256 (Sec VI-B), so full-throughput
+  GEMMs want outputs divisible into 128x256 blocks, and
+- "when the size of the GEMM is sufficiently large, PyTorch may
+  automatically choose a tile size that decreases quantization effects"
+  (Fig 5c) — i.e. the selection heuristic trades per-tile efficiency
+  against wave/tile quantization.
+
+:func:`select_tile` reproduces that trade-off: it scores every candidate
+with the same latency expression the analytic model uses and returns the
+argmin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import GPUModelError
+from repro.gpu import waves
+from repro.gpu.occupancy import blocks_per_sm
+from repro.gpu.specs import GPUSpec
+from repro.types import DType
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One GEMM kernel variant's output tile geometry.
+
+    Attributes
+    ----------
+    m, n:
+        Output tile extents (rows, cols).
+    k_stage:
+        Elements of the reduction dimension staged per pipeline step.
+    threads:
+        Threads per block.
+    peak_fraction:
+        Fraction of the matrix-engine peak this kernel sustains on a
+        perfectly aligned, quantization-free problem.  Larger tiles
+        amortize instruction and staging overhead better, hence sustain
+        a higher fraction — this is why 128x256 is "the most efficient
+        tile size".
+    """
+
+    m: int
+    n: int
+    k_stage: int
+    threads: int
+    peak_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.k_stage <= 0:
+            raise GPUModelError(f"tile dims must be positive: {self}")
+        if not (0.0 < self.peak_fraction <= 1.0):
+            raise GPUModelError(f"peak_fraction must be in (0,1]: {self}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.m}x{self.n}"
+
+    @property
+    def elems(self) -> int:
+        return self.m * self.n
+
+
+# The candidate family, roughly mirroring cuBLAS's HGEMM kernel zoo.
+# peak_fraction values decrease with tile area: smaller tiles re-load
+# operand fragments more often per FLOP and expose less ILP.
+_CANDIDATES: Tuple[TileConfig, ...] = (
+    TileConfig(256, 128, 32, 256, 0.95),
+    TileConfig(128, 256, 32, 256, 0.95),
+    TileConfig(128, 128, 32, 256, 0.88),
+    TileConfig(256, 64, 32, 256, 0.84),
+    TileConfig(64, 256, 32, 256, 0.84),
+    TileConfig(128, 64, 32, 128, 0.76),
+    TileConfig(64, 128, 32, 128, 0.76),
+    TileConfig(64, 64, 32, 128, 0.64),
+    TileConfig(64, 32, 32, 64, 0.52),
+    TileConfig(32, 64, 32, 64, 0.52),
+    TileConfig(32, 32, 32, 64, 0.40),
+    # Thin tiles for tall/skinny problems (GEMV-like decode GEMMs).
+    TileConfig(128, 16, 32, 64, 0.30),
+    TileConfig(16, 128, 32, 64, 0.30),
+    TileConfig(64, 16, 32, 64, 0.24),
+    TileConfig(16, 64, 32, 64, 0.24),
+)
+
+
+def candidate_tiles(spec: GPUSpec, dtype: DType) -> Tuple[TileConfig, ...]:
+    """Tile variants that fit on ``spec`` for the given dtype."""
+    fitting = []
+    for tile in _CANDIDATES:
+        try:
+            blocks_per_sm(spec, tile.m, tile.n, tile.k_stage, tile.threads, dtype)
+        except GPUModelError:
+            continue
+        fitting.append(tile)
+    if not fitting:
+        raise GPUModelError(f"no tile candidate fits on {spec.name}")
+    return tuple(fitting)
+
+
+def default_tile() -> TileConfig:
+    """The 128x256 tile the paper names as most efficient."""
+    return _CANDIDATES[1]
+
+
+def tile_score(
+    tile: TileConfig,
+    m: int,
+    n: int,
+    k: int,
+    spec: GPUSpec,
+    dtype: DType,
+    batch: int = 1,
+) -> float:
+    """Relative compute-time score of running an (m,n,k) GEMM with ``tile``.
+
+    Lower is better.  The score is (padded work) / (sustained rate):
+    ``ceil(blocks / num_sms)`` waves, each costing one full tile of
+    2*tile_m*tile_n*K flops per SM — exactly mirroring the analytic
+    model's compute-time term so selection and evaluation agree.
+    """
+    # Feasibility check (raises when the tile does not fit the SM).
+    blocks_per_sm(spec, tile.m, tile.n, tile.k_stage, tile.threads, dtype)
+    blocks = batch * waves.num_tiles(m, n, tile.m, tile.n)
+    n_waves = waves.num_waves(blocks, spec.num_sms)
+    padded_flops = n_waves * 2.0 * tile.m * tile.n * k
+    return padded_flops / tile.peak_fraction
+
+
+def select_tile(
+    m: int,
+    n: int,
+    k: int,
+    spec: GPUSpec,
+    dtype: DType,
+    candidates: Optional[Sequence[TileConfig]] = None,
+    batch: int = 1,
+) -> TileConfig:
+    """Pick the lowest-scoring tile for an (m,n,k) GEMM on ``spec``.
+
+    This is the auto-selection heuristic (Fig 5c behaviour).  Passing an
+    explicit single-element ``candidates`` list pins the tile, exposing
+    raw quantization effects (Fig 5b behaviour).
+    """
+    pool = tuple(candidates) if candidates is not None else candidate_tiles(spec, dtype)
+    if not pool:
+        raise GPUModelError("empty tile candidate pool")
+    return min(pool, key=lambda t: tile_score(t, m, n, k, spec, dtype, batch))

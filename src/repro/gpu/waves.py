@@ -1,0 +1,150 @@
+"""Tile- and wave-quantization arithmetic (paper Sec III-B, VI-B).
+
+A GEMM's output matrix is divided into tiles; each tile becomes one
+thread block scheduled onto an SM.  Two quantization effects follow:
+
+- **Tile quantization**: if the output dimensions do not divide the tile
+  size, edge tiles compute full tiles of work but keep only part of the
+  result.
+- **Wave quantization**: thread blocks launch in waves of
+  ``num_sms * blocks_per_sm``; a partial tail wave costs (almost) the
+  same time as a full wave.  Throughput rises as the tail fills, then
+  cliffs when a new wave is required — the sawtooth in Figs 5b, 8, 9.
+
+The paper also states the exact congruence under which a matrix has *no*
+wave-quantization waste; :func:`wave_quantization_free` implements it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ShapeError
+
+
+def _check_positive(**dims: int) -> None:
+    for name, value in dims.items():
+        if value <= 0:
+            raise ShapeError(f"{name} must be positive, got {value}")
+
+
+def tiles_along(extent: int, tile: int) -> int:
+    """Number of tiles covering one output dimension (ceil division)."""
+    _check_positive(extent=extent, tile=tile)
+    return -(-extent // tile)
+
+
+def num_tiles(m: int, n: int, tile_m: int, tile_n: int) -> int:
+    """Thread blocks needed to cover an ``m x n`` output matrix."""
+    return tiles_along(m, tile_m) * tiles_along(n, tile_n)
+
+
+def tile_quantization_waste(m: int, n: int, tile_m: int, tile_n: int) -> float:
+    """Fraction of launched compute that falls outside the output matrix.
+
+    0.0 when the tile grid covers the output exactly; approaches 1.0 as
+    tiles overhang tiny outputs.
+    """
+    covered = tiles_along(m, tile_m) * tile_m * tiles_along(n, tile_n) * tile_n
+    return 1.0 - (m * n) / covered
+
+
+def num_waves(blocks: int, num_sms: int, blocks_per_sm: int = 1) -> int:
+    """Scheduling waves needed to run ``blocks`` thread blocks."""
+    _check_positive(blocks=blocks, num_sms=num_sms, blocks_per_sm=blocks_per_sm)
+    capacity = num_sms * blocks_per_sm
+    return -(-blocks // capacity)
+
+
+def wave_efficiency(blocks: int, num_sms: int, blocks_per_sm: int = 1) -> float:
+    """Fraction of wave slots doing useful work.
+
+    1.0 when the block count is an exact multiple of the wave capacity;
+    the classic worst case is capacity+1 blocks -> two waves at ~50%.
+    """
+    capacity = num_sms * blocks_per_sm
+    waves = num_waves(blocks, num_sms, blocks_per_sm)
+    return blocks / (waves * capacity)
+
+
+def tail_wave_fraction(blocks: int, num_sms: int, blocks_per_sm: int = 1) -> float:
+    """Occupancy of the final (possibly partial) wave in (0, 1]."""
+    capacity = num_sms * blocks_per_sm
+    tail = blocks % capacity
+    return 1.0 if tail == 0 else tail / capacity
+
+
+def wave_quantization_free(
+    x: int, y: int, tile_1: int, tile_2: int, num_sms: int
+) -> bool:
+    """The paper's exact no-wave-waste predicate (Sec VI-B).
+
+    A matrix of size ``(X, Y)`` suffers no wave-quantization
+    inefficiency when::
+
+        ceil(X/t1) * ceil(Y/t2) == 0  (mod #SMs)
+        or ceil(X/t2) * ceil(Y/t1) == 0  (mod #SMs)
+
+    (the two orderings correspond to the two orientations in which the
+    kernel may assign the rectangular tile).
+    """
+    _check_positive(x=x, y=y, tile_1=tile_1, tile_2=tile_2, num_sms=num_sms)
+    a = tiles_along(x, tile_1) * tiles_along(y, tile_2)
+    b = tiles_along(x, tile_2) * tiles_along(y, tile_1)
+    return a % num_sms == 0 or b % num_sms == 0
+
+
+def smallest_wave_free_extent(
+    start: int, other_extent: int, tile_1: int, tile_2: int, num_sms: int
+) -> int:
+    """Smallest ``X >= start`` making ``(X, other_extent)`` wave-free.
+
+    Used by the advisor to suggest padded dimensions.  Searches upward
+    one tile row at a time; guaranteed to terminate because the block
+    count along X increments by one per ``tile_1`` step and every
+    residue class mod ``num_sms`` is eventually hit.
+    """
+    x = start
+    limit = start + tile_1 * num_sms * max(tile_2, 1)
+    while x <= limit:
+        if wave_quantization_free(x, other_extent, tile_1, tile_2, num_sms):
+            return x
+        # Jump to the next multiple of tile_1 (only tile-grid boundaries
+        # can change the block count).
+        x = (x // tile_1 + 1) * tile_1
+    raise ShapeError(
+        f"no wave-free extent found above {start} within {limit}"
+    )  # pragma: no cover - unreachable for valid inputs
+
+
+def waves_detail(
+    m: int, n: int, tile_m: int, tile_n: int, num_sms: int, blocks_per_sm: int = 1
+) -> dict:
+    """Convenience bundle of all quantization metrics for one GEMM."""
+    blocks = num_tiles(m, n, tile_m, tile_n)
+    return {
+        "blocks": blocks,
+        "waves": num_waves(blocks, num_sms, blocks_per_sm),
+        "wave_efficiency": wave_efficiency(blocks, num_sms, blocks_per_sm),
+        "tail_fraction": tail_wave_fraction(blocks, num_sms, blocks_per_sm),
+        "tile_waste": tile_quantization_waste(m, n, tile_m, tile_n),
+        "wave_free": wave_quantization_free(m, n, tile_m, tile_n, num_sms),
+    }
+
+
+def quantized_extent(extent: int, tile: int) -> int:
+    """Round ``extent`` up to a whole number of tiles."""
+    return tiles_along(extent, tile) * tile
+
+
+def wave_period_elements(tile: int, num_sms: int, other_blocks: int) -> int:
+    """Elements of growth along one dimension between wave cliffs.
+
+    With ``other_blocks`` tiles along the fixed dimension, each
+    ``tile``-element step along the swept dimension adds
+    ``other_blocks`` blocks, so a full wave of ``num_sms`` blocks is
+    crossed every ``ceil(num_sms / other_blocks)`` steps.  This is why
+    the sawtooth period in Figs 8/9 differs per attention-head count.
+    """
+    _check_positive(tile=tile, num_sms=num_sms, other_blocks=other_blocks)
+    return tile * max(1, math.ceil(num_sms / other_blocks))

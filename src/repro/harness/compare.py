@@ -1,0 +1,173 @@
+"""Qualitative paper-shape checks.
+
+Our substrate is a model, so absolute TFLOP/s are not expected to match
+the authors' silicon; what must match is the *shape* of every result:
+who wins, whether a curve rises/saturates, whether series are ordered by
+pow-2 alignment, where the sawtooth lives.  The helpers here turn those
+statements into pass/fail checks that the experiments and tests share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one qualitative check."""
+
+    passed: bool
+    details: str
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    @staticmethod
+    def all_of(results: "Sequence[CheckResult]") -> "CheckResult":
+        """Combine: passes iff every sub-check passes."""
+        if not results:
+            raise ExperimentError("no sub-checks given")
+        passed = all(r.passed for r in results)
+        details = "; ".join(
+            ("PASS " if r.passed else "FAIL ") + r.details for r in results
+        )
+        return CheckResult(passed=passed, details=details)
+
+
+def check_winner(
+    rows: "Dict[Any, float]", expected_winner: Any, higher_is_better: bool = True
+) -> CheckResult:
+    """The expected key has the best value."""
+    if expected_winner not in rows:
+        return CheckResult(False, f"{expected_winner!r} missing from {list(rows)}")
+    pick = max if higher_is_better else min
+    winner = pick(rows, key=lambda k: rows[k])
+    return CheckResult(
+        winner == expected_winner,
+        f"winner={winner!r} (expected {expected_winner!r}); values="
+        + ", ".join(f"{k}={v:.4g}" for k, v in rows.items()),
+    )
+
+
+def check_ratio(
+    numerator: float, denominator: float, lo: float, hi: float, label: str
+) -> CheckResult:
+    """numerator/denominator falls in [lo, hi]."""
+    if denominator <= 0:
+        return CheckResult(False, f"{label}: non-positive denominator")
+    ratio = numerator / denominator
+    return CheckResult(
+        lo <= ratio <= hi,
+        f"{label}: ratio {ratio:.3f} (expected [{lo}, {hi}])",
+    )
+
+
+def check_series_ordered(
+    series: "Dict[Any, List[Tuple[Any, float]]]",
+    key_order: "Sequence[Any]",
+    min_fraction: float = 0.8,
+) -> CheckResult:
+    """Higher-keyed series lie above lower-keyed ones (Figs 7/21-47).
+
+    Compares consecutive key pairs at their overlapping x values (by
+    nearest-x matching); passes when at least ``min_fraction`` of the
+    comparisons respect the ordering.
+    """
+    comparisons = wins = 0
+    for low_key, high_key in zip(key_order, key_order[1:]):
+        lo_pts = series.get(low_key, [])
+        hi_pts = series.get(high_key, [])
+        if not lo_pts or not hi_pts:
+            continue
+        for x_hi, y_hi in hi_pts:
+            x_lo, y_lo = min(lo_pts, key=lambda p: abs(p[0] - x_hi))
+            # Only compare points within 25% in x; farther apart the
+            # size effect swamps the alignment effect.
+            if abs(x_lo - x_hi) > 0.25 * max(x_hi, 1):
+                continue
+            comparisons += 1
+            if y_hi >= y_lo:
+                wins += 1
+    if comparisons == 0:
+        return CheckResult(False, "series ordering: no comparable points")
+    frac = wins / comparisons
+    return CheckResult(
+        frac >= min_fraction,
+        f"series ordering holds for {wins}/{comparisons} "
+        f"comparisons ({100 * frac:.0f}%, need {100 * min_fraction:.0f}%)",
+    )
+
+
+def check_monotone_rise(
+    points: "List[Tuple[float, float]]",
+    min_fraction: float = 0.7,
+    allow_plateau: bool = True,
+) -> CheckResult:
+    """y broadly increases with x (throughput rising with size)."""
+    if len(points) < 3:
+        return CheckResult(False, "need at least 3 points")
+    pts = sorted(points)
+    rises = total = 0
+    for (_, y0), (_, y1) in zip(pts, pts[1:]):
+        total += 1
+        if y1 > y0 or (allow_plateau and y1 >= 0.97 * y0):
+            rises += 1
+    frac = rises / total
+    return CheckResult(
+        frac >= min_fraction,
+        f"rising for {rises}/{total} steps ({100 * frac:.0f}%)",
+    )
+
+
+def check_saturates(
+    points: "List[Tuple[float, float]]", tail_fraction: float = 0.3, spread: float = 0.25
+) -> CheckResult:
+    """The curve's tail flattens (roofline saturation, Figs 10/12)."""
+    if len(points) < 4:
+        return CheckResult(False, "need at least 4 points")
+    pts = sorted(points)
+    tail = pts[int(len(pts) * (1 - tail_fraction)) :]
+    ys = [y for _, y in tail]
+    lo, hi = min(ys), max(ys)
+    rel = (hi - lo) / hi if hi else 1.0
+    return CheckResult(
+        rel <= spread,
+        f"tail spread {100 * rel:.1f}% over last {len(tail)} points "
+        f"(need <= {100 * spread:.0f}%)",
+    )
+
+
+def check_sawtooth(
+    points: "List[Tuple[float, float]]", min_drops: int = 2, drop_rel: float = 0.02
+) -> CheckResult:
+    """The curve shows repeated local drops (wave quantization)."""
+    if len(points) < 5:
+        return CheckResult(False, "need at least 5 points")
+    pts = sorted(points)
+    drops = 0
+    for (_, y0), (_, y1) in zip(pts, pts[1:]):
+        if y1 < y0 * (1 - drop_rel):
+            drops += 1
+    return CheckResult(
+        drops >= min_drops,
+        f"{drops} local drops observed (need >= {min_drops})",
+    )
+
+
+def check_all_equal(
+    values: "Dict[Any, float]", tolerance: float = 0.05
+) -> CheckResult:
+    """All values agree within a relative tolerance (Fig 14)."""
+    if not values:
+        return CheckResult(False, "no values")
+    vals = list(values.values())
+    lo, hi = min(vals), max(vals)
+    rel = (hi - lo) / hi if hi else 0.0
+    return CheckResult(
+        rel <= tolerance,
+        f"spread {100 * rel:.1f}% across {list(values)} "
+        f"(need <= {100 * tolerance:.0f}%)",
+    )

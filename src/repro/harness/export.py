@@ -1,0 +1,87 @@
+"""Bulk export of experiment artifacts to a directory.
+
+``repro export --dir out/`` (or :func:`export_all`) writes, for every
+registered experiment:
+
+- ``<id>.csv`` — the regenerated table,
+- ``<id>.md`` — the table as markdown with the check verdict appended,
+- ``<id>.txt`` — the ASCII plot, where a plot hint exists,
+
+plus an ``index.md`` summarizing pass/fail.  This is the "hand the
+results to someone else" path: everything a plotting script needs to
+redraw the paper's figures from our substrate.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.harness.ascii_plot import PLOT_HINTS, plot_experiment
+from repro.harness.runner import ExperimentReport, run_all
+
+
+def _safe_name(exp_id: str) -> str:
+    return exp_id.replace("/", "_")
+
+
+def export_report(report: ExperimentReport, directory: str) -> List[str]:
+    """Write one experiment's artifacts; returns the paths written."""
+    written = []
+    base = os.path.join(directory, _safe_name(report.id))
+
+    csv_path = base + ".csv"
+    with open(csv_path, "w") as fh:
+        fh.write(report.table.to_csv())
+    written.append(csv_path)
+
+    md_path = base + ".md"
+    with open(md_path, "w") as fh:
+        fh.write(report.table.to_markdown())
+        status = "PASS" if report.passed else "FAIL"
+        fh.write(f"\n**Check [{status}]**: {report.check.details}\n")
+    written.append(md_path)
+
+    if report.id.lower() in PLOT_HINTS:
+        txt_path = base + ".txt"
+        with open(txt_path, "w") as fh:
+            fh.write(plot_experiment(report.id, report.table))
+            fh.write("\n")
+        written.append(txt_path)
+    return written
+
+
+def export_all(
+    directory: str, ids: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Run the experiments and export everything; returns written paths.
+
+    Creates ``directory`` if needed.  Raises
+    :class:`~repro.errors.ExperimentError` if the directory path exists
+    but is not a directory.
+    """
+    if os.path.exists(directory) and not os.path.isdir(directory):
+        raise ExperimentError(f"{directory!r} exists and is not a directory")
+    os.makedirs(directory, exist_ok=True)
+
+    reports = run_all(ids)
+    written: List[str] = []
+    for report in reports:
+        written.extend(export_report(report, directory))
+
+    index_path = os.path.join(directory, "index.md")
+    with open(index_path, "w") as fh:
+        fh.write("# Exported experiments\n\n")
+        fh.write("| id | paper ref | status | files |\n|---|---|---|---|\n")
+        for report in reports:
+            status = "✅" if report.passed else "❌"
+            name = _safe_name(report.id)
+            files = f"[csv]({name}.csv), [md]({name}.md)"
+            if report.id.lower() in PLOT_HINTS:
+                files += f", [plot]({name}.txt)"
+            fh.write(
+                f"| `{report.id}` | {report.paper_ref} | {status} | {files} |\n"
+            )
+    written.append(index_path)
+    return written

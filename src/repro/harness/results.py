@@ -1,0 +1,154 @@
+"""Tabular experiment results.
+
+Every harness experiment returns a :class:`ResultTable`: named columns,
+homogeneous rows, a title, and free-form notes.  The table renders to
+markdown (for EXPERIMENTS.md) and CSV, and supports the series
+extraction the figure checks need (x/y pairs, optionally grouped by a
+key column — e.g. Figs 7/21-47 group by pow2(h/a)).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+class ResultTable:
+    """Columns + rows with rendering and series helpers."""
+
+    def __init__(
+        self,
+        title: str,
+        columns: Sequence[str],
+        notes: str = "",
+    ) -> None:
+        if not columns:
+            raise ExperimentError("a result table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ExperimentError(f"duplicate column names: {columns}")
+        self.title = title
+        self.columns = list(columns)
+        self.notes = notes
+        self.rows: List[Tuple[Any, ...]] = []
+
+    # -- building -------------------------------------------------------------
+
+    def add(self, *values: Any, **named: Any) -> None:
+        """Append one row, positionally or by column name."""
+        if values and named:
+            raise ExperimentError("pass either positional or named values")
+        if named:
+            missing = set(self.columns) - set(named)
+            if missing:
+                raise ExperimentError(f"missing columns: {sorted(missing)}")
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"row width {len(values)} != {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.add(*row)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ExperimentError(
+                f"unknown column {name!r}; have {self.columns}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def series(
+        self, x: str, y: str, group: Optional[str] = None
+    ) -> Dict[Any, List[Tuple[Any, Any]]]:
+        """(x, y) pairs, grouped by the ``group`` column (or one group).
+
+        Groups preserve row order; the single-group case uses key
+        ``None``.
+        """
+        xs, ys = self.column(x), self.column(y)
+        if group is None:
+            return {None: list(zip(xs, ys))}
+        gs = self.column(group)
+        out: Dict[Any, List[Tuple[Any, Any]]] = {}
+        for g, xv, yv in zip(gs, xs, ys):
+            out.setdefault(g, []).append((xv, yv))
+        return out
+
+    def rows_as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def best_row(self, by: str, minimize: bool = False) -> Dict[str, Any]:
+        """Row with the max (default) or min value of one column."""
+        if not self.rows:
+            raise ExperimentError("table is empty")
+        vals = self.column(by)
+        pick = min if minimize else max
+        idx = vals.index(pick(vals))
+        return dict(zip(self.columns, self.rows[idx]))
+
+    # -- rendering -------------------------------------------------------------
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def to_markdown(self, max_rows: Optional[int] = None) -> str:
+        """GitHub-style markdown table (optionally truncated)."""
+        buf = io.StringIO()
+        buf.write(f"### {self.title}\n\n")
+        if self.notes:
+            buf.write(self.notes.strip() + "\n\n")
+        buf.write("| " + " | ".join(self.columns) + " |\n")
+        buf.write("|" + "|".join("---" for _ in self.columns) + "|\n")
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        for row in rows:
+            buf.write("| " + " | ".join(self._fmt(v) for v in row) + " |\n")
+        if max_rows is not None and len(self.rows) > max_rows:
+            buf.write(f"| ... ({len(self.rows) - max_rows} more rows) |\n")
+        return buf.getvalue()
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            buf.write(",".join(self._fmt(v) for v in row) + "\n")
+        return buf.getvalue()
+
+    def __str__(self) -> str:
+        """Fixed-width console rendering."""
+        widths = [
+            max(len(c), *(len(self._fmt(r[i])) for r in self.rows))
+            if self.rows
+            else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    self._fmt(v).ljust(w) for v, w in zip(row, widths)
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Programmatic runner over the experiment registry.
+
+``run_experiment`` executes one experiment and its qualitative check;
+``run_all`` sweeps the registry and summarizes — this is what generates
+the paper-vs-measured records in EXPERIMENTS.md and backs the
+``repro figure`` CLI verb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.harness.compare import CheckResult
+from repro.harness.figures import get_experiment, list_experiments
+from repro.harness.results import ResultTable
+
+
+@dataclass
+class ExperimentReport:
+    """An experiment's table plus its check outcome."""
+
+    id: str
+    title: str
+    paper_ref: str
+    table: ResultTable
+    check: CheckResult
+
+    @property
+    def passed(self) -> bool:
+        return self.check.passed
+
+    def render(self, max_rows: Optional[int] = 30) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"== {self.id} ({self.paper_ref}) [{status}] ==",
+            self.title,
+            "",
+            str(self.table) if max_rows is None else _truncate(self.table, max_rows),
+            "",
+            f"check: {self.check.details}",
+        ]
+        return "\n".join(lines)
+
+
+def _truncate(table: ResultTable, max_rows: int) -> str:
+    text = str(table)
+    lines = text.splitlines()
+    head = 3  # title + header + rule
+    if len(lines) <= head + max_rows:
+        return text
+    kept = lines[: head + max_rows]
+    kept.append(f"... ({len(lines) - head - max_rows} more rows)")
+    return "\n".join(kept)
+
+
+def run_experiment(exp_id: str) -> ExperimentReport:
+    """Run one experiment by id, including its qualitative check."""
+    exp = get_experiment(exp_id)
+    table = exp.run()
+    check = exp.check(table)
+    return ExperimentReport(
+        id=exp.id,
+        title=exp.title,
+        paper_ref=exp.paper_ref,
+        table=table,
+        check=check,
+    )
+
+
+def run_all(ids: Optional[Sequence[str]] = None) -> List[ExperimentReport]:
+    """Run a set of experiments (default: every top-level one)."""
+    if ids is None:
+        ids = [e.id for e in list_experiments()]
+    return [run_experiment(i) for i in ids]
+
+
+def to_markdown_report(
+    reports: Sequence[ExperimentReport], max_rows: int = 25
+) -> str:
+    """Render a full markdown reproduction report (``repro report``).
+
+    One section per experiment: status, the paper reference, the
+    regenerated table (truncated), and the qualitative check detail.
+    """
+    passed = sum(1 for r in reports if r.passed)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"{passed}/{len(reports)} experiments reproduce the paper's "
+        "qualitative shape.",
+        "",
+        "| id | paper ref | status | title |",
+        "|---|---|---|---|",
+    ]
+    for rep in reports:
+        status = "✅" if rep.passed else "❌"
+        lines.append(f"| `{rep.id}` | {rep.paper_ref} | {status} | {rep.title} |")
+    lines.append("")
+    for rep in reports:
+        status = "PASS" if rep.passed else "FAIL"
+        lines.append(f"## `{rep.id}` — {rep.title} [{status}]")
+        lines.append("")
+        lines.append(f"Paper reference: {rep.paper_ref}")
+        lines.append("")
+        lines.append(rep.table.to_markdown(max_rows=max_rows))
+        lines.append(f"Check: {rep.check.details}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def summary(reports: Sequence[ExperimentReport]) -> str:
+    """One line per experiment plus a pass count."""
+    lines = []
+    for rep in reports:
+        status = "PASS" if rep.passed else "FAIL"
+        lines.append(f"{status}  {rep.id:<12} {rep.paper_ref:<22} {rep.title}")
+    passed = sum(1 for r in reports if r.passed)
+    lines.append(f"\n{passed}/{len(reports)} experiments reproduce the paper's shape")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Parameter-sweep helpers for the figure experiments.
+
+The paper's sweeps walk dimensions in hardware-meaningful steps: hidden
+sizes in multiples of ``64 * a`` (so every point keeps h/a integral),
+head-dim-preserving sweeps (h = 64a as a varies), and vocabulary sweeps
+around the GPT-2 tokenizer size.  These helpers build those grids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.errors import ExperimentError
+
+
+def arange_steps(lo: int, hi: int, step: int) -> List[int]:
+    """Inclusive integer range with validation."""
+    if step <= 0:
+        raise ExperimentError(f"step must be positive, got {step}")
+    if lo > hi:
+        raise ExperimentError(f"empty range [{lo}, {hi}]")
+    return list(range(lo, hi + 1, step))
+
+
+def hidden_sweep_for_heads(
+    a: int, min_head_dim: int = 8, max_hidden: int = 16384, points: int = 40
+) -> List[int]:
+    """Hidden sizes h that keep h/a an integer, up to ``max_hidden``.
+
+    Walks h in steps of ``a * min_head_dim`` (the finest grid where
+    every point has an integral head dim), thinned to ~``points``
+    samples.  This is the x-axis of Figs 7/21-47: "each line moves in
+    steps of 64 h/a" when min_head_dim=64.
+    """
+    if a <= 0 or min_head_dim <= 0:
+        raise ExperimentError("a and min_head_dim must be positive")
+    step = a * min_head_dim
+    grid = arange_steps(step, max_hidden, step)
+    if len(grid) > points:
+        stride = -(-len(grid) // points)
+        # An even stride would alias the pow-2 structure of h/a (e.g.
+        # stride 2 keeps only the odd multiples of min_head_dim, all in
+        # the lowest pow-2 bucket); force it odd to sample every bucket.
+        if stride % 2 == 0:
+            stride += 1
+        grid = grid[::stride]
+    return grid
+
+
+def head_dim_preserving_sweep(
+    head_dim: int = 64, max_hidden: int = 16384, min_heads: int = 1
+) -> List[tuple]:
+    """(h, a) pairs with fixed h/a — the Figs 8/9/34 sweep.
+
+    a runs over the integers, h = a * head_dim.
+    """
+    if head_dim <= 0:
+        raise ExperimentError("head_dim must be positive")
+    out = []
+    a = max(1, min_heads)
+    while a * head_dim <= max_hidden:
+        out.append((a * head_dim, a))
+        a += 1
+    if not out:
+        raise ExperimentError("sweep produced no points")
+    return out
+
+
+def pow2_bucket(value: int, cap: int = 64) -> int:
+    """Largest power of two dividing ``value``, capped (series key of
+    Figs 7/21-47)."""
+    if value <= 0:
+        raise ExperimentError(f"value must be positive, got {value}")
+    return min(value & -value, cap)
+
+
+def vocab_sweep(center: int = 50257, span: int = 96, step: int = 1) -> List[int]:
+    """Vocabulary sizes around a tokenizer's natural size (Fig 20b)."""
+    lo = max(1, center - span)
+    return arange_steps(lo, center + span, step)
+
+
+def geometric_sizes(lo: int, hi: int, factor: float = 1.3, multiple: int = 64) -> List[int]:
+    """Roughly geometric size grid snapped to a multiple (Fig 5/6 axes)."""
+    if lo <= 0 or hi < lo or factor <= 1.0:
+        raise ExperimentError("invalid geometric range")
+    out: List[int] = []
+    x = float(lo)
+    while x <= hi:
+        snapped = max(multiple, int(round(x / multiple)) * multiple)
+        if not out or snapped != out[-1]:
+            out.append(snapped)
+        x *= factor
+    return out

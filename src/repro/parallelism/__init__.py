@@ -1,0 +1,43 @@
+"""Multi-GPU parallelism substrate (paper Secs III-C, VI-B, VII-A).
+
+The paper studies single-GPU kernels but its sizing rules are stated in
+per-GPU terms (``h/t``, ``(b*a)/t``) and its Sec VII-A case study is
+about node topology (Summit's 6-GPU nodes).  This package supplies the
+machinery those results need:
+
+- :mod:`repro.parallelism.comm` — alpha-beta cost model of ring
+  collectives (all-reduce / all-gather),
+- :mod:`repro.parallelism.topology` — the Table III systems and their
+  interconnects,
+- :mod:`repro.parallelism.tensor_parallel` — Megatron-style sharding of
+  the Table II GEMMs, with per-rank latency + communication,
+- :mod:`repro.parallelism.pipeline` — stage assignment and bubble
+  overhead,
+- :mod:`repro.parallelism.planner` — a (t, p, d) chooser over a cluster.
+"""
+
+from repro.parallelism.comm import CommModel, ring_allreduce_s, ring_allgather_s
+from repro.parallelism.topology import NodeTopology, get_system, list_systems
+from repro.parallelism.tensor_parallel import TensorParallelLayer
+from repro.parallelism.sequence_parallel import SequenceParallelLayer
+from repro.parallelism.schedule import simulate_pipeline, ScheduleResult
+from repro.parallelism.pipeline import PipelinePlan, assign_stages, bubble_fraction
+from repro.parallelism.planner import ParallelPlanner, ParallelPlan
+
+__all__ = [
+    "CommModel",
+    "ring_allreduce_s",
+    "ring_allgather_s",
+    "NodeTopology",
+    "get_system",
+    "list_systems",
+    "TensorParallelLayer",
+    "SequenceParallelLayer",
+    "simulate_pipeline",
+    "ScheduleResult",
+    "PipelinePlan",
+    "assign_stages",
+    "bubble_fraction",
+    "ParallelPlanner",
+    "ParallelPlan",
+]

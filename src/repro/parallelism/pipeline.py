@@ -1,0 +1,83 @@
+"""Pipeline parallelism: stage assignment and bubble overhead.
+
+The paper's rule: "in all cases it is optimal for the number of layers
+to be divisible by the number of pipeline parallel stages" — an uneven
+split makes every pipeline slot run at the slowest (largest) stage's
+pace.  :func:`assign_stages` performs the balanced split, and
+:func:`bubble_fraction` gives the classic 1F1B bubble overhead
+``(p - 1) / m`` for ``m`` microbatches in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParallelismError
+
+
+def assign_stages(num_layers: int, num_stages: int) -> List[int]:
+    """Layers per stage, front-loading the remainder (Megatron style)."""
+    if num_layers <= 0 or num_stages <= 0:
+        raise ParallelismError(
+            f"layers ({num_layers}) and stages ({num_stages}) must be positive"
+        )
+    if num_stages > num_layers:
+        raise ParallelismError(
+            f"cannot split {num_layers} layers into {num_stages} stages"
+        )
+    base, extra = divmod(num_layers, num_stages)
+    return [base + (1 if i < extra else 0) for i in range(num_stages)]
+
+
+def is_balanced(num_layers: int, num_stages: int) -> bool:
+    """True when every stage carries the same number of layers."""
+    return num_layers % num_stages == 0
+
+
+def bubble_fraction(num_stages: int, num_microbatches: int) -> float:
+    """1F1B pipeline bubble as a fraction of ideal time: (p-1)/m."""
+    if num_stages <= 0 or num_microbatches <= 0:
+        raise ParallelismError("stages and microbatches must be positive")
+    return (num_stages - 1) / num_microbatches
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A pipeline split and its modelled efficiency."""
+
+    num_layers: int
+    num_stages: int
+    num_microbatches: int
+    layer_time_s: float
+    stage_boundary_s: float = 0.0
+
+    @property
+    def stage_layers(self) -> List[int]:
+        return assign_stages(self.num_layers, self.num_stages)
+
+    @property
+    def balanced(self) -> bool:
+        return is_balanced(self.num_layers, self.num_stages)
+
+    @property
+    def max_stage_time_s(self) -> float:
+        """Time of the slowest stage — the pipeline's clock period."""
+        return max(self.stage_layers) * self.layer_time_s + self.stage_boundary_s
+
+    @property
+    def iteration_time_s(self) -> float:
+        """Time for all microbatches through the pipeline (1F1B)."""
+        m, p = self.num_microbatches, self.num_stages
+        return (m + p - 1) * self.max_stage_time_s
+
+    @property
+    def efficiency(self) -> float:
+        """Useful compute fraction: ideal work time / modelled time.
+
+        Penalized by both the bubble and any imbalance (an uneven split
+        clocks the pipeline at the largest stage).
+        """
+        ideal = self.num_layers * self.layer_time_s * self.num_microbatches
+        actual = self.iteration_time_s * self.num_stages
+        return ideal / actual if actual else 0.0

@@ -1,0 +1,155 @@
+"""3D-parallelism planner: choose (t, p, d) for a model on a cluster.
+
+A small Narayanan-et-al.-style cost model: enumerate feasible
+(tensor, pipeline, data) factorizations of the GPU count, require the
+model's weights + activations to fit per-GPU memory, and score each plan
+by modelled iteration time (TP layer cost x pipeline schedule + data-
+parallel gradient all-reduce).  Used by the Sec VII-A case study to
+show how Summit's 6-GPU nodes push designs toward t=6 and what that
+costs when ``h/6`` loses its power-of-two factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import TransformerConfig
+from repro.core.formulas import kv_cache_bytes  # noqa: F401  (re-exported convenience)
+from repro.errors import ParallelismError
+from repro.parallelism.pipeline import PipelinePlan
+from repro.parallelism.tensor_parallel import TensorParallelLayer, validate_tp_feasible
+from repro.parallelism.topology import NodeTopology, get_system
+from repro.types import DType
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """One (t, p, d) decomposition and its modelled iteration time."""
+
+    tp: int
+    pp: int
+    dp: int
+    iteration_time_s: float
+    comm_fraction: float
+    fits_memory: bool
+    balanced_pipeline: bool
+
+    @property
+    def gpus(self) -> int:
+        return self.tp * self.pp * self.dp
+
+    def describe(self) -> str:
+        return (
+            f"t={self.tp} p={self.pp} d={self.dp}: "
+            f"{self.iteration_time_s * 1e3:.1f} ms/iter, "
+            f"comm {100 * self.comm_fraction:.1f}%"
+            + ("" if self.balanced_pipeline else " (unbalanced pipeline)")
+            + ("" if self.fits_memory else " (OUT OF MEMORY)")
+        )
+
+
+class ParallelPlanner:
+    """Enumerates and scores (t, p, d) plans for a model on a system."""
+
+    def __init__(
+        self,
+        system: "str | NodeTopology",
+        dtype: "str | DType" = DType.FP16,
+        num_microbatches: int = 8,
+    ) -> None:
+        self.topology = get_system(system)
+        self.dtype = DType.parse(dtype)
+        self.num_microbatches = num_microbatches
+        self.tp_model = TensorParallelLayer(self.topology, self.dtype)
+
+    # -- memory ----------------------------------------------------------------
+
+    def memory_per_gpu_bytes(self, cfg: TransformerConfig, t: int, p: int) -> float:
+        """Training footprint per GPU (see :mod:`repro.core.memory`)."""
+        from repro.core.memory import training_bytes
+
+        sharded = cfg.with_overrides(tp_degree=t)
+        return training_bytes(sharded, pipeline_stages=p).total
+
+    def fits(self, cfg: TransformerConfig, t: int, p: int) -> bool:
+        from repro.core.memory import MemoryBudget, training_bytes
+
+        budget = MemoryBudget.for_gpu(self.topology.gpu)
+        sharded = cfg.with_overrides(tp_degree=t)
+        return budget.fits(training_bytes(sharded, pipeline_stages=p))
+
+    # -- planning --------------------------------------------------------------
+
+    def evaluate(self, cfg: TransformerConfig, t: int, p: int, d: int) -> ParallelPlan:
+        """Score one decomposition (raises if TP is infeasible)."""
+        validate_tp_feasible(cfg, t)
+        if cfg.num_layers < p:
+            raise ParallelismError(
+                f"{p} pipeline stages exceed {cfg.num_layers} layers"
+            )
+        layer = self.tp_model.layer_cost(cfg, t)
+        boundary_bytes = (
+            cfg.microbatch * cfg.seq_len * cfg.hidden_size * self.dtype.bytes
+        )
+        boundary = (
+            self.topology.comm_for(t * p).send(boundary_bytes) if p > 1 else 0.0
+        )
+        plan = PipelinePlan(
+            num_layers=cfg.num_layers,
+            num_stages=p,
+            num_microbatches=self.num_microbatches,
+            layer_time_s=layer.total_s,
+            stage_boundary_s=boundary,
+        )
+        iteration = plan.iteration_time_s
+        # Data-parallel gradient all-reduce, overlapped poorly at small
+        # scale: count half its ring time.
+        if d > 1:
+            grad_bytes = cfg.param_count() / (t * p) * self.dtype.bytes
+            comm = self.topology.comm_for(d * t * p)
+            iteration += 0.5 * comm.allreduce(grad_bytes, d)
+        comm_s = layer.comm_s * cfg.num_layers / p * self.num_microbatches
+        comm_frac = min(1.0, comm_s / iteration) if iteration else 0.0
+        return ParallelPlan(
+            tp=t,
+            pp=p,
+            dp=d,
+            iteration_time_s=iteration,
+            comm_fraction=comm_frac,
+            fits_memory=self.fits(cfg, t, p),
+            balanced_pipeline=plan.balanced,
+        )
+
+    def plan(
+        self,
+        cfg: TransformerConfig,
+        num_gpus: int,
+        require_fit: bool = True,
+    ) -> List[ParallelPlan]:
+        """All feasible plans for ``num_gpus``, fastest first."""
+        if num_gpus <= 0:
+            raise ParallelismError("num_gpus must be positive")
+        plans = []
+        for t in _divisors(num_gpus):
+            if t > self.topology.gpus_per_node:
+                continue  # TP across nodes is never competitive
+            for p in _divisors(num_gpus // t):
+                d = num_gpus // (t * p)
+                try:
+                    plan = self.evaluate(cfg, t, p, d)
+                except ParallelismError:
+                    continue
+                if require_fit and not plan.fits_memory:
+                    continue
+                plans.append(plan)
+        plans.sort(key=lambda pl: pl.iteration_time_s)
+        return plans
+
+    def best(self, cfg: TransformerConfig, num_gpus: int) -> Optional[ParallelPlan]:
+        plans = self.plan(cfg, num_gpus)
+        return plans[0] if plans else None
+
+
+def _divisors(n: int) -> List[int]:
+    return [i for i in range(1, n + 1) if n % i == 0]

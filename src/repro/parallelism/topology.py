@@ -1,0 +1,105 @@
+"""Node topologies of the paper's Table III systems.
+
+Captures GPUs per node, intra-node (NVLink) and inter-node (InfiniBand /
+EFA) interconnects for AWS p4d, ORNL Summit, and SDSC Expanse — the
+Sec VII-A case study contrasts Summit's 6-GPU nodes against the common
+8-GPU layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ParallelismError
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.parallelism.comm import CommModel
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """One system's node shape and interconnect speeds (Table III)."""
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    #: Intra-node per-GPU link bandwidth, bytes/s (NVLink).
+    intra_node_bw: float
+    #: Inter-node per-node network bandwidth, bytes/s.
+    inter_node_bw: float
+    intra_alpha_s: float = 3.0e-6
+    inter_alpha_s: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ParallelismError(f"{self.name}: gpus_per_node must be positive")
+
+    def comm_for(self, ranks: int) -> CommModel:
+        """Collective cost model for a group of ``ranks`` GPUs.
+
+        Groups that fit in one node use NVLink; larger groups are
+        bottlenecked by the inter-node network.
+        """
+        if ranks <= self.gpus_per_node:
+            return CommModel(self.intra_node_bw, self.intra_alpha_s)
+        return CommModel(self.inter_node_bw, self.inter_alpha_s)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.gpus_per_node}x {self.gpu.name}/node, "
+            f"NVLink {self.intra_node_bw / 1e9:.0f} GB/s, "
+            f"network {self.inter_node_bw / 1e9:.0f} GB/s"
+        )
+
+
+_SYSTEMS: Dict[str, NodeTopology] = {}
+
+
+def register_system(topo: NodeTopology) -> None:
+    _SYSTEMS[topo.name.lower()] = topo
+
+
+# Table III.  Bandwidths are the per-direction aggregate figures quoted
+# there (NVLink GBps; networks Gbps converted to bytes/s).
+register_system(
+    NodeTopology(
+        name="aws-p4d",
+        gpu=get_gpu("A100"),
+        gpus_per_node=8,
+        intra_node_bw=600e9,
+        inter_node_bw=400e9 / 8,
+    )
+)
+register_system(
+    NodeTopology(
+        name="ornl-summit",
+        gpu=get_gpu("V100"),
+        gpus_per_node=6,
+        intra_node_bw=100e9,
+        inter_node_bw=200e9 / 8,
+    )
+)
+register_system(
+    NodeTopology(
+        name="sdsc-expanse",
+        gpu=get_gpu("V100").with_overrides(name="V100-32GB", memory_gb=32.0),
+        gpus_per_node=4,
+        intra_node_bw=100e9,
+        inter_node_bw=200e9 / 8,
+    )
+)
+
+
+def get_system(name: "str | NodeTopology") -> NodeTopology:
+    """Look up a Table III system by name."""
+    if isinstance(name, NodeTopology):
+        return name
+    try:
+        return _SYSTEMS[str(name).strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_SYSTEMS))
+        raise ParallelismError(f"unknown system {name!r}; known: {known}") from None
+
+
+def list_systems() -> Tuple[NodeTopology, ...]:
+    return tuple(sorted(_SYSTEMS.values(), key=lambda t: t.name))

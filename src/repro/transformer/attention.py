@@ -1,0 +1,205 @@
+"""Multi-head self-attention (paper Sec III-C, operators 1-4 of Table II).
+
+Executes the four attention matmuls with exactly the shapes the paper
+maps them to, per tensor-parallel shard:
+
+1. fused QKV transform      — GEMM ``(b*s, h) x (h, 3h/t)``
+2. attention score (KQ^T)   — BMM  ``b*a/t x (s, h/a) x (h/a, s)``
+3. attention over value     — BMM  ``b*a/t x (s, s) x (s, h/a)``
+4. output projection        — GEMM ``(b*s, h/t) x (h/t, h)``
+
+Tensor parallelism follows the Megatron column/row split: shards hold
+``a/t`` heads; their projections are partial sums that would be
+all-reduced across GPUs (here summed locally, which is numerically
+identical).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer import functional as F
+from repro.transformer import positional as pos
+from repro.transformer.trace import OpTrace
+
+
+class MultiHeadAttention:
+    """Causal multi-head self-attention over ``(s, b, h)`` activations.
+
+    Parameters
+    ----------
+    hidden_size, num_heads:
+        ``h`` and ``a``; ``h`` must be divisible by ``a``.
+    tp_degree:
+        Tensor-parallel degree ``t``.  Shards are executed sequentially
+        (this is a single-process library), recording the *per-GPU* GEMM
+        shapes of Table II.
+    positional:
+        ``"learned"``/``"none"`` (no-op here), ``"rotary"`` or
+        ``"alibi"``.
+    rng:
+        Source of weight initialization.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        tp_degree: int = 1,
+        positional: str = "learned",
+        num_kv_heads: "int | None" = None,
+        attention_window: "int | None" = None,
+        dtype=np.float64,
+    ) -> None:
+        if hidden_size <= 0 or num_heads <= 0:
+            raise ConfigError(
+                f"hidden_size and num_heads must be positive: {hidden_size}, {num_heads}"
+            )
+        if hidden_size % num_heads:
+            raise ConfigError(
+                f"hidden_size {hidden_size} not divisible by num_heads {num_heads}"
+            )
+        if tp_degree <= 0 or num_heads % tp_degree:
+            raise ConfigError(
+                f"num_heads {num_heads} not divisible by tp_degree {tp_degree}"
+            )
+        kv = num_kv_heads if num_kv_heads is not None else num_heads
+        if kv <= 0 or num_heads % kv:
+            raise ConfigError(
+                f"num_heads {num_heads} not divisible by num_kv_heads {kv}"
+            )
+        if kv % tp_degree:
+            raise ConfigError(
+                f"num_kv_heads {kv} not divisible by tp_degree {tp_degree}"
+            )
+        if attention_window is not None and attention_window <= 0:
+            raise ConfigError(
+                f"attention_window must be positive, got {attention_window}"
+            )
+        self.h = hidden_size
+        self.a = num_heads
+        self.kv = kv
+        self.window = attention_window
+        self.t = tp_degree
+        self.head_dim = hidden_size // num_heads
+        self.positional = pos.validate_kind(positional)
+        if self.positional == "rotary" and self.head_dim % 2:
+            raise ConfigError(
+                f"rotary embeddings need an even head dim, got {self.head_dim}"
+            )
+
+        scale = 0.02
+        h = hidden_size
+        # Fused QKV weight laid out per shard: shard i's columns are
+        # [Q_i | K_i | V_i] with Q a/t*d wide and K/V kv/t*d wide each
+        # (grouped-query attention shares K/V heads between query
+        # groups; kv == a recovers classic MHA).
+        self.kv_dim = kv * self.head_dim
+        qkv_cols = (h + 2 * self.kv_dim) // self.t
+        self.w_qkv = [
+            rng.normal(0.0, scale, size=(h, qkv_cols)).astype(dtype)
+            for _ in range(self.t)
+        ]
+        self.b_qkv = [np.zeros(qkv_cols, dtype=dtype) for _ in range(self.t)]
+        # Row-parallel output projection: shard i holds h/t rows.
+        self.w_proj = [
+            rng.normal(0.0, scale / math.sqrt(2.0), size=(h // self.t, h)).astype(dtype)
+            for _ in range(self.t)
+        ]
+        self.b_proj = np.zeros(h, dtype=dtype)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def param_count(self) -> int:
+        """Learned scalars: QKV (h*(h+2*kv_dim) weights + biases) plus
+        the h^2+h output projection; 4h^2+4h for classic MHA."""
+        total = sum(w.size for w in self.w_qkv) + sum(b.size for b in self.b_qkv)
+        total += sum(w.size for w in self.w_proj) + self.b_proj.size
+        return total
+
+    def _shard_heads(self) -> int:
+        return self.a // self.t
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(
+        self,
+        x: np.ndarray,
+        trace: OpTrace,
+        positions: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Causal attention forward pass.
+
+        ``x``: activations of shape (s, b, h).  Returns the same shape.
+        """
+        if x.ndim != 3 or x.shape[2] != self.h:
+            raise ShapeError(f"expected (s, b, {self.h}) input, got {x.shape}")
+        s, b, h = x.shape
+        d = self.head_dim
+        a_shard = self._shard_heads()
+        if positions is None:
+            positions = np.arange(s)
+
+        x2 = x.reshape(s * b, h)
+        mask = F.causal_mask(s, dtype=x.dtype, window=self.window)
+        alibi = (
+            pos.alibi_bias(self.a, s) if self.positional == "alibi" else None
+        )
+        kv_shard = self.kv // self.t
+        group = a_shard // kv_shard
+
+        out = np.zeros((s * b, h), dtype=x.dtype)
+        for shard in range(self.t):
+            qkv = trace.matmul("qkv_transform", x2, self.w_qkv[shard])
+            qkv = qkv + self.b_qkv[shard]
+            # (s*b, (a/t + 2*kv/t)*d) -> q: (s, b, a/t, d) and
+            # k, v: (s, b, kv/t, d).
+            q_cols = a_shard * d
+            kv_cols = kv_shard * d
+            q = qkv[:, :q_cols].reshape(s, b, a_shard, d)
+            k = qkv[:, q_cols : q_cols + kv_cols].reshape(s, b, kv_shard, d)
+            v = qkv[:, q_cols + kv_cols :].reshape(s, b, kv_shard, d)
+
+            # (s, b, heads, d) -> (b*heads, s, d)
+            def to_bmm(tensor: np.ndarray) -> np.ndarray:
+                heads = tensor.shape[2]
+                return tensor.transpose(1, 2, 0, 3).reshape(b * heads, s, d)
+
+            q, k, v = to_bmm(q), to_bmm(k), to_bmm(v)
+            if group > 1:
+                # Expand shared K/V heads to one copy per query head —
+                # the BMM then has the classic b*a/t batch, matching the
+                # Table II analysis (GQA changes projection width and
+                # KV-cache size, not the attention math).
+                k = np.repeat(k.reshape(b, kv_shard, s, d), group, axis=1).reshape(
+                    b * a_shard, s, d
+                )
+                v = np.repeat(v.reshape(b, kv_shard, s, d), group, axis=1).reshape(
+                    b * a_shard, s, d
+                )
+            if self.positional == "rotary":
+                q = pos.apply_rotary(q, positions)
+                k = pos.apply_rotary(k, positions)
+
+            scores = trace.bmm("attention_score", q, k.transpose(0, 2, 1))
+            scores = scores / math.sqrt(d)
+            scores = scores + mask[None, :, :]
+            if alibi is not None:
+                head_lo = shard * a_shard
+                shard_bias = alibi[head_lo : head_lo + a_shard]
+                scores = scores + np.tile(shard_bias, (b, 1, 1))
+            probs = F.softmax(scores, axis=-1)
+
+            ctx = trace.bmm("attention_over_value", probs, v)
+            # (b*a/t, s, d) -> (s*b, h/t)
+            ctx = ctx.reshape(b, a_shard, s, d).transpose(2, 0, 1, 3)
+            ctx = ctx.reshape(s * b, a_shard * d)
+
+            out += trace.matmul("attention_projection", ctx, self.w_proj[shard])
+        out += self.b_proj
+        return out.reshape(s, b, h)

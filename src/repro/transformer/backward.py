@@ -1,0 +1,342 @@
+"""Explicit backward pass for the NumPy transformer (t=1 path).
+
+The paper's headline claims are about *training* throughput ("trained
+almost 20% faster"), and each forward GEMM induces two backward GEMMs —
+the activation gradient (dgrad) and the weight gradient (wgrad) — whose
+shapes are transposes of the forward shape.  This module implements
+reverse-mode differentiation explicitly (forward functions return a
+cache; backward functions consume it), so that:
+
+- the backward matmul shapes can be *traced* and diffed against the
+  analytic training mapping in :func:`repro.core.gemms.training_gemms`,
+- gradients can be verified against finite differences (tests do).
+
+Scope: the classic GPT-2 path — learned/none positions, classic MLP,
+sequential blocks, tied embeddings, tensor-parallel degree 1.  That is
+exactly the architecture the paper's formulas describe; the variants
+(SwiGLU/rotary/parallel-layers) share the same backward GEMM structure.
+
+Backward of ``y = x @ W`` with ``x: (M, K)``, ``W: (K, N)``::
+
+    dx = dy @ W^T      — GEMM (M, N) x (N, K)   [dgrad]
+    dW = x^T @ dy      — GEMM (K, M) x (M, N)   [wgrad]
+
+so training executes ~3x the forward FLOPs, the standard rule the
+training-step model relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer import functional as F
+from repro.transformer.model import DecoderModel
+from repro.transformer.trace import OpTrace
+
+Cache = Dict[str, np.ndarray]
+Grads = Dict[str, np.ndarray]
+
+
+# -- primitive backward rules ---------------------------------------------------
+
+
+def linear_forward(
+    module: str, x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray], trace: OpTrace
+) -> Tuple[np.ndarray, Cache]:
+    """Traced ``x @ w + b`` with a backward cache."""
+    y = trace.matmul(module, x, w)
+    if b is not None:
+        y = y + b
+    return y, {"x": x, "w": w}
+
+
+def linear_backward(
+    module: str, cache: Cache, dy: np.ndarray, trace: OpTrace
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns (dx, dw, db) for a linear layer, tracing both GEMMs."""
+    x, w = cache["x"], cache["w"]
+    dx = trace.matmul(f"{module}.dgrad", dy, w.T)
+    dw = trace.matmul(f"{module}.wgrad", x.T, dy)
+    db = dy.sum(axis=0)
+    return dx, dw, db
+
+
+def layer_norm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> Tuple[np.ndarray, Cache]:
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    return x_hat * gamma + beta, {"x_hat": x_hat, "inv_std": inv_std, "gamma": gamma}
+
+
+def layer_norm_backward(
+    cache: Cache, dy: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Standard layer-norm backward over the trailing axis."""
+    x_hat, inv_std, gamma = cache["x_hat"], cache["inv_std"], cache["gamma"]
+    h = x_hat.shape[-1]
+    dgamma = (dy * x_hat).reshape(-1, h).sum(axis=0)
+    dbeta = dy.reshape(-1, h).sum(axis=0)
+    dx_hat = dy * gamma
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx, dgamma, dbeta
+
+
+def gelu_backward(x: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Derivative of the tanh-approximated GELU."""
+    c = math.sqrt(2.0 / math.pi)
+    inner = c * (x + 0.044715 * x**3)
+    tanh = np.tanh(inner)
+    sech2 = 1.0 - tanh**2
+    d_inner = c * (1.0 + 3 * 0.044715 * x**2)
+    return dy * (0.5 * (1.0 + tanh) + 0.5 * x * sech2 * d_inner)
+
+
+def softmax_backward(probs: np.ndarray, dprobs: np.ndarray) -> np.ndarray:
+    """Backward of a row softmax: (dp - sum(dp*p)) * p."""
+    inner = (dprobs * probs).sum(axis=-1, keepdims=True)
+    return (dprobs - inner) * probs
+
+
+# -- attention ---------------------------------------------------------------------
+
+
+def attention_forward(
+    model: DecoderModel, layer: int, x: np.ndarray, trace: OpTrace
+) -> Tuple[np.ndarray, Cache]:
+    """Forward of one attention block with a full backward cache."""
+    att = model.blocks[layer].attention
+    if att.t != 1:
+        raise ConfigError("backward pass supports tensor-parallel degree 1 only")
+    s, b, h = x.shape
+    a, d = att.a, att.head_dim
+
+    x2 = x.reshape(s * b, h)
+    qkv, lin_cache = linear_forward(
+        "qkv_transform", x2, att.w_qkv[0], att.b_qkv[0], trace
+    )
+    qkv4 = qkv.reshape(s, b, 3, a, d)
+    to_bmm = lambda t: t.transpose(1, 2, 0, 3).reshape(b * a, s, d)
+    q, k, v = (to_bmm(qkv4[:, :, i]) for i in range(3))
+
+    scale = 1.0 / math.sqrt(d)
+    scores = trace.bmm("attention_score", q, k.transpose(0, 2, 1)) * scale
+    scores = scores + F.causal_mask(s, dtype=x.dtype)[None]
+    probs = F.softmax(scores, axis=-1)
+    ctx = trace.bmm("attention_over_value", probs, v)
+
+    ctx2 = ctx.reshape(b, a, s, d).transpose(2, 0, 1, 3).reshape(s * b, h)
+    out, proj_cache = linear_forward(
+        "attention_projection", ctx2, att.w_proj[0], att.b_proj, trace
+    )
+    cache: Cache = {
+        "q": q, "k": k, "v": v, "probs": probs, "ctx2": ctx2,
+        **{f"lin_{key}": val for key, val in lin_cache.items()},
+        **{f"proj_{key}": val for key, val in proj_cache.items()},
+    }
+    cache["shape"] = np.array([s, b, h, a, d])
+    return out.reshape(s, b, h), cache
+
+
+def attention_backward(
+    cache: Cache, dy: np.ndarray, trace: OpTrace
+) -> Tuple[np.ndarray, Grads]:
+    """Backward through one attention block; returns (dx, grads)."""
+    s, b, h, a, d = (int(v) for v in cache["shape"])
+    scale = 1.0 / math.sqrt(d)
+    dy2 = dy.reshape(s * b, h)
+
+    dctx2, dw_proj, db_proj = linear_backward(
+        "attention_projection",
+        {"x": cache["proj_x"], "w": cache["proj_w"]},
+        dy2,
+        trace,
+    )
+    dctx = dctx2.reshape(s, b, a, d).transpose(1, 2, 0, 3).reshape(b * a, s, d)
+
+    probs, q, k, v = cache["probs"], cache["q"], cache["k"], cache["v"]
+    # ctx = probs @ v
+    dprobs = trace.bmm("attention_over_value.dgrad", dctx, v.transpose(0, 2, 1))
+    dv = trace.bmm("attention_over_value.wgrad", probs.transpose(0, 2, 1), dctx)
+    dscores = softmax_backward(probs, dprobs)
+    # masked positions have probs == 0 -> dscores already 0 there.
+    dscores = dscores * scale
+    dq = trace.bmm("attention_score.dgrad", dscores, k)
+    # Compute d(k^T) = q^T @ dscores so the traced shape matches the
+    # analytic wgrad orientation exactly, then transpose back.
+    dk = trace.bmm(
+        "attention_score.wgrad", q.transpose(0, 2, 1), dscores
+    ).transpose(0, 2, 1)
+
+    # Reassemble (b*a, s, d) -> (s*b, 3h) through the qkv packing.
+    def from_bmm(t: np.ndarray) -> np.ndarray:
+        return t.reshape(b, a, s, d).transpose(2, 0, 1, 3)
+
+    dqkv4 = np.stack([from_bmm(dq), from_bmm(dk), from_bmm(dv)], axis=2)
+    dqkv = dqkv4.reshape(s * b, 3 * h)
+    dx2, dw_qkv, db_qkv = linear_backward(
+        "qkv_transform", {"x": cache["lin_x"], "w": cache["lin_w"]}, dqkv, trace
+    )
+    grads: Grads = {
+        "w_qkv": dw_qkv,
+        "b_qkv": db_qkv,
+        "w_proj": dw_proj,
+        "b_proj": db_proj,
+    }
+    return dx2.reshape(s, b, h), grads
+
+
+# -- MLP ---------------------------------------------------------------------------
+
+
+def mlp_forward(
+    model: DecoderModel, layer: int, x: np.ndarray, trace: OpTrace
+) -> Tuple[np.ndarray, Cache]:
+    mlp = model.blocks[layer].mlp
+    if getattr(mlp, "t", 1) != 1:
+        raise ConfigError("backward pass supports tensor-parallel degree 1 only")
+    if mlp.n_matrices != 2 or mlp.activation != "gelu":
+        raise ConfigError("backward pass supports the classic GELU MLP only")
+    s, b, h = x.shape
+    x2 = x.reshape(s * b, h)
+    pre, up_cache = linear_forward("mlp_h_to_4h", x2, mlp.w1[0], mlp.b1[0], trace)
+    hidden = F.gelu(pre)
+    out, down_cache = linear_forward("mlp_4h_to_h", hidden, mlp.w2[0], mlp.b2, trace)
+    cache: Cache = {
+        "pre": pre,
+        **{f"up_{k}": v for k, v in up_cache.items()},
+        **{f"down_{k}": v for k, v in down_cache.items()},
+    }
+    cache["shape"] = np.array([s, b, h])
+    return out.reshape(s, b, h), cache
+
+
+def mlp_backward(
+    cache: Cache, dy: np.ndarray, trace: OpTrace
+) -> Tuple[np.ndarray, Grads]:
+    s, b, h = (int(v) for v in cache["shape"])
+    dy2 = dy.reshape(s * b, h)
+    dhidden, dw2, db2 = linear_backward(
+        "mlp_4h_to_h", {"x": cache["down_x"], "w": cache["down_w"]}, dy2, trace
+    )
+    dpre = gelu_backward(cache["pre"], dhidden)
+    dx2, dw1, db1 = linear_backward(
+        "mlp_h_to_4h", {"x": cache["up_x"], "w": cache["up_w"]}, dpre, trace
+    )
+    return dx2.reshape(s, b, h), {"w1": dw1, "b1": db1, "w2": dw2, "b2": db2}
+
+
+# -- full model ----------------------------------------------------------------------
+
+
+def loss_and_gradients(
+    model: DecoderModel,
+    token_ids: np.ndarray,
+    trace: Optional[OpTrace] = None,
+) -> Tuple[float, Grads]:
+    """Next-token cross-entropy loss and gradients for every weight.
+
+    Returns gradients keyed ``wte``, ``wpe``, ``lnf_gamma``, ``lnf_beta``
+    and per layer ``L{i}.{attention,mlp}.{param}`` plus
+    ``L{i}.ln{1,2}_{gamma,beta}``.  All matmuls (forward and backward)
+    are traced.
+    """
+    trace = trace if trace is not None else OpTrace()
+    if token_ids.ndim != 2:
+        raise ShapeError(f"token_ids must be (s, b), got {token_ids.shape}")
+    if model.lm_head is not None:
+        raise ConfigError("backward pass supports tied embeddings only")
+    if model.positional not in ("learned", "none"):
+        raise ConfigError("backward pass supports learned/none positions only")
+    s, b = token_ids.shape
+    v, h = model.v, model.h
+
+    # ---- forward with caches ----
+    x = model.embed(token_ids)
+    block_caches = []
+    for i, block in enumerate(model.blocks):
+        ln1_out, ln1_cache = layer_norm_forward(x, block.ln1_gamma, block.ln1_beta)
+        attn_out, attn_cache = attention_forward(model, i, ln1_out, trace)
+        x_mid = x + attn_out
+        ln2_out, ln2_cache = layer_norm_forward(x_mid, block.ln2_gamma, block.ln2_beta)
+        mlp_out, mlp_cache = mlp_forward(model, i, ln2_out, trace)
+        x = x_mid + mlp_out
+        block_caches.append((ln1_cache, attn_cache, ln2_cache, mlp_cache))
+
+    final, lnf_cache = layer_norm_forward(x, model.lnf_gamma, model.lnf_beta)
+    final2 = final.reshape(s * b, h)
+    logits = trace.matmul("logit", final2, model.wte.T)
+
+    # ---- loss (next-token) ----
+    pred = logits.reshape(s, b, v)[:-1].reshape((s - 1) * b, v)
+    targets = token_ids[1:].reshape((s - 1) * b)
+    shifted = pred - pred.max(axis=-1, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    n = pred.shape[0]
+    loss = float(-np.log(probs[np.arange(n), targets]).mean())
+
+    # ---- backward ----
+    dpred = probs.copy()
+    dpred[np.arange(n), targets] -= 1.0
+    dpred /= n
+    dlogits = np.zeros((s, b, v))
+    dlogits[:-1] = dpred.reshape(s - 1, b, v)
+    dlogits2 = dlogits.reshape(s * b, v)
+
+    grads: Grads = {}
+    dfinal2 = trace.matmul("logit.dgrad", dlogits2, model.wte)
+    # Compute d(wte^T) = final^T @ dlogits so the traced shape matches
+    # the analytic wgrad orientation, then transpose back to wte's.
+    grads["wte"] = trace.matmul("logit.wgrad", final2.T, dlogits2).T
+    dx, dg, dbta = layer_norm_backward(lnf_cache, dfinal2.reshape(s, b, h))
+    grads["lnf_gamma"], grads["lnf_beta"] = dg, dbta
+
+    for i in reversed(range(len(model.blocks))):
+        ln1_cache, attn_cache, ln2_cache, mlp_cache = block_caches[i]
+        dmlp_out = dx
+        dln2_out, g_mlp = mlp_backward(mlp_cache, dmlp_out, trace)
+        dx_mid, dg2, db2 = layer_norm_backward(ln2_cache, dln2_out)
+        dx_mid = dx_mid + dx  # residual
+        dattn_out = dx_mid
+        dln1_out, g_attn = attention_backward(attn_cache, dattn_out, trace)
+        dx_prev, dg1, db1 = layer_norm_backward(ln1_cache, dln1_out)
+        dx = dx_prev + dx_mid  # residual
+        for key, val in g_attn.items():
+            grads[f"L{i}.attention.{key}"] = val
+        for key, val in g_mlp.items():
+            grads[f"L{i}.mlp.{key}"] = val
+        grads[f"L{i}.ln1_gamma"], grads[f"L{i}.ln1_beta"] = dg1, db1
+        grads[f"L{i}.ln2_gamma"], grads[f"L{i}.ln2_beta"] = dg2, db2
+
+    # Embedding gradients: scatter-add token grads; position table gets
+    # the sum over the batch.
+    dembed = dx
+    grads["wte"] = grads["wte"] + _scatter_token_grads(
+        token_ids, dembed, v
+    )
+    if model.wpe is not None:
+        # Rows beyond the batch's sequence length receive no gradient.
+        wpe_grad = np.zeros_like(model.wpe)
+        wpe_grad[:s] = dembed.sum(axis=1)
+        grads["wpe"] = wpe_grad
+    return loss, grads
+
+
+def _scatter_token_grads(
+    token_ids: np.ndarray, dembed: np.ndarray, vocab: int
+) -> np.ndarray:
+    s, b, h = dembed.shape
+    out = np.zeros((vocab, h))
+    np.add.at(out, token_ids.reshape(s * b), dembed.reshape(s * b, h))
+    return out

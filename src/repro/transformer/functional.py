@@ -1,0 +1,100 @@
+"""Pointwise / normalization primitives for the NumPy transformer.
+
+Everything here is the non-GEMM remainder of a transformer layer: these
+ops are memory-bound and account for the latency slice the paper's
+Fig 2 labels "other" (layer norms, softmax, activations, residual
+adds).  All functions are pure, vectorized, and operate on float32/64
+arrays of layout ``(s, b, h)`` unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """LayerNorm over the trailing (hidden) dimension."""
+    if gamma.shape != x.shape[-1:] or beta.shape != x.shape[-1:]:
+        raise ShapeError(
+            f"layer_norm params {gamma.shape}/{beta.shape} do not match "
+            f"hidden dim {x.shape[-1:]}"
+        )
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps) * gamma + beta
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation, as used by GPT-2/NeoX)."""
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation, the gate nonlinearity of SwiGLU."""
+    return x / (1.0 + np.exp(-x))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """ReLU activation."""
+    return np.maximum(x, 0.0)
+
+
+ACTIVATIONS = {"gelu": gelu, "silu": silu, "relu": relu}
+
+
+def causal_mask(s: int, dtype=np.float64, window: "int | None" = None) -> np.ndarray:
+    """Additive causal mask of shape (s, s): 0 on/below diag, -inf above.
+
+    ``window`` additionally blocks positions more than ``window - 1``
+    tokens in the past (sliding-window attention, as in Mistral): row i
+    may attend to columns ``max(0, i - window + 1) .. i``.
+    """
+    if s <= 0:
+        raise ShapeError(f"sequence length must be positive, got {s}")
+    if window is not None and window <= 0:
+        raise ShapeError(f"window must be positive, got {window}")
+    blocked = np.triu(np.ones((s, s), dtype=bool), k=1)
+    if window is not None:
+        rows = np.arange(s)[:, None]
+        cols = np.arange(s)[None, :]
+        blocked |= rows - cols >= window
+    out = np.zeros((s, s), dtype=dtype)
+    out[blocked] = -np.inf
+    return out
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean token-level cross-entropy.
+
+    ``logits``: (tokens, vocab); ``targets``: (tokens,) int class ids.
+    """
+    if logits.ndim != 2 or targets.ndim != 1 or logits.shape[0] != targets.shape[0]:
+        raise ShapeError(
+            f"cross_entropy shapes disagree: {logits.shape} vs {targets.shape}"
+        )
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1))
+    picked = shifted[np.arange(len(targets)), targets]
+    return float((log_z - picked).mean())
+
+
+def embedding_lookup(table: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Row gather from an embedding table with bounds checking."""
+    if ids.min() < 0 or ids.max() >= table.shape[0]:
+        raise ShapeError(
+            f"token id out of range [0, {table.shape[0]}): "
+            f"[{ids.min()}, {ids.max()}]"
+        )
+    return table[ids]

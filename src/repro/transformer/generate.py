@@ -1,0 +1,70 @@
+"""Autoregressive generation for the NumPy decoder model.
+
+Greedy and temperature sampling over :class:`DecoderModel`.  The model
+has no KV cache (it is a correctness substrate, not a serving engine),
+so each step re-runs the prefix — which is exactly the naive decode the
+inference latency model's GEMV analysis describes.
+
+Used by tests to close the loop on the copy task: a model trained on
+:class:`~repro.transformer.data.CopyCorpus` must reproduce the pattern
+after the delimiter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer.model import DecoderModel
+from repro.transformer.trace import NullTrace
+
+
+def generate(
+    model: DecoderModel,
+    prompt: np.ndarray,
+    new_tokens: int,
+    temperature: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Extend a ``(s, b)`` prompt by ``new_tokens`` autoregressive steps.
+
+    ``temperature == 0`` is greedy argmax; otherwise logits are divided
+    by the temperature and sampled.  Generation stops early only when
+    the total length would exceed the model's positional table.
+
+    Returns the full ``(s + generated, b)`` token array.
+    """
+    if prompt.ndim != 2:
+        raise ShapeError(f"prompt must be (s, b), got {prompt.shape}")
+    if new_tokens <= 0:
+        raise ConfigError("new_tokens must be positive")
+    if temperature < 0:
+        raise ConfigError("temperature must be non-negative")
+    if temperature > 0 and rng is None:
+        rng = np.random.default_rng(0)
+
+    tokens = prompt.astype(np.int64).copy()
+    trace = NullTrace()
+    for _ in range(new_tokens):
+        if tokens.shape[0] >= model.s_max:
+            break
+        logits = model.forward(tokens, trace)[-1]  # (b, v)
+        if temperature == 0.0:
+            nxt = logits.argmax(axis=-1)
+        else:
+            scaled = logits / temperature
+            scaled -= scaled.max(axis=-1, keepdims=True)
+            probs = np.exp(scaled)
+            probs /= probs.sum(axis=-1, keepdims=True)
+            nxt = np.array(
+                [rng.choice(model.v, p=probs[b]) for b in range(probs.shape[0])]
+            )
+        tokens = np.concatenate([tokens, nxt[None, :]], axis=0)
+    return tokens
+
+
+def perplexity(model: DecoderModel, token_ids: np.ndarray) -> float:
+    """exp(next-token cross-entropy) over a (s, b) batch."""
+    return float(np.exp(model.loss(token_ids)))

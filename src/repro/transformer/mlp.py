@@ -1,0 +1,145 @@
+"""Transformer MLP blocks (Table II operators 5, and Sec VI-C4 SwiGLU).
+
+The classic block expands ``h -> 4h -> h`` with two GEMMs; the SwiGLU
+variant holds *three* matrices (gate, up, down) and therefore shrinks
+the intermediate width — nominally to ``8h/3`` — to preserve parameter
+count, which is exactly the alignment hazard the paper's Sec VII-B case
+study is about.  Both are tensor-parallel along the intermediate
+dimension (Megatron column-then-row split).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer import functional as F
+from repro.transformer.trace import OpTrace
+
+
+def _check_mlp_dims(h: int, d_ff: int, t: int) -> None:
+    if h <= 0 or d_ff <= 0:
+        raise ConfigError(f"MLP dims must be positive: h={h}, d_ff={d_ff}")
+    if t <= 0 or d_ff % t:
+        raise ConfigError(
+            f"intermediate size {d_ff} not divisible by tp_degree {t}"
+        )
+
+
+class MLP:
+    """Two-matrix MLP: ``x -> act(x W1) W2`` with W1: (h, d_ff)."""
+
+    n_matrices = 2
+
+    def __init__(
+        self,
+        hidden_size: int,
+        rng: np.random.Generator,
+        intermediate_size: "int | None" = None,
+        tp_degree: int = 1,
+        activation: str = "gelu",
+        dtype=np.float64,
+    ) -> None:
+        d_ff = 4 * hidden_size if intermediate_size is None else intermediate_size
+        _check_mlp_dims(hidden_size, d_ff, tp_degree)
+        if activation not in F.ACTIVATIONS:
+            raise ConfigError(
+                f"unknown activation {activation!r}; choose from {sorted(F.ACTIVATIONS)}"
+            )
+        self.h = hidden_size
+        self.d_ff = d_ff
+        self.t = tp_degree
+        self.activation = activation
+        shard = d_ff // tp_degree
+        scale = 0.02
+        self.w1: List[np.ndarray] = [
+            rng.normal(0.0, scale, size=(hidden_size, shard)).astype(dtype)
+            for _ in range(tp_degree)
+        ]
+        self.b1 = [np.zeros(shard, dtype=dtype) for _ in range(tp_degree)]
+        self.w2: List[np.ndarray] = [
+            rng.normal(0.0, scale, size=(shard, hidden_size)).astype(dtype)
+            for _ in range(tp_degree)
+        ]
+        self.b2 = np.zeros(hidden_size, dtype=dtype)
+
+    def param_count(self) -> int:
+        """Learned scalars: 2*h*d_ff weights + d_ff + h biases."""
+        total = sum(w.size for w in self.w1) + sum(b.size for b in self.b1)
+        total += sum(w.size for w in self.w2) + self.b2.size
+        return total
+
+    def forward(self, x: np.ndarray, trace: OpTrace) -> np.ndarray:
+        """Forward over (s, b, h) activations."""
+        if x.ndim != 3 or x.shape[2] != self.h:
+            raise ShapeError(f"expected (s, b, {self.h}) input, got {x.shape}")
+        s, b, h = x.shape
+        act = F.ACTIVATIONS[self.activation]
+        x2 = x.reshape(s * b, h)
+        out = np.zeros_like(x2)
+        for shard in range(self.t):
+            hidden = trace.matmul("mlp_h_to_4h", x2, self.w1[shard])
+            hidden = act(hidden + self.b1[shard])
+            out += trace.matmul("mlp_4h_to_h", hidden, self.w2[shard])
+        out += self.b2
+        return out.reshape(s, b, h)
+
+
+class SwiGLUMLP:
+    """Three-matrix SwiGLU MLP: ``(silu(x Wg) * (x Wu)) Wd``.
+
+    ``intermediate_size`` defaults to the paper-discussed nominal
+    ``round(8h/3)``; real models round it to alignment-friendly values
+    (Llama-2-7B uses 11008 for h=4096), which
+    :mod:`repro.autotune.swiglu` searches for.
+    """
+
+    n_matrices = 3
+
+    def __init__(
+        self,
+        hidden_size: int,
+        rng: np.random.Generator,
+        intermediate_size: "int | None" = None,
+        tp_degree: int = 1,
+        dtype=np.float64,
+    ) -> None:
+        d_ff = (
+            int(round(8 * hidden_size / 3))
+            if intermediate_size is None
+            else intermediate_size
+        )
+        _check_mlp_dims(hidden_size, d_ff, tp_degree)
+        self.h = hidden_size
+        self.d_ff = d_ff
+        self.t = tp_degree
+        shard = d_ff // tp_degree
+        scale = 0.02
+        mk = lambda rows, cols: rng.normal(0.0, scale, size=(rows, cols)).astype(dtype)
+        self.w_gate = [mk(hidden_size, shard) for _ in range(tp_degree)]
+        self.w_up = [mk(hidden_size, shard) for _ in range(tp_degree)]
+        self.w_down = [mk(shard, hidden_size) for _ in range(tp_degree)]
+
+    def param_count(self) -> int:
+        """Learned scalars: 3*h*d_ff (SwiGLU is conventionally bias-free)."""
+        return sum(
+            w.size
+            for group in (self.w_gate, self.w_up, self.w_down)
+            for w in group
+        )
+
+    def forward(self, x: np.ndarray, trace: OpTrace) -> np.ndarray:
+        """Forward over (s, b, h) activations."""
+        if x.ndim != 3 or x.shape[2] != self.h:
+            raise ShapeError(f"expected (s, b, {self.h}) input, got {x.shape}")
+        s, b, h = x.shape
+        x2 = x.reshape(s * b, h)
+        out = np.zeros_like(x2)
+        for shard in range(self.t):
+            gate = trace.matmul("mlp_gate", x2, self.w_gate[shard])
+            up = trace.matmul("mlp_up", x2, self.w_up[shard])
+            hidden = F.silu(gate) * up
+            out += trace.matmul("mlp_down", hidden, self.w_down[shard])
+        return out.reshape(s, b, h)

@@ -1,0 +1,159 @@
+"""Full decoder-only language model (paper Fig 4).
+
+Input tokens -> word embedding (v x h) -> (+ positional) -> L transformer
+blocks -> final norm -> logit projection back to the vocabulary.
+
+The model exposes :meth:`param_count`, which tests check against the
+paper's formula ``P = 12h^2 L + 13hL + (v+s)h`` (Sec III-C), and a fully
+traced :meth:`forward`, whose recorded matmul shapes tests check against
+the analytical Table II mapping in :mod:`repro.core.gemms`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer import functional as F
+from repro.transformer import positional as pos
+from repro.transformer.block import TransformerBlock
+from repro.transformer.trace import OpTrace
+
+
+class DecoderModel:
+    """GPT-2-style decoder LM over integer token ids.
+
+    Parameters mirror the paper's Table I variables: ``hidden_size`` =
+    h, ``num_heads`` = a, ``num_layers`` = L, ``max_seq`` = s (the
+    positional table extent), ``vocab_size`` = v, ``tp_degree`` = t.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        max_seq: int,
+        hidden_size: int,
+        num_heads: int,
+        num_layers: int,
+        rng: Optional[np.random.Generator] = None,
+        tp_degree: int = 1,
+        parallel_layers: bool = False,
+        mlp_kind: str = "classic",
+        intermediate_size: "int | None" = None,
+        positional: str = "learned",
+        tie_embeddings: bool = True,
+        num_kv_heads: "int | None" = None,
+        attention_window: "int | None" = None,
+        num_experts: "int | None" = None,
+        moe_top_k: int = 2,
+        dtype=np.float64,
+    ) -> None:
+        if min(vocab_size, max_seq, hidden_size, num_heads, num_layers) <= 0:
+            raise ConfigError("all model dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.v = vocab_size
+        self.s_max = max_seq
+        self.h = hidden_size
+        self.a = num_heads
+        self.L = num_layers
+        self.positional = pos.validate_kind(positional)
+        self.tie_embeddings = tie_embeddings
+        self.dtype = dtype
+
+        self.wte = rng.normal(0.0, 0.02, size=(vocab_size, hidden_size)).astype(dtype)
+        self.wpe = (
+            pos.learned_positions(max_seq, hidden_size, rng).astype(dtype)
+            if self.positional == "learned"
+            else None
+        )
+        self.blocks = [
+            TransformerBlock(
+                hidden_size,
+                num_heads,
+                rng,
+                tp_degree=tp_degree,
+                parallel_layers=parallel_layers,
+                mlp_kind=mlp_kind,
+                intermediate_size=intermediate_size,
+                positional=self.positional,
+                num_kv_heads=num_kv_heads,
+                attention_window=attention_window,
+                num_experts=num_experts,
+                moe_top_k=moe_top_k,
+                dtype=dtype,
+            )
+            for _ in range(num_layers)
+        ]
+        self.lnf_gamma = np.ones(hidden_size, dtype=dtype)
+        self.lnf_beta = np.zeros(hidden_size, dtype=dtype)
+        self.lm_head = (
+            None
+            if tie_embeddings
+            else rng.normal(0.0, 0.02, size=(hidden_size, vocab_size)).astype(dtype)
+        )
+
+    # -- accounting -------------------------------------------------------------
+
+    def param_count(self, include_final_norm: bool = True) -> int:
+        """Number of learned scalars in the model.
+
+        With tied embeddings, learned positions and ``include_final_norm
+        =False`` this equals the paper's ``12h^2 L + 13hL + (v+s)h``
+        exactly (the final layer norm's 2h is the only term the formula
+        omits).
+        """
+        total = self.wte.size
+        if self.wpe is not None:
+            total += self.wpe.size
+        total += sum(block.param_count() for block in self.blocks)
+        if include_final_norm:
+            total += self.lnf_gamma.size + self.lnf_beta.size
+        if self.lm_head is not None:
+            total += self.lm_head.size
+        return total
+
+    # -- forward ----------------------------------------------------------------
+
+    def embed(self, token_ids: np.ndarray) -> np.ndarray:
+        """Token + position embedding: (s, b) ids -> (s, b, h)."""
+        if token_ids.ndim != 2:
+            raise ShapeError(f"token_ids must be (s, b), got {token_ids.shape}")
+        s, _b = token_ids.shape
+        if s > self.s_max:
+            raise ShapeError(f"sequence {s} exceeds positional table {self.s_max}")
+        x = F.embedding_lookup(self.wte, token_ids)
+        if self.wpe is not None:
+            x = x + self.wpe[:s][:, None, :]
+        return x
+
+    def forward(
+        self, token_ids: np.ndarray, trace: Optional[OpTrace] = None
+    ) -> np.ndarray:
+        """Full forward: (s, b) token ids -> (s, b, v) logits."""
+        trace = trace if trace is not None else OpTrace()
+        if token_ids.ndim != 2:
+            raise ShapeError(f"token_ids must be (s, b), got {token_ids.shape}")
+        s, b = token_ids.shape
+        positions = np.arange(s)
+        x = self.embed(token_ids)
+        for block in self.blocks:
+            x = block.forward(x, trace, positions)
+        x = F.layer_norm(x, self.lnf_gamma, self.lnf_beta)
+        head = self.wte.T if self.lm_head is None else self.lm_head
+        # The logit GEMM of Table II / Fig 20: (b*s, h) x (h, v).  The
+        # paper's table writes the transposed orientation; the (m,n,k)
+        # multiset — hence the performance analysis — is identical.
+        logits = trace.matmul("logit", x.reshape(s * b, self.h), head)
+        return logits.reshape(s, b, self.v)
+
+    def loss(self, token_ids: np.ndarray, trace: Optional[OpTrace] = None) -> float:
+        """Next-token cross-entropy over a (s, b) batch."""
+        s, b = token_ids.shape
+        if s < 2:
+            raise ShapeError("need at least 2 tokens for next-token loss")
+        logits = self.forward(token_ids, trace)
+        pred = logits[:-1].reshape((s - 1) * b, self.v)
+        target = token_ids[1:].reshape((s - 1) * b)
+        return F.cross_entropy(pred, target)

@@ -1,0 +1,142 @@
+"""Mixture-of-Experts MLP (Mixtral-style top-k routing).
+
+MoE replaces the dense MLP with ``E`` expert MLPs and a learned router;
+each token is processed by its top-k experts and the outputs are
+combined with the (renormalized) router weights.  From the paper's
+GEMM-shape perspective this changes one thing fundamentally: the MLP
+GEMMs' *row* count is no longer the fixed ``b*s`` but the per-expert
+token count — a quantity set by routing, typically ``b*s*k/E`` on
+average, and rarely a friendly multiple.  Tile quantization and launch
+overhead on E small GEMMs replace one large, well-shaped GEMM, which is
+exactly the co-design trade-off this library's models can price.
+
+The NumPy implementation routes *exactly* (true top-k, no capacity
+dropping), so traced expert GEMMs have data-dependent row counts whose
+total is always ``b*s*k`` — tests pin that conservation law.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer import functional as F
+from repro.transformer.mlp import MLP, SwiGLUMLP
+from repro.transformer.trace import OpTrace
+
+
+class _PrefixTrace:
+    """Proxy that prefixes module labels before delegating to a trace.
+
+    Lets the dense expert MLPs record under ``moe_``-prefixed names
+    (``moe_mlp_gate`` etc.) so MoE and dense layers stay distinguishable
+    in profiles and mapping tests.
+    """
+
+    def __init__(self, inner: OpTrace, prefix: str) -> None:
+        self._inner = inner
+        self._prefix = prefix
+
+    def matmul(self, module: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return self._inner.matmul(self._prefix + module, x, w)
+
+    def bmm(self, module: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._inner.bmm(self._prefix + module, a, b)
+
+
+class MoEMLP:
+    """Top-k routed mixture of expert MLPs over (s, b, h) activations.
+
+    Parameters
+    ----------
+    num_experts, top_k:
+        ``E`` experts; each token visits its ``k`` highest-scoring ones
+        (Mixtral: E=8, k=2).
+    expert_kind:
+        ``"swiglu"`` (Mixtral's choice, default) or ``"classic"``.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        rng: np.random.Generator,
+        num_experts: int,
+        top_k: int = 2,
+        intermediate_size: "int | None" = None,
+        expert_kind: str = "swiglu",
+        dtype=np.float64,
+    ) -> None:
+        if num_experts < 2:
+            raise ConfigError(f"num_experts must be >= 2, got {num_experts}")
+        if not (1 <= top_k <= num_experts):
+            raise ConfigError(
+                f"top_k must be in [1, num_experts], got {top_k}/{num_experts}"
+            )
+        self.h = hidden_size
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.expert_kind = expert_kind
+        self.router = rng.normal(0.0, 0.02, size=(hidden_size, num_experts)).astype(
+            dtype
+        )
+        if expert_kind == "swiglu":
+            self.experts: List = [
+                SwiGLUMLP(hidden_size, rng, intermediate_size=intermediate_size, dtype=dtype)
+                for _ in range(num_experts)
+            ]
+        elif expert_kind == "classic":
+            self.experts = [
+                MLP(hidden_size, rng, intermediate_size=intermediate_size, dtype=dtype)
+                for _ in range(num_experts)
+            ]
+        else:
+            raise ConfigError(f"unknown expert_kind {expert_kind!r}")
+        self.d_ff = self.experts[0].d_ff
+
+    @property
+    def n_matrices(self) -> int:
+        return self.experts[0].n_matrices
+
+    def param_count(self) -> int:
+        """Router weights plus every expert's parameters."""
+        return self.router.size + sum(e.param_count() for e in self.experts)
+
+    def forward(self, x: np.ndarray, trace: OpTrace) -> np.ndarray:
+        """Route, run experts on their token subsets, combine.
+
+        The router scores are a traced GEMM ``(s*b, h) x (h, E)``; each
+        expert processes only its routed tokens, so its traced matmuls
+        have data-dependent row counts summing to ``s*b*top_k``.
+        """
+        if x.ndim != 3 or x.shape[2] != self.h:
+            raise ShapeError(f"expected (s, b, {self.h}) input, got {x.shape}")
+        s, b, h = x.shape
+        x2 = x.reshape(s * b, h)
+
+        logits = trace.matmul("moe_router", x2, self.router)  # (tokens, E)
+        probs = F.softmax(logits, axis=-1)
+        # Top-k selection with renormalized weights (Mixtral recipe).
+        top_idx = np.argsort(-probs, axis=-1)[:, : self.top_k]  # (tokens, k)
+        rows = np.arange(x2.shape[0])[:, None]
+        top_w = probs[rows, top_idx]
+        top_w = top_w / top_w.sum(axis=-1, keepdims=True)
+
+        out = np.zeros_like(x2)
+        for e, expert in enumerate(self.experts):
+            mask = (top_idx == e).any(axis=-1)
+            token_rows = np.nonzero(mask)[0]
+            if token_rows.size == 0:
+                continue
+            weights = np.where(top_idx[token_rows] == e, top_w[token_rows], 0.0).sum(
+                axis=-1
+            )
+            routed = x2[token_rows]
+            # Experts see (n_e, 1, h) "sequences"; reuse the dense MLPs
+            # under moe_-prefixed trace labels.
+            expert_out = expert.forward(
+                routed[:, None, :], _PrefixTrace(trace, "moe_")
+            ).reshape(token_rows.size, h)
+            out[token_rows] += weights[:, None] * expert_out
+        return out.reshape(s, b, h)

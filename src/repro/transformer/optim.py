@@ -1,0 +1,125 @@
+"""Minimal optimizers for the NumPy training loop.
+
+Gradient descent and Adam over the gradient dictionaries produced by
+:func:`repro.transformer.backward.loss_and_gradients`.  Parameters are
+addressed through a name -> array registry built from the model, so the
+update is a plain in-place walk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.transformer.model import DecoderModel
+
+ParamRegistry = Dict[str, np.ndarray]
+
+
+def parameter_registry(model: DecoderModel) -> ParamRegistry:
+    """Name -> array view of every trainable tensor (t=1, tied, classic).
+
+    Names match the gradient keys of ``loss_and_gradients``.
+    """
+    params: ParamRegistry = {
+        "wte": model.wte,
+        "lnf_gamma": model.lnf_gamma,
+        "lnf_beta": model.lnf_beta,
+    }
+    if model.wpe is not None:
+        params["wpe"] = model.wpe
+    for i, block in enumerate(model.blocks):
+        att, mlp = block.attention, block.mlp
+        params[f"L{i}.attention.w_qkv"] = att.w_qkv[0]
+        params[f"L{i}.attention.b_qkv"] = att.b_qkv[0]
+        params[f"L{i}.attention.w_proj"] = att.w_proj[0]
+        params[f"L{i}.attention.b_proj"] = att.b_proj
+        params[f"L{i}.mlp.w1"] = mlp.w1[0]
+        params[f"L{i}.mlp.b1"] = mlp.b1[0]
+        params[f"L{i}.mlp.w2"] = mlp.w2[0]
+        params[f"L{i}.mlp.b2"] = mlp.b2
+        params[f"L{i}.ln1_gamma"] = block.ln1_gamma
+        params[f"L{i}.ln1_beta"] = block.ln1_beta
+        params[f"L{i}.ln2_gamma"] = block.ln2_gamma
+        params[f"L{i}.ln2_beta"] = block.ln2_beta
+    return params
+
+
+class SGD:
+    """Plain gradient descent with optional gradient clipping."""
+
+    def __init__(self, params: ParamRegistry, lr: float, clip: float = 0.0) -> None:
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        self.params = params
+        self.lr = lr
+        self.clip = clip
+
+    def step(self, grads: Dict[str, np.ndarray]) -> None:
+        scale = _clip_scale(grads, self.clip)
+        for name, grad in grads.items():
+            if name in self.params:
+                self.params[name] -= self.lr * scale * grad
+
+
+class Adam:
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: ParamRegistry,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip: float = 0.0,
+    ) -> None:
+        if lr <= 0 or not (0 <= beta1 < 1) or not (0 <= beta2 < 1):
+            raise ConfigError("invalid Adam hyperparameters")
+        self.params = params
+        self.lr, self.beta1, self.beta2, self.eps, self.clip = lr, beta1, beta2, eps, clip
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+        self.t = 0
+
+    def step(self, grads: Dict[str, np.ndarray]) -> None:
+        self.t += 1
+        scale = _clip_scale(grads, self.clip)
+        b1c = 1.0 - self.beta1**self.t
+        b2c = 1.0 - self.beta2**self.t
+        for name, grad in grads.items():
+            if name not in self.params:
+                continue
+            g = grad * scale
+            self.m[name] = self.beta1 * self.m[name] + (1 - self.beta1) * g
+            self.v[name] = self.beta2 * self.v[name] + (1 - self.beta2) * g * g
+            m_hat = self.m[name] / b1c
+            v_hat = self.v[name] / b2c
+            self.params[name] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def _clip_scale(grads: Dict[str, np.ndarray], clip: float) -> float:
+    if clip <= 0:
+        return 1.0
+    norm = float(np.sqrt(sum(float((g * g).sum()) for g in grads.values())))
+    return min(1.0, clip / (norm + 1e-12))
+
+
+def train(
+    model: DecoderModel,
+    batches,
+    optimizer: "SGD | Adam",
+    on_step: "Callable[[int, float], None] | None" = None,
+) -> float:
+    """Run the full loop over ``batches``; returns the final loss."""
+    from repro.transformer.backward import loss_and_gradients
+
+    loss = float("nan")
+    for step, ids in enumerate(batches):
+        loss, grads = loss_and_gradients(model, ids)
+        optimizer.step(grads)
+        if on_step is not None:
+            on_step(step, loss)
+    return loss

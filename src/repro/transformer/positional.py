@@ -1,0 +1,97 @@
+"""Positional embedding variants (paper Sec VI-C2).
+
+Implements the three approaches the paper discusses:
+
+- **learned** absolute position embeddings (the GPT-2 default): a
+  pointwise table add,
+- **rotary** (RoFormer): pairwise rotation of query/key channels,
+- **ALiBi**: additive linear biases on the attention scores.
+
+The paper's conclusion is that the choice "does not impact our analysis"
+— rotary and ALiBi touch only the memory-bound score path — and tests
+here verify exactly that: the traced GEMM shapes are identical across
+all three variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+POSITIONAL_KINDS = ("learned", "rotary", "alibi", "none")
+
+
+def learned_positions(s: int, h: int, rng: np.random.Generator) -> np.ndarray:
+    """A learned position table of shape (s, h), N(0, 0.02) init."""
+    if s <= 0 or h <= 0:
+        raise ShapeError(f"positions require positive dims, got s={s}, h={h}")
+    return rng.normal(0.0, 0.02, size=(s, h))
+
+
+def rotary_frequencies(dim: int, base: float = 10000.0) -> np.ndarray:
+    """Inverse frequencies for rotary embeddings over a head dim."""
+    if dim <= 0 or dim % 2:
+        raise ShapeError(f"rotary head dim must be positive and even, got {dim}")
+    return 1.0 / base ** (np.arange(0, dim, 2) / dim)
+
+
+def apply_rotary(x: np.ndarray, positions: np.ndarray, base: float = 10000.0) -> np.ndarray:
+    """Rotate (…, s, d) channel pairs by position-dependent angles.
+
+    ``x``: array whose last two axes are (sequence, head_dim);
+    ``positions``: (s,) integer positions.
+    """
+    d = x.shape[-1]
+    s = x.shape[-2]
+    if positions.shape != (s,):
+        raise ShapeError(f"positions shape {positions.shape} != ({s},)")
+    freqs = rotary_frequencies(d, base)
+    angles = positions[:, None] * freqs[None, :]  # (s, d/2)
+    cos, sin = np.cos(angles), np.sin(angles)
+    x1, x2 = x[..., 0::2], x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
+def alibi_slopes(num_heads: int) -> np.ndarray:
+    """Per-head ALiBi slopes: geometric sequence from 2^(-8/a).
+
+    Follows Press et al.: for head counts that are not powers of two the
+    sequence is extended with interleaved slopes from the next power.
+    """
+    if num_heads <= 0:
+        raise ShapeError(f"num_heads must be positive, got {num_heads}")
+
+    def pow2_slopes(n: int) -> np.ndarray:
+        start = 2.0 ** (-(2.0 ** -(np.log2(n) - 3)))
+        return start ** np.arange(1, n + 1)
+
+    log2 = int(np.log2(num_heads))
+    if 2**log2 == num_heads:
+        return pow2_slopes(num_heads)
+    base = pow2_slopes(2**log2)
+    extra = pow2_slopes(2 ** (log2 + 1))[0::2][: num_heads - 2**log2]
+    return np.concatenate([base, extra])
+
+
+def alibi_bias(num_heads: int, s: int) -> np.ndarray:
+    """Additive (a, s, s) bias matrix: -slope * distance, causal lower tri."""
+    if s <= 0:
+        raise ShapeError(f"sequence length must be positive, got {s}")
+    slopes = alibi_slopes(num_heads)
+    dist = np.arange(s)[None, :] - np.arange(s)[:, None]  # j - i
+    dist = np.minimum(dist, 0)  # only past positions get bias
+    return slopes[:, None, None] * dist[None, :, :]
+
+
+def validate_kind(kind: str) -> str:
+    """Check and normalize a positional-embedding kind name."""
+    k = kind.strip().lower()
+    if k not in POSITIONAL_KINDS:
+        raise ConfigError(
+            f"unknown positional embedding {kind!r}; choose from {POSITIONAL_KINDS}"
+        )
+    return k

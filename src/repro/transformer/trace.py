@@ -1,0 +1,145 @@
+"""Matmul operation tracing.
+
+The paper's entire analysis rests on one mapping: *which GEMMs does a
+transformer layer actually execute* (Table II).  Rather than trusting a
+hand-derived table, the NumPy transformer routes every matrix
+multiplication through :meth:`OpTrace.matmul` / :meth:`OpTrace.bmm`,
+recording the executed shapes.  Tests then diff the recorded shapes
+against the analytical mapping, making the Table II reproduction
+self-verifying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class MatmulRecord:
+    """One executed (batched) matrix multiplication.
+
+    ``batch == 1`` denotes a plain GEMM.  Shapes follow BLAS convention:
+    the operation was ``batch x [(m, k) @ (k, n)]``.
+    """
+
+    module: str
+    m: int
+    k: int
+    n: int
+    batch: int = 1
+
+    @property
+    def flops(self) -> int:
+        """Multiply-add operation count (2 * b * m * n * k)."""
+        return 2 * self.batch * self.m * self.n * self.k
+
+    @property
+    def is_bmm(self) -> bool:
+        return self.batch > 1
+
+    def shape_tuple(self) -> Tuple[int, int, int, int]:
+        """(batch, m, k, n) for order-insensitive comparisons."""
+        return (self.batch, self.m, self.k, self.n)
+
+
+class OpTrace:
+    """Recorder and executor of traced matrix multiplications.
+
+    Pass an instance to the transformer modules; afterwards inspect
+    :attr:`records`, or aggregate with :meth:`flops` /
+    :meth:`by_module`.  The trace executes the arithmetic itself (via
+    :func:`numpy.matmul`) so recording cannot drift from computation.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[MatmulRecord] = []
+
+    # -- executing + recording ---------------------------------------------
+
+    def matmul(self, module: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """2-D GEMM ``x @ w`` with shape recording."""
+        if x.ndim != 2 or w.ndim != 2:
+            raise ShapeError(
+                f"{module}: matmul expects 2-D operands, got {x.shape} @ {w.shape}"
+            )
+        if x.shape[1] != w.shape[0]:
+            raise ShapeError(
+                f"{module}: inner dims disagree: {x.shape} @ {w.shape}"
+            )
+        m, k = x.shape
+        n = w.shape[1]
+        self.records.append(MatmulRecord(module=module, m=m, k=k, n=n))
+        return x @ w
+
+    def bmm(self, module: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Batched GEMM ``a @ b`` for 3-D stacks with shape recording."""
+        if a.ndim != 3 or b.ndim != 3:
+            raise ShapeError(
+                f"{module}: bmm expects 3-D operands, got {a.shape} @ {b.shape}"
+            )
+        if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+            raise ShapeError(f"{module}: bmm shapes disagree: {a.shape} @ {b.shape}")
+        batch, m, k = a.shape
+        n = b.shape[2]
+        self.records.append(MatmulRecord(module=module, m=m, k=k, n=n, batch=batch))
+        return np.matmul(a, b)
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[MatmulRecord]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def flops(self) -> int:
+        """Total multiply-add FLOPs across all recorded matmuls."""
+        return sum(r.flops for r in self.records)
+
+    def by_module(self) -> Dict[str, List[MatmulRecord]]:
+        """Records grouped by module label, preserving order."""
+        groups: Dict[str, List[MatmulRecord]] = {}
+        for rec in self.records:
+            groups.setdefault(rec.module, []).append(rec)
+        return groups
+
+    def modules(self) -> List[str]:
+        """Distinct module labels in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for rec in self.records:
+            seen.setdefault(rec.module)
+        return list(seen)
+
+    def summary(self) -> str:
+        """Human-readable per-module FLOP breakdown."""
+        total = max(self.flops(), 1)
+        lines = []
+        for module, recs in self.by_module().items():
+            fl = sum(r.flops for r in recs)
+            lines.append(
+                f"{module:<24} {len(recs):>3} matmuls  {fl:>16,} FLOPs  "
+                f"({100.0 * fl / total:5.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+class NullTrace(OpTrace):
+    """An :class:`OpTrace` that executes but does not record.
+
+    Useful when the caller wants the traced code path without paying
+    list-append overhead (e.g. in benchmarks of the NumPy forward).
+    """
+
+    def matmul(self, module: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return x @ w
+
+    def bmm(self, module: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.matmul(a, b)

@@ -1,0 +1,70 @@
+"""Tests for the generic dimension search."""
+
+import pytest
+
+from repro.autotune.search import SearchResult, result_for, search_dimension
+from repro.errors import ConfigError
+
+
+def parabola(center=100):
+    return lambda v: float((v - center) ** 2 + 1)
+
+
+class TestSearch:
+    def test_ranked_ascending_latency(self):
+        results = search_dimension(parabola(), 80, 120, step=1)
+        lats = [r.latency_s for r in results]
+        assert lats == sorted(lats)
+        assert results[0].value == 100
+
+    def test_step_grid(self):
+        results = search_dimension(parabola(), 80, 120, step=10)
+        assert {r.value for r in results} == {80, 90, 100, 110, 120}
+
+    def test_must_include_off_grid(self):
+        results = search_dimension(parabola(), 80, 120, step=10, must_include=[97])
+        assert any(r.value == 97 for r in results)
+
+    def test_must_include_out_of_range_ignored(self):
+        results = search_dimension(parabola(), 80, 120, step=10, must_include=[500])
+        assert not any(r.value == 500 for r in results)
+
+    def test_constraint_filters(self):
+        results = search_dimension(
+            parabola(), 80, 120, constraint=lambda v: v % 2 == 0
+        )
+        assert all(r.value % 2 == 0 for r in results)
+
+    def test_all_filtered_raises(self):
+        with pytest.raises(ConfigError):
+            search_dimension(parabola(), 80, 120, constraint=lambda v: False)
+
+    def test_bad_range_raises(self):
+        with pytest.raises(ConfigError):
+            search_dimension(parabola(), 120, 80)
+        with pytest.raises(ConfigError):
+            search_dimension(parabola(), 80, 120, step=0)
+
+    def test_ties_broken_by_value(self):
+        results = search_dimension(lambda v: 1.0, 1, 5)
+        assert [r.value for r in results] == [1, 2, 3, 4, 5]
+
+
+class TestSearchResult:
+    def test_percentile(self):
+        results = search_dimension(parabola(), 96, 104)
+        best = results[0]
+        worst = results[-1]
+        assert best.percentile == 1.0
+        assert worst.percentile == 0.0
+        assert best.is_top_decile
+
+    def test_single_candidate_percentile(self):
+        res = SearchResult(value=1, latency_s=1.0, rank=0, total=1)
+        assert res.percentile == 1.0
+
+    def test_result_for(self):
+        results = search_dimension(parabola(), 90, 110)
+        assert result_for(results, 100).rank == 0
+        with pytest.raises(ConfigError):
+            result_for(results, 999)

@@ -1,0 +1,42 @@
+"""Tests for vocabulary padding (Fig 20 / nanoGPT trick)."""
+
+import pytest
+
+from repro.autotune.vocab import pad_vocab, vocab_padding_gain
+from repro.errors import ConfigError
+
+
+class TestPadVocab:
+    def test_gpt2_case(self):
+        # Karpathy's nanoGPT: 50257 -> 50304.
+        assert pad_vocab(50257) == 50304
+
+    def test_aligned_identity(self):
+        assert pad_vocab(50304) == 50304
+
+    def test_custom_multiple(self):
+        assert pad_vocab(100, multiple=128) == 128
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ConfigError):
+            pad_vocab(0)
+        with pytest.raises(ConfigError):
+            pad_vocab(100, multiple=0)
+
+
+class TestPaddingGain:
+    def test_gpt2_padding_speeds_up_logit_gemm(self):
+        gain = vocab_padding_gain(v=50257, h=2560, tokens=8192)
+        assert gain.padded_v == 50304
+        assert gain.extra_tokens == 47
+        assert gain.speedup > 1.05
+
+    def test_aligned_vocab_no_change(self):
+        gain = vocab_padding_gain(v=50304, h=2560, tokens=8192)
+        assert gain.speedup == pytest.approx(1.0)
+        assert gain.extra_tokens == 0
+
+    def test_gain_holds_across_gpus(self):
+        for gpu in ("V100", "A100", "H100"):
+            gain = vocab_padding_gain(v=50257, h=2048, tokens=4096, gpu=gpu)
+            assert gain.speedup > 1.0, gpu

@@ -1,0 +1,35 @@
+"""Tests for the paper anchor records."""
+
+import pytest
+
+from repro.calibration.data import PAPER_ANCHORS, Anchor, get_anchor
+
+
+class TestAnchors:
+    def test_paper_values_inside_bands(self):
+        for anchor in PAPER_ANCHORS:
+            assert anchor.lo <= anchor.paper_value <= anchor.hi, anchor.key
+
+    def test_check_inside(self):
+        anchor = Anchor("k", "d", 1.0, 0.5, 1.5, "s")
+        assert anchor.check(1.2)
+        assert not anchor.check(1.6)
+        assert not anchor.check(0.4)
+
+    def test_expected_keys_present(self):
+        keys = {a.key for a in PAPER_ANCHORS}
+        assert {
+            "gemm_share_medium",
+            "gemm_share_large",
+            "gpt3_27b_retune_speedup",
+            "max_shape_speedup",
+            "h100_a100_ratio",
+        } <= keys
+
+    def test_get_anchor(self):
+        assert get_anchor("gemm_share_medium").paper_value == pytest.approx(0.683)
+        with pytest.raises(KeyError):
+            get_anchor("nope")
+
+    def test_sources_cited(self):
+        assert all(a.source for a in PAPER_ANCHORS)

@@ -1,0 +1,82 @@
+"""Tests for calibration: fitters must recover generating constants."""
+
+import pytest
+
+from repro.calibration.fit import (
+    MeasuredGemm,
+    fit_bw_efficiency,
+    fit_efficiency_floor,
+    synthetic_samples,
+)
+from repro.errors import CalibrationError
+from repro.gpu import alignment
+from repro.gpu.gemm_model import GemmModel
+
+
+class TestMeasuredGemm:
+    def test_valid(self):
+        m = MeasuredGemm(m=128, n=128, k=128, latency_s=1e-5)
+        assert m.batch == 1
+
+    def test_invalid_raises(self):
+        with pytest.raises(CalibrationError):
+            MeasuredGemm(m=0, n=128, k=128, latency_s=1e-5)
+        with pytest.raises(CalibrationError):
+            MeasuredGemm(m=128, n=128, k=128, latency_s=0.0)
+
+
+class TestBwFit:
+    def test_recovers_generating_value(self):
+        # Generate 'measurements' from a model with bw_eff = 0.70 and
+        # check the fitter finds it.
+        target = 0.70
+        gen = GemmModel("A100", bw_efficiency=target)
+        samples = [
+            MeasuredGemm(m, n, k, gen.latency(m, n, k))
+            for m, n, k in [(2048, 2048, 64), (4096, 4096, 128), (2048, 2048, 80)]
+        ]
+        result = fit_bw_efficiency(samples)
+        assert result.value == pytest.approx(target, abs=0.02)
+        assert result.rms_rel_error < 0.05
+        assert result.samples == 3
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(CalibrationError):
+            fit_bw_efficiency([MeasuredGemm(128, 128, 128, 1e-5)])
+
+
+class TestFloorFit:
+    def test_runs_and_restores_global(self):
+        original = alignment._EFF_AT_MIN
+        samples = synthetic_samples()
+        result = fit_efficiency_floor(samples)
+        assert alignment._EFF_AT_MIN == original
+        assert 0.2 <= result.value <= 0.95
+
+    def test_self_consistent_fit_near_current_value(self):
+        # Fitting against the model's own outputs should land near the
+        # current constant.
+        samples = synthetic_samples()
+        result = fit_efficiency_floor(samples)
+        assert result.value == pytest.approx(alignment._EFF_AT_MIN, abs=0.1)
+        assert result.rms_rel_error < 0.05
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(CalibrationError):
+            fit_efficiency_floor(synthetic_samples()[:1])
+
+
+class TestSyntheticSamples:
+    def test_deterministic_without_noise(self):
+        a = synthetic_samples(noise=0.0)
+        b = synthetic_samples(noise=0.0)
+        assert [s.latency_s for s in a] == [s.latency_s for s in b]
+
+    def test_noise_perturbs(self):
+        a = synthetic_samples(noise=0.0)
+        b = synthetic_samples(noise=0.1, seed=7)
+        assert [s.latency_s for s in a] != [s.latency_s for s in b]
+
+    def test_noisy_fit_still_converges(self):
+        result = fit_bw_efficiency(synthetic_samples(noise=0.03, seed=11))
+        assert 0.4 <= result.value <= 1.0

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TransformerConfig
+from repro.gpu.specs import get_gpu
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return get_gpu("A100")
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return get_gpu("V100")
+
+
+@pytest.fixture(scope="session")
+def h100():
+    return get_gpu("H100")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_config():
+    """A transformer small enough to execute in NumPy within a test."""
+    return TransformerConfig(
+        name="test-small",
+        hidden_size=64,
+        num_heads=4,
+        num_layers=2,
+        vocab_size=128,
+        seq_len=16,
+        microbatch=2,
+    )
+
+
+@pytest.fixture()
+def medium_config():
+    """A realistic shape for latency-model tests (never executed)."""
+    return TransformerConfig(
+        name="test-medium",
+        hidden_size=2048,
+        num_heads=16,
+        num_layers=24,
+        vocab_size=50304,
+        seq_len=2048,
+        microbatch=4,
+    )

@@ -1,0 +1,70 @@
+"""Tests for the latency-proportion analyses (Figs 2 and 11, Sec I)."""
+
+import pytest
+
+from repro.core.breakdown import (
+    LARGE_CONFIG,
+    MEDIUM_CONFIG,
+    component_proportions,
+    dominant_gemms,
+    gemm_proportions,
+    gemm_share,
+    gemm_share_sweep,
+)
+
+
+class TestComponentProportions:
+    def test_sum_to_one(self):
+        props = component_proportions(MEDIUM_CONFIG)
+        assert sum(props.values()) == pytest.approx(1.0)
+
+    def test_mlp_among_largest(self):
+        props = component_proportions(MEDIUM_CONFIG)
+        top3 = sorted(props, key=lambda k: -props[k])[:3]
+        assert "mlp_h_to_4h" in top3 or "mlp_4h_to_h" in top3
+
+
+class TestGemmShare:
+    def test_medium_in_paper_band(self):
+        # Paper: 68.3% for medium models.
+        assert 0.55 <= gemm_share(MEDIUM_CONFIG) <= 0.80
+
+    def test_large_in_paper_band(self):
+        # Paper: 94.9% for large models; our pointwise model keeps a
+        # slightly fatter non-GEMM remainder.
+        assert 0.80 <= gemm_share(LARGE_CONFIG) <= 0.99
+
+    def test_share_grows_with_size(self):
+        assert gemm_share(LARGE_CONFIG) > gemm_share(MEDIUM_CONFIG)
+
+    def test_sweep_monotone_overall(self):
+        rows = gemm_share_sweep([1024, 4096, 12288])
+        shares = [share for _, share in rows]
+        assert shares[0] < shares[-1]
+
+    def test_sweep_returns_requested_points(self):
+        rows = gemm_share_sweep([2048, 4096])
+        assert [h for h, _ in rows] == [2048, 4096]
+
+
+class TestGemmProportions:
+    def test_fractions_of_gemm_time_sum_to_one(self):
+        props = gemm_proportions(LARGE_CONFIG)
+        assert sum(props.values()) == pytest.approx(1.0)
+
+    def test_qkv_and_mlp_dominate_large_models(self):
+        # Fig 11 / Sec VI-A.
+        props = gemm_proportions(LARGE_CONFIG)
+        dominant = (
+            props["qkv_transform"] + props["mlp_h_to_4h"] + props["mlp_4h_to_h"]
+        )
+        assert dominant > 0.55
+
+    def test_aov_smallest_in_large_models(self):
+        props = gemm_proportions(LARGE_CONFIG)
+        assert props["attention_over_value"] == min(props.values())
+
+    def test_dominant_gemms_helper(self):
+        top = dominant_gemms(LARGE_CONFIG, top=3)
+        assert len(top) == 3
+        assert "attention_over_value" not in top

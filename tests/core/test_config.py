@@ -1,0 +1,168 @@
+"""Tests for TransformerConfig and the model-preset registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TransformerConfig, get_model, list_models
+from repro.errors import ConfigError
+from repro.transformer.model import DecoderModel
+
+
+class TestValidation:
+    def test_h_divisible_by_a_required(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig(name="x", hidden_size=100, num_heads=3, num_layers=1)
+
+    def test_positive_dims_required(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig(name="x", hidden_size=0, num_heads=1, num_layers=1)
+        with pytest.raises(ConfigError):
+            TransformerConfig(name="x", hidden_size=64, num_heads=1, num_layers=-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig(name="x", hidden_size=64.0, num_heads=1, num_layers=1)
+
+    def test_unknown_mlp_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig(
+                name="x", hidden_size=64, num_heads=1, num_layers=1, mlp_kind="moe"
+            )
+
+
+class TestDerived:
+    def test_head_dim_and_pow2(self):
+        cfg = get_model("gpt3-2.7b")
+        assert cfg.head_dim == 80
+        assert cfg.head_dim_pow2 == 16
+
+    def test_d_ff_classic_default(self, medium_config):
+        assert medium_config.d_ff == 4 * medium_config.hidden_size
+        assert medium_config.mlp_matrices == 2
+
+    def test_d_ff_swiglu_default(self):
+        cfg = TransformerConfig(
+            name="x", hidden_size=48, num_heads=4, num_layers=1, mlp_kind="swiglu"
+        )
+        assert cfg.d_ff == 128
+        assert cfg.mlp_matrices == 3
+
+    def test_d_ff_override(self):
+        cfg = TransformerConfig(
+            name="x",
+            hidden_size=48,
+            num_heads=4,
+            num_layers=1,
+            mlp_kind="swiglu",
+            intermediate_size=160,
+        )
+        assert cfg.d_ff == 160
+
+    def test_tokens_per_microbatch(self, medium_config):
+        assert medium_config.tokens_per_microbatch == 4 * 2048
+
+    def test_with_overrides_star_suffix(self, medium_config):
+        alt = medium_config.with_overrides(num_heads=32)
+        assert alt.name == medium_config.name + "*"
+        assert alt.num_heads == 32
+        assert medium_config.num_heads == 16
+
+    def test_describe_mentions_key_dims(self, medium_config):
+        text = medium_config.describe()
+        assert "h=2048" in text and "h/a=128" in text
+
+
+class TestParamCount:
+    def test_matches_numpy_model(self, small_config):
+        cfg = small_config
+        model = DecoderModel(
+            vocab_size=cfg.vocab_size,
+            max_seq=cfg.seq_len,
+            hidden_size=cfg.hidden_size,
+            num_heads=cfg.num_heads,
+            num_layers=cfg.num_layers,
+            rng=np.random.default_rng(0),
+        )
+        # cfg.param_count excludes the final norm, like the paper.
+        assert cfg.param_count() == model.param_count(include_final_norm=False)
+
+    def test_swiglu_param_count_matches_numpy_model(self):
+        cfg = TransformerConfig(
+            name="x",
+            hidden_size=48,
+            num_heads=4,
+            num_layers=2,
+            vocab_size=96,
+            seq_len=16,
+            mlp_kind="swiglu",
+            intermediate_size=128,
+        )
+        model = DecoderModel(
+            vocab_size=96,
+            max_seq=16,
+            hidden_size=48,
+            num_heads=4,
+            num_layers=2,
+            mlp_kind="swiglu",
+            intermediate_size=128,
+        )
+        # The NumPy classic block carries biases the SwiGLU one doesn't;
+        # the config formula accounts for that too.
+        assert cfg.param_count() == model.param_count(include_final_norm=False)
+
+    def test_gpt3_2_7b_is_about_2_7b(self):
+        assert get_model("gpt3-2.7b").param_count() == pytest.approx(2.7e9, rel=0.05)
+
+    def test_c1_c2_params_equal_default(self):
+        # The whole point of Fig 1: equal parameters, different speed.
+        base = get_model("gpt3-2.7b").param_count()
+        assert get_model("c1").param_count() == base
+        assert get_model("c2").param_count() == base
+
+    def test_wide_variant_doubles_params(self):
+        # Sec VI-B: "increasing the hidden dimension to 4096 doubles the
+        # number of parameters to 6.7 billion".
+        wide = get_model("gpt3-2.7b-wide").param_count()
+        assert wide == pytest.approx(2 * get_model("gpt3-2.7b").param_count(), rel=0.3)
+        assert wide == pytest.approx(6.7e9, rel=0.05)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_model("GPT3-2.7B").name == "gpt3-2.7b"
+
+    def test_aliases(self):
+        assert get_model("gpt3-2.7b-c2").name == "c2"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError, match="known:"):
+            get_model("gpt5")
+
+    def test_override_via_get_model(self):
+        cfg = get_model("gpt3-2.7b", microbatch=8)
+        assert cfg.microbatch == 8
+        assert cfg.name == "gpt3-2.7b"
+
+    def test_list_sorted_by_params(self):
+        models = list_models()
+        params = [m.param_count() for m in models]
+        assert params == sorted(params)
+
+    def test_pythia_suite_registered(self):
+        for name in ("pythia-70m", "pythia-410m", "pythia-1b", "pythia-12b"):
+            assert get_model(name).positional == "rotary"
+
+    def test_pythia_off_trend_shapes(self):
+        # The Fig 13 mechanism is in the published shapes themselves.
+        p410 = get_model("pythia-410m")
+        p1b = get_model("pythia-1b")
+        assert p410.num_layers > p1b.num_layers
+        assert p410.num_heads > p1b.num_heads
+        assert p410.hidden_size < p1b.hidden_size
+
+    def test_llama2_swiglu_sizes(self):
+        assert get_model("llama2-7b").d_ff == 11008
+        assert get_model("llama2-70b").d_ff == 28672
+
+    def test_passthrough(self, medium_config):
+        assert get_model(medium_config) is medium_config

@@ -1,0 +1,98 @@
+"""Tests for the closed-form parameter/FLOP/memory formulas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import formulas
+from repro.errors import ConfigError
+
+
+class TestParamCount:
+    def test_paper_formula(self):
+        h, L, v, s = 64, 3, 256, 32
+        assert formulas.param_count(h, L, v, s) == (
+            12 * h * h * L + 13 * h * L + (v + s) * h
+        )
+
+    def test_approx_is_leading_term(self):
+        h, L = 2560, 32
+        exact = formulas.param_count(h, L, 50304, 2048)
+        approx = formulas.param_count_approx(h, L)
+        assert approx == 12 * h * h * L
+        # The embedding term (v+s)h is ~5% at 2.7B scale.
+        assert approx == pytest.approx(exact, rel=0.06)
+
+    def test_config_formula_reduces_to_paper(self):
+        h, L, v, s = 64, 3, 256, 32
+        assert formulas.param_count_config(
+            h, L, v, s, d_ff=4 * h, mlp_matrices=2
+        ) == formulas.param_count(h, L, v, s)
+
+    def test_swiglu_variant(self):
+        h, L, d = 64, 2, 160
+        got = formulas.param_count_config(h, L, 256, 0, d_ff=d, mlp_matrices=3)
+        per_layer = 4 * h * h + 4 * h + 3 * h * d + 4 * h
+        assert got == L * per_layer + 256 * h
+
+    def test_bad_mlp_matrices_raises(self):
+        with pytest.raises(ConfigError):
+            formulas.param_count_config(64, 2, 256, 32, d_ff=256, mlp_matrices=4)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ConfigError):
+            formulas.param_count(0, 1, 1, 1)
+        with pytest.raises(ConfigError):
+            formulas.param_count_config(64, 2, 256, -1, d_ff=256)
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 14),
+        st.integers(min_value=1, max_value=128),
+    )
+    def test_monotone_in_h_and_L(self, h, L):
+        base = formulas.param_count(h, L, 1024, 128)
+        assert formulas.param_count(h + 1, L, 1024, 128) > base
+        assert formulas.param_count(h, L + 1, 1024, 128) > base
+
+
+class TestFlops:
+    def test_paper_per_layer_identity(self):
+        # 24bsh^2 (1 + s/6h) == 24bsh^2 + 4bs^2h.
+        b, s, h = 4, 2048, 2560
+        lhs = formulas.forward_flops_per_layer(b, s, h)
+        rhs = int(24 * b * s * h * h * (1 + s / (6 * h)))
+        assert lhs == rhs
+
+    def test_general_reduces_to_paper(self):
+        b, s, h = 2, 64, 32
+        assert formulas.forward_flops_per_layer_general(
+            b, s, h, d_ff=4 * h, mlp_matrices=2
+        ) == formulas.forward_flops_per_layer(b, s, h)
+
+    def test_model_adds_logit_gemm(self):
+        b, s, h, L, v = 2, 64, 32, 3, 256
+        per_layer = formulas.forward_flops_per_layer(b, s, h)
+        assert formulas.forward_flops_model(b, s, h, L, v) == (
+            L * per_layer + 2 * b * s * h * v
+        )
+
+    def test_training_flops_3x_forward(self):
+        h, L, s = 64, 2, 128
+        fwd_per_token = formulas.forward_flops_per_layer(1, s, h) * L // s
+        assert formulas.training_flops_per_token(h, L, s) == 3 * fwd_per_token
+
+
+class TestMemory:
+    def test_weight_memory(self):
+        assert formulas.weight_memory_bytes(1000, 2) == 2000
+
+    def test_kv_cache(self):
+        assert formulas.kv_cache_bytes(2, 128, 64, 4) == 2 * 2 * 128 * 64 * 4 * 2
+
+    def test_activation_memory_positive_and_scales(self):
+        a = formulas.activation_memory_bytes(1, 128, 64, 4)
+        b = formulas.activation_memory_bytes(2, 128, 64, 4)
+        assert b == 2 * a > 0
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ConfigError):
+            formulas.kv_cache_bytes(0, 128, 64, 4)

@@ -1,0 +1,98 @@
+"""Tests for the Table II operator -> GEMM mapping."""
+
+import pytest
+
+from repro.core.config import TransformerConfig, get_model
+from repro.core.gemms import (
+    TransformerGemm,
+    layer_gemm_flops,
+    layer_gemms,
+    logit_gemm,
+    model_gemms,
+)
+from repro.errors import ParallelismError
+
+
+@pytest.fixture
+def cfg():
+    return get_model("gpt3-2.7b")  # b=4, s=2048, h=2560, a=32
+
+
+class TestLayerGemms:
+    def test_classic_layer_has_six_operators(self, cfg):
+        ops = layer_gemms(cfg)
+        assert [op.module for op in ops] == [
+            "qkv_transform",
+            "attention_score",
+            "attention_over_value",
+            "attention_projection",
+            "mlp_h_to_4h",
+            "mlp_4h_to_h",
+        ]
+
+    def test_table2_shapes(self, cfg):
+        shapes = {op.module: op for op in layer_gemms(cfg)}
+        bs, h, a, s = 8192, 2560, 32, 2048
+        assert shapes["qkv_transform"].shape_tuple() == (1, bs, h, 3 * h)
+        assert shapes["attention_score"].shape_tuple() == (4 * a, s, h // a, s)
+        assert shapes["attention_over_value"].shape_tuple() == (4 * a, s, s, h // a)
+        assert shapes["attention_projection"].shape_tuple() == (1, bs, h, h)
+        assert shapes["mlp_h_to_4h"].shape_tuple() == (1, bs, h, 4 * h)
+        assert shapes["mlp_4h_to_h"].shape_tuple() == (1, bs, 4 * h, h)
+
+    def test_tp_divides_per_gpu_shapes(self, cfg):
+        sharded = cfg.with_overrides(tp_degree=4)
+        shapes = {op.module: op for op in layer_gemms(sharded)}
+        assert shapes["qkv_transform"].n == 3 * 2560 // 4
+        assert shapes["attention_score"].batch == 4 * 32 // 4
+        assert shapes["attention_projection"].k == 2560 // 4
+        assert shapes["mlp_h_to_4h"].n == 4 * 2560 // 4
+
+    def test_swiglu_layer_has_seven_operators(self):
+        cfg = get_model("llama2-7b")
+        mods = [op.module for op in layer_gemms(cfg)]
+        assert mods[-3:] == ["mlp_gate", "mlp_up", "mlp_down"]
+        assert len(mods) == 7
+
+    def test_infeasible_tp_raises(self, cfg):
+        with pytest.raises(ParallelismError):
+            layer_gemms(cfg.with_overrides(tp_degree=3))
+
+    def test_bmm_shape_conversion(self, cfg):
+        score = layer_gemms(cfg)[1]
+        bmm = score.bmm_shape()
+        assert (bmm.batch, bmm.m, bmm.k, bmm.n) == score.shape_tuple()
+
+
+class TestFlopsConsistency:
+    def test_layer_gemm_flops_match_paper_formula(self, cfg):
+        # GEMM flops of one layer must equal 24bsh^2 + 4bs^2h.
+        from repro.core.formulas import forward_flops_per_layer
+
+        got = layer_gemm_flops(cfg)
+        expected = forward_flops_per_layer(
+            cfg.microbatch, cfg.seq_len, cfg.hidden_size
+        )
+        assert got == expected
+
+    def test_tp_conserves_total_flops(self, cfg):
+        base = layer_gemm_flops(cfg)
+        for t in (2, 4, 8):
+            assert layer_gemm_flops(cfg.with_overrides(tp_degree=t)) == base
+
+    def test_score_and_aov_equal_flops(self, cfg):
+        ops = {op.module: op for op in layer_gemms(cfg)}
+        assert ops["attention_score"].flops == ops["attention_over_value"].flops
+
+
+class TestModelGemms:
+    def test_count(self, cfg):
+        assert len(model_gemms(cfg)) == 6 * cfg.num_layers + 1
+
+    def test_logit_last(self, cfg):
+        assert model_gemms(cfg)[-1].module == "logit"
+
+    def test_logit_shape(self, cfg):
+        op = logit_gemm(cfg)
+        assert op.shape_tuple() == (1, 8192, 2560, 50304)
+        assert not op.is_bmm

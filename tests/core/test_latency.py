@@ -1,0 +1,144 @@
+"""Tests for the layer/model latency composition."""
+
+import pytest
+
+from repro.core.config import get_model
+from repro.core.latency import GEMM_COMPONENTS, LatencyBreakdown, LayerLatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LayerLatencyModel("A100")
+
+
+class TestLatencyBreakdown:
+    def test_add_and_total(self):
+        bd = LatencyBreakdown()
+        bd.add("a", 1.0)
+        bd.add("b", 2.0)
+        bd.add("a", 0.5)
+        assert bd.total_s == pytest.approx(3.5)
+        assert bd.components["a"] == pytest.approx(1.5)
+
+    def test_merge_multiplies(self):
+        a = LatencyBreakdown()
+        a.add("x", 1.0)
+        a.flops = 10
+        b = LatencyBreakdown()
+        b.merge(a, times=3)
+        assert b.components["x"] == pytest.approx(3.0)
+        assert b.flops == 30
+
+    def test_gemm_fraction(self):
+        bd = LatencyBreakdown()
+        bd.add("qkv_transform", 3.0)
+        bd.add("softmax", 1.0)
+        assert bd.gemm_fraction == pytest.approx(0.75)
+
+    def test_proportions_sum_to_one(self, model, medium_config):
+        props = model.layer_breakdown(medium_config).proportions()
+        assert sum(props.values()) == pytest.approx(1.0)
+
+    def test_summary_text(self, model, medium_config):
+        text = model.layer_breakdown(medium_config).summary()
+        assert "GEMM share" in text and "total" in text
+
+
+class TestLayerComposition:
+    def test_contains_all_classic_components(self, model, medium_config):
+        bd = model.layer_breakdown(medium_config)
+        expected_gemms = {
+            "qkv_transform",
+            "attention_score",
+            "attention_over_value",
+            "attention_projection",
+            "mlp_h_to_4h",
+            "mlp_4h_to_h",
+        }
+        assert expected_gemms <= set(bd.components)
+        assert {"layernorm", "softmax", "residual", "activation"} <= set(bd.components)
+
+    def test_rotary_adds_component(self, model):
+        cfg = get_model("pythia-1b")
+        assert "rotary" in model.layer_breakdown(cfg).components
+
+    def test_swiglu_has_three_mlp_gemms(self, model):
+        bd = model.layer_breakdown(get_model("llama2-7b"))
+        assert {"mlp_gate", "mlp_up", "mlp_down"} <= set(bd.components)
+
+    def test_flops_match_gemm_mapping(self, model, medium_config):
+        from repro.core.gemms import layer_gemms
+
+        bd = model.layer_breakdown(medium_config)
+        assert bd.flops == sum(op.flops for op in layer_gemms(medium_config))
+
+    def test_layer_latency_positive(self, model, medium_config):
+        assert model.layer_latency(medium_config) > 0
+
+
+class TestFlashVariant:
+    def test_flash_replaces_attention_components(self, medium_config):
+        flash = LayerLatencyModel("A100", flash_attention=True)
+        bd = flash.layer_breakdown(medium_config)
+        assert "flash_attention" in bd.components
+        assert "attention_score" not in bd.components
+        assert "softmax" not in bd.components
+
+    def test_flash_is_faster_for_long_sequences(self, medium_config):
+        base = LayerLatencyModel("A100").layer_latency(medium_config)
+        flash = LayerLatencyModel("A100", flash_attention=True).layer_latency(
+            medium_config
+        )
+        assert flash < base
+
+    def test_flash_component_counts_as_gemm(self):
+        assert "flash_attention" in GEMM_COMPONENTS
+
+
+class TestModelComposition:
+    def test_model_includes_logit_and_embedding(self, model, medium_config):
+        bd = model.model_breakdown(medium_config)
+        assert "logit" in bd.components
+        assert "embedding" in bd.components
+
+    def test_model_latency_scales_with_layers(self, model, medium_config):
+        shallow = medium_config.with_overrides(num_layers=12)
+        deep = medium_config.with_overrides(num_layers=24)
+        ratio = model.model_latency(deep) / model.model_latency(shallow)
+        assert 1.7 < ratio < 2.05
+
+    def test_tokens_per_second(self, model, medium_config):
+        tps = model.tokens_per_second(medium_config)
+        assert tps == pytest.approx(
+            medium_config.tokens_per_microbatch / model.model_latency(medium_config)
+        )
+
+    def test_mfu_in_unit_interval(self, model, medium_config):
+        assert 0.0 < model.mfu(medium_config) < 1.0
+
+    def test_larger_model_higher_mfu(self, model):
+        # Bigger GEMMs use the GPU better — the paper's Sec I point.
+        small = get_model("pythia-160m")
+        large = get_model("gpt3-6.7b")
+        assert model.mfu(large) > model.mfu(small)
+
+
+class TestShapeSensitivity:
+    """The headline behaviours the latency model must reproduce."""
+
+    def test_c1_slower_than_default(self, model):
+        assert model.layer_latency(get_model("c1")) > model.layer_latency(
+            get_model("gpt3-2.7b")
+        )
+
+    def test_recommended_retune_faster(self, model):
+        # Sec VI-B: decreasing heads to 20 speeds up GPT-3 2.7B.
+        base = get_model("gpt3-2.7b")
+        retuned = base.with_overrides(num_heads=20)
+        speedup = model.model_latency(base) / model.model_latency(retuned)
+        assert speedup > 1.10
+
+    def test_tp_reduces_per_rank_latency(self, model):
+        base = get_model("gpt3-6.7b")
+        t4 = base.with_overrides(tp_degree=4)
+        assert model.layer_latency(t4) < model.layer_latency(base)

@@ -1,0 +1,143 @@
+"""Tests for the Sec VI-B sizing-rule diagnostics engine."""
+
+import pytest
+
+from repro.core.config import TransformerConfig, get_model
+from repro.core.rules import (
+    Diagnostic,
+    RuleEngine,
+    Severity,
+    rule_head_dim,
+    rule_heads_per_tp,
+    rule_hidden_per_tp,
+    rule_microbatch,
+    rule_pipeline_divisibility,
+    rule_tokens_pow2,
+    rule_tp_minimal,
+    rule_vocab_divisible,
+    rule_wave_quantization,
+)
+from repro.gpu.specs import get_gpu
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return get_gpu("A100")
+
+
+def only(diags):
+    assert len(diags) == 1
+    return diags[0]
+
+
+class TestVocabRule:
+    def test_aligned_ok(self, gpu):
+        cfg = get_model("gpt3-2.7b")  # v = 50304
+        assert only(rule_vocab_divisible(cfg, gpu)).severity == Severity.OK
+
+    def test_gpt2_vocab_warns_and_suggests_50304(self, gpu):
+        cfg = get_model("gpt-neo-2.7b")  # v = 50257
+        diag = only(rule_vocab_divisible(cfg, gpu))
+        assert diag.severity == Severity.WARNING
+        assert "50304" in diag.suggestion
+
+
+class TestHeadDimRule:
+    def test_aligned_64_ok(self, gpu):
+        cfg = get_model("c2")  # h/a = 64
+        assert only(rule_head_dim(cfg, gpu)).severity == Severity.OK
+
+    def test_gpt3_2_7b_warns(self, gpu):
+        # The paper's marquee example: h/a = 80, pow2 = 16.
+        cfg = get_model("gpt3-2.7b")
+        diag = only(rule_head_dim(cfg, gpu))
+        assert diag.severity == Severity.WARNING
+        assert "80" in diag.message
+
+    def test_sub_grain_is_error(self, gpu):
+        cfg = TransformerConfig(name="x", hidden_size=132, num_heads=33, num_layers=1)
+        assert only(rule_head_dim(cfg, gpu)).severity == Severity.ERROR
+
+
+class TestTPRules:
+    def test_h_over_t_pow2(self, gpu):
+        cfg = get_model("gpt3-2.7b", tp_degree=8)  # 2560/8 = 320 = 64*5
+        assert only(rule_hidden_per_tp(cfg, gpu)).severity == Severity.OK
+
+    def test_h_not_divisible_by_t_is_error(self, gpu):
+        cfg = TransformerConfig(
+            name="x", hidden_size=2560, num_heads=32, num_layers=1, tp_degree=6
+        )
+        assert only(rule_hidden_per_tp(cfg, gpu)).severity == Severity.ERROR
+
+    def test_ba_over_t_integer(self, gpu):
+        ok = get_model("gpt3-2.7b", tp_degree=4)
+        assert only(rule_heads_per_tp(ok, gpu)).severity == Severity.OK
+
+    def test_ba_over_t_fractional_is_error(self, gpu):
+        cfg = TransformerConfig(
+            name="x",
+            hidden_size=25,
+            num_heads=5,
+            num_layers=1,
+            microbatch=1,
+            tp_degree=3,
+        )
+        assert only(rule_heads_per_tp(cfg, gpu)).severity == Severity.ERROR
+
+    def test_tp_minimal_info(self, gpu):
+        assert only(
+            rule_tp_minimal(get_model("gpt3-2.7b", tp_degree=8), gpu)
+        ).severity == Severity.INFO
+        assert only(
+            rule_tp_minimal(get_model("gpt3-2.7b"), gpu)
+        ).severity == Severity.OK
+
+
+class TestOtherRules:
+    def test_tokens_pow2_ok_for_pow2_seq(self, gpu):
+        assert only(rule_tokens_pow2(get_model("gpt3-2.7b"), gpu)).severity == Severity.OK
+
+    def test_odd_microbatch_fine_with_pow2_seq(self, gpu):
+        # Sec VI-B: b itself needs no divisibility because s provides it.
+        cfg = get_model("gpt3-2.7b", microbatch=3)
+        assert only(rule_tokens_pow2(cfg, gpu)).severity == Severity.OK
+
+    def test_small_microbatch_info(self, gpu):
+        cfg = get_model("gpt3-2.7b", microbatch=1)
+        assert only(rule_microbatch(cfg, gpu)).severity == Severity.INFO
+
+    def test_pipeline_divisibility(self, gpu):
+        cfg = get_model("gpt3-2.7b")  # L = 32
+        ok = only(rule_pipeline_divisibility(cfg, gpu, pipeline_stages=8))
+        assert ok.severity == Severity.OK
+        warn = only(rule_pipeline_divisibility(cfg, gpu, pipeline_stages=5))
+        assert warn.severity == Severity.WARNING
+
+    def test_wave_quantization_reports_dense_gemms(self, gpu):
+        diags = rule_wave_quantization(get_model("gpt3-2.7b"), gpu)
+        # 4 dense layer GEMMs + logit; BMMs skipped.
+        assert len(diags) == 5
+        assert all(d.rule == "wave_quantization" for d in diags)
+
+
+class TestEngine:
+    def test_check_sorted_worst_first(self):
+        engine = RuleEngine("A100")
+        diags = engine.check(get_model("gpt-neo-2.7b"))
+        sev = [d.severity for d in diags]
+        assert sev == sorted(sev, reverse=True)
+
+    def test_worst_severity(self):
+        engine = RuleEngine("A100")
+        assert engine.worst(get_model("gpt3-2.7b")) == Severity.WARNING
+        assert engine.worst(get_model("c2")) <= Severity.INFO
+
+    def test_report_contains_config_and_gpu(self):
+        engine = RuleEngine("V100")
+        text = engine.report(get_model("gpt3-2.7b"))
+        assert "V100" in text and "gpt3-2.7b" in text
+
+    def test_diagnostic_str(self):
+        d = Diagnostic("r", Severity.WARNING, "msg", suggestion="fix it")
+        assert "WARNING" in str(d) and "fix it" in str(d)

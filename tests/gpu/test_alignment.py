@@ -1,0 +1,128 @@
+"""Tests for Tensor Core alignment rules and efficiency curves."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.gpu.alignment import (
+    dim_efficiency,
+    gemm_alignment_efficiency,
+    largest_pow2_divisor,
+    tensor_core_eligible,
+)
+from repro.gpu.specs import get_gpu
+from repro.types import DType
+
+
+class TestLargestPow2Divisor:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 1), (2, 2), (3, 1), (64, 64), (80, 16), (96, 32), (2560, 512), (50257, 1)],
+    )
+    def test_known_values(self, n, expected):
+        assert largest_pow2_divisor(n) == expected
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ShapeError):
+            largest_pow2_divisor(0)
+        with pytest.raises(ShapeError):
+            largest_pow2_divisor(-8)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_divides_and_is_maximal(self, n):
+        p = largest_pow2_divisor(n)
+        assert n % p == 0
+        assert (n // p) % 2 == 1  # quotient is odd -> p is maximal
+
+    @given(st.integers(min_value=0, max_value=20), st.integers(min_value=1, max_value=999))
+    def test_construction(self, exp, odd_base):
+        odd = 2 * odd_base - 1
+        assert largest_pow2_divisor(odd * 2**exp) == 2**exp
+
+
+class TestTensorCoreEligible:
+    def test_aligned_eligible(self, a100):
+        assert tensor_core_eligible((64, 128, 256), DType.FP16, a100)
+
+    def test_sub_grain_not_eligible(self, a100):
+        assert not tensor_core_eligible((64, 100, 256), DType.FP16, a100)
+
+    def test_unsupported_dtype_not_eligible(self, v100):
+        assert not tensor_core_eligible((64, 64, 64), DType.BF16, v100)
+
+    def test_v100_grain_is_8(self, v100):
+        assert tensor_core_eligible((8, 8, 8), DType.FP16, v100)
+        assert not tensor_core_eligible((8, 8, 4), DType.FP16, v100)
+
+
+class TestDimEfficiency:
+    def test_full_alignment_is_one(self, a100):
+        for dim in (64, 128, 2560, 50304):
+            assert dim_efficiency(dim, DType.FP16, a100) == 1.0
+
+    def test_no_benefit_beyond_64(self, a100):
+        # Sec VI-B: "no further benefit to going beyond 64".
+        assert dim_efficiency(64, DType.FP16, a100) == dim_efficiency(
+            4096, DType.FP16, a100
+        )
+
+    def test_pow2_ordering(self, a100):
+        # Larger pow-2 divisors give higher efficiency (Figs 7/21-47).
+        effs = [dim_efficiency(d, DType.FP16, a100) for d in (65, 66, 68, 72, 80, 96, 64)]
+        assert effs == sorted(effs)
+
+    def test_odd_dimension_floor(self, a100):
+        eff = dim_efficiency(50257, DType.FP16, a100)
+        assert 0.0 < eff < 0.5
+
+    def test_v100_saturates_at_8(self, v100):
+        # V100's full alignment is 16 bytes = 8 elements.
+        assert dim_efficiency(8, DType.FP16, v100) == 1.0
+        assert dim_efficiency(80, DType.FP16, v100) == 1.0
+        assert dim_efficiency(12, DType.FP16, v100) < 1.0
+
+    def test_nonpositive_raises(self, a100):
+        with pytest.raises(ShapeError):
+            dim_efficiency(0, DType.FP16, a100)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_bounded(self, dim):
+        a100 = get_gpu("A100")
+        eff = dim_efficiency(dim, DType.FP16, a100)
+        assert 0.0 < eff <= 1.0
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_depends_only_on_pow2_class(self, dim):
+        a100 = get_gpu("A100")
+        p = largest_pow2_divisor(dim)
+        # Another dimension with the same (capped) pow-2 divisor has the
+        # same efficiency.
+        sibling = p * 3 if p < 64 else 64
+        assert dim_efficiency(dim, DType.FP16, a100) == pytest.approx(
+            dim_efficiency(sibling, DType.FP16, a100)
+        )
+
+
+class TestGemmAlignmentEfficiency:
+    def test_m_is_ignored(self, a100):
+        # m misalignment is charged as tile quantization, not here.
+        assert gemm_alignment_efficiency(
+            1, 4096, 1024, DType.FP16, a100
+        ) == gemm_alignment_efficiency(8192, 4096, 1024, DType.FP16, a100)
+
+    def test_k_misalignment_penalized(self, a100):
+        aligned = gemm_alignment_efficiency(2048, 2048, 64, DType.FP16, a100)
+        misaligned = gemm_alignment_efficiency(2048, 2048, 80, DType.FP16, a100)
+        assert aligned == 1.0
+        assert misaligned < aligned
+
+    def test_n_misalignment_penalized(self, a100):
+        # The attention-over-value case: n = h/a.
+        aligned = gemm_alignment_efficiency(2048, 64, 2048, DType.FP16, a100)
+        misaligned = gemm_alignment_efficiency(2048, 80, 2048, DType.FP16, a100)
+        assert misaligned < aligned
+
+    def test_worst_dimension_gates(self, a100):
+        # k=80 (pow2 16) worse than n=96 (pow2 32): min picks k's.
+        eff = gemm_alignment_efficiency(128, 96, 80, DType.FP16, a100)
+        assert eff == pytest.approx(dim_efficiency(80, DType.FP16, a100))

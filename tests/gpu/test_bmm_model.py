@@ -1,0 +1,90 @@
+"""Tests for the batched-GEMM model and attention shape constructors."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.gpu.bmm_model import BmmModel, BmmShape
+from repro.types import DType
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BmmModel("A100")
+
+
+class TestBmmShape:
+    def test_flops(self):
+        s = BmmShape(batch=4, m=8, k=16, n=32)
+        assert s.flops == 2 * 4 * 8 * 16 * 32
+
+    def test_bytes(self):
+        s = BmmShape(batch=2, m=4, k=8, n=16)
+        assert s.bytes(DType.FP16) == 2 * (4 * 8 + 8 * 16 + 4 * 16) * 2
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ShapeError):
+            BmmShape(batch=0, m=4, k=8, n=16)
+
+
+class TestAttentionConstructors:
+    def test_score_shape_matches_table2(self):
+        # b*a/t BMMs of (s, h/a) x (h/a, s).
+        s = BmmModel.attention_score_shape(b=4, s=2048, h=2560, a=32, t=2)
+        assert s == BmmShape(batch=4 * 32 // 2, m=2048, k=80, n=2048)
+
+    def test_aov_shape_matches_table2(self):
+        s = BmmModel.attention_over_value_shape(b=4, s=2048, h=2560, a=32)
+        assert s == BmmShape(batch=128, m=2048, k=2048, n=80)
+
+    def test_h_not_divisible_by_a_raises(self):
+        with pytest.raises(ShapeError, match="not divisible by heads"):
+            BmmModel.attention_score_shape(4, 2048, 2560, 48)
+
+    def test_ba_not_divisible_by_t_raises(self):
+        # The paper's rule: (b*a)/t must be an integer.
+        with pytest.raises(ShapeError, match="tensor-parallel"):
+            BmmModel.attention_score_shape(1, 2048, 2560, 32, t=5)
+
+    def test_score_and_aov_have_equal_flops(self):
+        sc = BmmModel.attention_score_shape(4, 2048, 4096, 32)
+        av = BmmModel.attention_over_value_shape(4, 2048, 4096, 32)
+        assert sc.flops == av.flops
+
+
+class TestEvaluation:
+    def test_facade_matches_gemm_model(self, model):
+        from repro.gpu.gemm_model import GemmModel
+
+        shape = BmmShape(batch=64, m=512, k=64, n=512)
+        direct = GemmModel("A100").evaluate(512, 512, 64, batch=64)
+        via = model.evaluate(shape)
+        assert via.latency_s == pytest.approx(direct.latency_s)
+
+    def test_attention_bmms_memory_bound(self, model):
+        # Sec VI-A: "these two GEMMs are memory bound".
+        perf = model.evaluate(BmmModel.attention_score_shape(4, 2048, 2048, 32))
+        assert perf.bound == "memory"
+
+    def test_head_dim_raises_throughput(self, model):
+        # Decreasing a (increasing h/a) makes the BMMs more efficient.
+        t = {}
+        for a in (64, 32, 16):
+            shape = BmmModel.attention_score_shape(4, 2048, 4096, a)
+            t[a] = model.tflops(shape)
+        assert t[64] < t[32] < t[16]
+
+    def test_aligned_head_dim_beats_misaligned(self, model):
+        # h=2560: a=40 (h/a=64) beats a=32 (h/a=80) per unit time.
+        aligned = model.evaluate(BmmModel.attention_score_shape(4, 2048, 2560, 40))
+        misaligned = model.evaluate(BmmModel.attention_score_shape(4, 2048, 2560, 32))
+        # Same total flops (2*b*s^2*h), so latency comparison is fair.
+        assert aligned.flops == misaligned.flops
+        assert aligned.latency_s < misaligned.latency_s
+
+    def test_latency_shorthand(self, model):
+        shape = BmmShape(batch=8, m=256, k=64, n=256)
+        assert model.latency(shape) == model.evaluate(shape).latency_s
+
+    def test_spec_and_dtype_exposed(self, model):
+        assert model.spec.name == "A100"
+        assert model.dtype is DType.FP16

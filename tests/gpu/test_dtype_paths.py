@@ -1,0 +1,130 @@
+"""Cross-dtype and cross-architecture paths of the GPU model.
+
+The headline experiments run FP16-on-NVIDIA; these tests pin the other
+paths the spec sheets define: TF32/BF16/INT8/FP64 math, the V100's
+8-element grain vs A100's 64, and MI250X's CDNA2 rules (32-byte MFMA
+grain, matrix FP64).
+"""
+
+import pytest
+
+from repro.errors import GPUModelError
+from repro.gpu.alignment import dim_efficiency, tensor_core_eligible
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.roofline import ridge_intensity
+from repro.gpu.specs import get_gpu
+from repro.types import DType
+
+
+class TestTF32:
+    def test_tf32_half_of_fp16_peak(self, a100):
+        assert a100.matrix_peak_tflops(DType.TF32) == pytest.approx(
+            a100.matrix_peak_tflops(DType.FP16) / 2
+        )
+
+    def test_tf32_alignment_grain_is_32_elems(self, a100):
+        # 128 bytes at 4 bytes/elem.
+        assert a100.tc_align_elems(DType.TF32) == 32
+        assert dim_efficiency(32, DType.TF32, a100) == 1.0
+        assert dim_efficiency(16, DType.TF32, a100) < 1.0
+
+    def test_tf32_gemm_evaluates(self):
+        model = GemmModel("A100", dtype=DType.TF32)
+        perf = model.evaluate(4096, 4096, 4096)
+        assert perf.used_matrix_engine
+        assert perf.tflops < get_gpu("A100").matrix_peak_tflops(DType.TF32)
+
+
+class TestBF16:
+    def test_bf16_equals_fp16_on_a100(self):
+        fp16 = GemmModel("A100", dtype=DType.FP16).tflops(4096, 4096, 4096)
+        bf16 = GemmModel("A100", dtype=DType.BF16).tflops(4096, 4096, 4096)
+        assert bf16 == pytest.approx(fp16)
+
+    def test_bf16_vector_fallback_on_v100(self):
+        perf = GemmModel("V100", dtype=DType.BF16).evaluate(2048, 2048, 2048)
+        assert not perf.used_matrix_engine
+
+
+class TestINT8:
+    def test_int8_double_fp16_peak(self, a100):
+        assert a100.matrix_peak_tflops(DType.INT8) == pytest.approx(
+            2 * a100.matrix_peak_tflops(DType.FP16)
+        )
+
+    def test_int8_alignment_grain_is_128_elems(self, a100):
+        assert a100.tc_align_elems(DType.INT8) == 128
+        assert dim_efficiency(64, DType.INT8, a100) < 1.0
+        assert dim_efficiency(128, DType.INT8, a100) == 1.0
+
+    def test_int8_needs_16_elem_minimum(self, a100):
+        # tc_min_bytes = 16 -> 16 INT8 elements.
+        assert tensor_core_eligible((128, 128, 16), DType.INT8, a100)
+        assert not tensor_core_eligible((128, 128, 8), DType.INT8, a100)
+
+    def test_int8_gemm_faster_than_fp16_when_aligned(self):
+        fp16 = GemmModel("A100", dtype=DType.FP16).latency(8192, 8192, 8192)
+        int8 = GemmModel("A100", dtype=DType.INT8).latency(8192, 8192, 8192)
+        assert int8 < fp16
+
+
+class TestFP64:
+    def test_a100_fp64_tensor_cores(self, a100):
+        assert a100.supports_matrix(DType.FP64)
+        perf = GemmModel("A100", dtype=DType.FP64).evaluate(4096, 4096, 4096)
+        assert perf.used_matrix_engine
+        assert perf.tflops <= a100.matrix_peak_tflops(DType.FP64)
+
+    def test_v100_fp64_vector_only(self, v100):
+        assert not v100.supports_matrix(DType.FP64)
+        perf = GemmModel("V100", dtype=DType.FP64).evaluate(2048, 2048, 2048)
+        assert not perf.used_matrix_engine
+
+    def test_fp64_much_slower_than_fp16(self):
+        fp16 = GemmModel("A100", dtype=DType.FP16).latency(4096, 4096, 4096)
+        fp64 = GemmModel("A100", dtype=DType.FP64).latency(4096, 4096, 4096)
+        assert fp64 > 8 * fp16
+
+
+class TestMI250X:
+    def test_mfma_grain_is_16_fp16_elems(self):
+        # tc_min_bytes = 32 on CDNA2 -> 16 fp16 elements.
+        spec = get_gpu("MI250X")
+        assert spec.tc_min_elems(DType.FP16) == 16
+        assert tensor_core_eligible((64, 64, 16), DType.FP16, spec)
+        assert not tensor_core_eligible((64, 64, 8), DType.FP16, spec)
+
+    def test_matrix_fp32_supported(self):
+        # CDNA2 matrix cores run FP32 (unlike pre-Hopper NVIDIA).
+        spec = get_gpu("MI250X")
+        assert spec.supports_matrix(DType.FP32)
+        perf = GemmModel(spec, dtype=DType.FP32).evaluate(4096, 4096, 4096)
+        assert perf.used_matrix_engine
+
+    def test_per_gcd_peak_below_a100(self):
+        assert get_gpu("MI250X").matrix_peak_tflops(DType.FP16) < get_gpu(
+            "A100"
+        ).matrix_peak_tflops(DType.FP16)
+
+    def test_alignment_ordering_holds(self):
+        model = GemmModel("MI250X")
+        aligned = model.latency(4096, 4096, 64)
+        misaligned = model.latency(4096, 4096, 80)
+        assert aligned < misaligned
+
+
+class TestRidgePoints:
+    @pytest.mark.parametrize(
+        "gpu,dtype", [("A100", DType.FP16), ("H100", DType.BF16), ("V100", DType.FP16)]
+    )
+    def test_ridge_positive_and_finite(self, gpu, dtype):
+        ridge = ridge_intensity(get_gpu(gpu), dtype)
+        assert 0 < ridge < 1e4
+
+    def test_int8_ridge_highest(self, a100):
+        # More math per byte moved -> higher ridge.
+        assert ridge_intensity(a100, DType.INT8) > ridge_intensity(a100, DType.FP16)
+
+    def test_unsupported_combo_raises(self, v100):
+        with pytest.raises(GPUModelError):
+            GemmModel("V100", dtype=DType.INT8).evaluate(128, 128, 128)

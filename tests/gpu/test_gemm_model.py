@@ -1,0 +1,193 @@
+"""Tests for the analytic GEMM model — the heart of the reproduction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.tiles import default_tile
+from repro.types import DType
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GemmModel("A100")
+
+
+class TestBasics:
+    def test_nonpositive_dims_raise(self, model):
+        with pytest.raises(ShapeError):
+            model.evaluate(0, 128, 128)
+        with pytest.raises(ShapeError):
+            model.evaluate(128, 128, 128, batch=0)
+
+    def test_bad_bw_efficiency_raises(self):
+        with pytest.raises(ShapeError):
+            GemmModel("A100", bw_efficiency=0.0)
+
+    def test_perf_report_fields(self, model):
+        p = model.evaluate(4096, 4096, 4096)
+        assert p.gpu == "A100"
+        assert p.flops == 2 * 4096**3
+        assert p.blocks > 0 and p.waves > 0
+        assert 0 < p.alignment_eff <= 1
+        assert 0 < p.wave_eff <= 1
+        assert p.latency_s > 0
+        assert "GEMM" in p.describe()
+
+    def test_shorthand_methods(self, model):
+        p = model.evaluate(1024, 1024, 1024)
+        assert model.latency(1024, 1024, 1024) == p.latency_s
+        assert model.tflops(1024, 1024, 1024) == pytest.approx(p.tflops)
+
+    def test_tensor_core_eligible(self, model):
+        assert model.tensor_core_eligible(64, 64, 64)
+        assert not model.tensor_core_eligible(64, 100, 64)
+
+
+class TestRegimes:
+    def test_big_aligned_gemm_near_peak(self, model, a100):
+        # A large aligned GEMM should land compute-bound within the
+        # 128x256 kernel's sustained fraction of peak.
+        p = model.evaluate(8192, 8192, 8192)
+        assert p.bound == "compute"
+        peak = a100.matrix_peak_tflops(DType.FP16)
+        assert 0.80 * peak <= p.tflops <= peak
+
+    def test_small_gemm_memory_bound(self, model):
+        p = model.evaluate(2048, 2048, 64)
+        assert p.bound == "memory"
+
+    def test_tiny_gemm_overhead_dominated(self, model, a100):
+        p = model.evaluate(8, 8, 8)
+        assert p.latency_s >= a100.kernel_overhead_s
+        assert p.time.overhead_s / p.latency_s > 0.5
+
+    def test_gemv_streams_weights(self, model, a100):
+        # (1, h) x (h, 4h): latency should be close to the weight-matrix
+        # streaming time, not a padded-tile compute estimate.
+        h = 4096
+        p = model.evaluate(1, 4 * h, h)
+        stream_s = (h * 4 * h * 2) / a100.mem_bw_bytes_per_s()
+        assert p.latency_s < 6 * stream_s
+
+
+class TestAlignmentEffects:
+    def test_k_64_beats_k_80_at_same_size(self, model):
+        # The C2-vs-default mechanism: aligned k=64 outperforms the
+        # 25%-bigger but misaligned k=80 (Sec VI-B).
+        aligned = model.evaluate(8192, 8192, 64)
+        misaligned = model.evaluate(8192, 8192, 80)
+        assert aligned.latency_s < misaligned.latency_s
+
+    def test_pow2_ordering_of_k(self, model):
+        # Throughput-per-flop ordered by pow2(k) (Figs 7/21-47).
+        per_flop = {}
+        for k in (72, 80, 96, 128):  # pow2: 8, 16, 32, 128
+            p = model.evaluate(4096, 4096, k)
+            per_flop[k] = 1.0 / (p.latency_s / k)
+        assert per_flop[72] < per_flop[80] < per_flop[96] < per_flop[128]
+
+    def test_odd_k_heavily_penalized(self, model):
+        odd = model.evaluate(4096, 4096, 127)
+        even = model.evaluate(4096, 4096, 128)
+        assert odd.latency_s > 1.5 * even.latency_s
+
+    def test_vocab_padding_win(self, model):
+        # Fig 20 / Karpathy: padding n=50257 -> 50304 is faster despite
+        # doing more useful work.
+        padded = model.evaluate(8192, 50304, 2560)
+        unpadded = model.evaluate(8192, 50257, 2560)
+        assert padded.latency_s < unpadded.latency_s
+
+
+class TestWaveQuantization:
+    def test_cliff_at_capacity_plus_one(self, a100):
+        # Pin the tile so auto-selection cannot soften the cliff.
+        model = GemmModel("A100", tile=default_tile())
+        tile = default_tile()
+        n_exact = tile.n * a100.num_sms  # one full wave of blocks (m = tile.m)
+        exact = model.evaluate(tile.m, n_exact, 4096)
+        over = model.evaluate(tile.m, n_exact + tile.n, 4096)
+        assert exact.waves == 1 and over.waves == 2
+        assert over.latency_s > 1.5 * exact.latency_s
+
+    def test_throughput_recovers_at_full_waves(self, a100):
+        model = GemmModel("A100", tile=default_tile())
+        tile = default_tile()
+        two_exact = model.evaluate(tile.m, 2 * tile.n * a100.num_sms, 4096)
+        assert two_exact.wave_eff == 1.0
+
+    def test_auto_selection_never_slower_than_pinned(self, a100):
+        auto = GemmModel("A100")
+        pinned = GemmModel("A100", tile=default_tile())
+        for size in (1024, 2048, 3072, 4096, 6144):
+            assert auto.latency(size, size, size) <= pinned.latency(size, size, size) * 1.001
+
+
+class TestVectorFallback:
+    def test_fp32_on_v100_uses_vector_path(self):
+        model = GemmModel("V100", dtype=DType.FP32)
+        p = model.evaluate(4096, 4096, 4096)
+        assert not p.used_matrix_engine
+        assert p.alignment_eff == 1.0
+
+    def test_fp16_on_v100_uses_tensor_cores(self):
+        model = GemmModel("V100", dtype=DType.FP16)
+        p = model.evaluate(4096, 4096, 4096)
+        assert p.used_matrix_engine
+
+    def test_vector_path_when_alignment_destroys_tc(self):
+        # With an odd k the padded-TC path may still win on A100, but
+        # the chosen rate must never be worse than the vector path.
+        model = GemmModel("A100", dtype=DType.FP16)
+        p = model.evaluate(4096, 4096, 4095)
+        vec = GemmModel("A100", dtype=DType.FP32).evaluate(4096, 4096, 4095)
+        assert p.latency_s <= vec.latency_s * 1.5
+
+
+class TestBatching:
+    def test_batch_flops_scale(self, model):
+        one = model.evaluate(512, 512, 64)
+        many = model.evaluate(512, 512, 64, batch=32)
+        assert many.flops == 32 * one.flops
+
+    def test_large_batch_latency_scales_linearly(self, model):
+        b64 = model.evaluate(512, 512, 64, batch=64)
+        b128 = model.evaluate(512, 512, 64, batch=128)
+        assert b128.latency_s == pytest.approx(2 * b64.latency_s, rel=0.15)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8192),
+        st.integers(min_value=1, max_value=8192),
+        st.integers(min_value=1, max_value=8192),
+    )
+    def test_latency_positive_and_flops_exact(self, m, n, k):
+        model = GemmModel("A100")
+        p = model.evaluate(m, n, k)
+        assert p.latency_s > 0
+        assert p.flops == 2 * m * n * k
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=6, max_value=13),
+        st.integers(min_value=6, max_value=13),
+    )
+    def test_more_work_never_faster_in_k(self, log_mn, log_k):
+        # At fixed (m, n) and fully aligned k, latency is non-decreasing
+        # in k (more reduction work can't be free).
+        model = GemmModel("A100")
+        mn = 2**log_mn
+        k1 = 2**log_k
+        k2 = 2 * k1
+        assert model.latency(mn, mn, k2) >= model.latency(mn, mn, k1) * 0.999
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(["V100", "A100", "H100", "MI250X"]))
+    def test_all_gpus_evaluate(self, gpu):
+        model = GemmModel(gpu)
+        p = model.evaluate(2048, 2048, 2048)
+        assert p.latency_s > 0

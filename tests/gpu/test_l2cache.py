@@ -1,0 +1,99 @@
+"""Tests for the L2 reuse / DRAM traffic model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.gpu.l2cache import (
+    effective_dram_bytes,
+    l2_miss_rate,
+    streamed_bytes,
+    wave_super_tile,
+)
+from repro.gpu.specs import get_gpu
+from repro.types import DType
+
+
+def compulsory(m, n, k, batch=1):
+    return batch * (m * k + k * n + m * n) * 2
+
+
+class TestStreamed:
+    def test_streamed_formula(self):
+        # 2x2 tile grid of 128x256 tiles over 256x512, k=64.
+        got = streamed_bytes(256, 512, 64, 128, 256, DType.FP16)
+        loads = 4 * (128 + 256) * 64 * 2
+        stores = 256 * 512 * 2
+        assert got == loads + stores
+
+    def test_streamed_at_least_compulsory_for_multi_tile(self):
+        assert streamed_bytes(1024, 1024, 512, 128, 256, DType.FP16) >= compulsory(
+            1024, 1024, 512
+        )
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ShapeError):
+            streamed_bytes(0, 128, 64, 128, 256, DType.FP16)
+
+
+class TestMissRate:
+    def test_fits_means_zero(self, a100):
+        assert l2_miss_rate(1024, a100) == 0.0
+
+    def test_huge_working_set_approaches_one(self, a100):
+        assert l2_miss_rate(100 * a100.l2_bytes, a100) > 0.9
+
+    def test_bounded(self, a100):
+        for ws in (1, 10**6, 10**9, 10**12):
+            assert 0.0 <= l2_miss_rate(ws, a100) <= 1.0
+
+    def test_nonpositive_raises(self, a100):
+        with pytest.raises(ShapeError):
+            l2_miss_rate(0, a100)
+
+
+class TestWaveSuperTile:
+    def test_covers_wave(self):
+        wm, wn = wave_super_tile(32, 64, 108)
+        assert wm * wn <= 108
+        assert 1 <= wm <= 32 and 1 <= wn <= 64
+
+    def test_small_grid_fully_covered(self):
+        wm, wn = wave_super_tile(4, 4, 108)
+        assert wm * wn <= 16
+
+    def test_aspect_follows_grid(self):
+        wm_wide, wn_wide = wave_super_tile(4, 100, 100)
+        assert wn_wide > wm_wide
+
+
+class TestEffectiveTraffic:
+    def test_small_gemm_is_compulsory(self, a100):
+        # Grid fits in one wave: operands read exactly once.
+        got = effective_dram_bytes(512, 512, 256, 128, 256, a100, DType.FP16)
+        assert got == pytest.approx(compulsory(512, 512, 256))
+
+    def test_large_gemm_rereads_operands(self, a100):
+        got = effective_dram_bytes(8192, 8192, 4096, 128, 256, a100, DType.FP16)
+        assert got > compulsory(8192, 8192, 4096)
+
+    def test_bounded_by_streamed(self, a100):
+        got = effective_dram_bytes(8192, 8192, 4096, 128, 256, a100, DType.FP16)
+        assert got <= streamed_bytes(8192, 8192, 4096, 128, 256, DType.FP16)
+
+    def test_batch_scales_traffic(self, a100):
+        one = effective_dram_bytes(512, 512, 64, 128, 256, a100, DType.FP16, batch=1)
+        many = effective_dram_bytes(512, 512, 64, 128, 256, a100, DType.FP16, batch=64)
+        assert many == pytest.approx(64 * one, rel=0.35)
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=4096),
+    )
+    def test_traffic_within_bounds(self, m, n, k):
+        a100 = get_gpu("A100")
+        got = effective_dram_bytes(m, n, k, 128, 256, a100, DType.FP16)
+        assert compulsory(m, n, k) <= got <= streamed_bytes(
+            m, n, k, 128, 256, DType.FP16
+        )

@@ -1,0 +1,55 @@
+"""Tests for the blocks-per-SM occupancy model."""
+
+import pytest
+
+from repro.errors import GPUModelError
+from repro.gpu.occupancy import blocks_per_sm, regs_per_block, smem_bytes_per_block
+from repro.types import DType
+
+
+class TestFootprints:
+    def test_smem_formula(self):
+        # (m + n) * k_stage * bytes * stages
+        assert smem_bytes_per_block(128, 256, 32, 2, DType.FP16) == (
+            (128 + 256) * 32 * 2 * 2
+        )
+
+    def test_smem_scales_with_dtype(self):
+        assert smem_bytes_per_block(64, 64, 32, 2, DType.FP32) == 2 * smem_bytes_per_block(
+            64, 64, 32, 2, DType.FP16
+        )
+
+    def test_regs_include_accumulator(self):
+        assert regs_per_block(64, 64, 128) >= 64 * 64
+
+
+class TestBlocksPerSM:
+    def test_small_tile_high_occupancy(self, a100):
+        occ = blocks_per_sm(a100, 32, 32, 32, 64, DType.FP16)
+        assert occ.blocks_per_sm >= 4
+
+    def test_big_tile_low_occupancy(self, a100):
+        occ = blocks_per_sm(a100, 256, 128, 32, 256, DType.FP16)
+        assert occ.blocks_per_sm <= 2
+
+    def test_limiter_named(self, a100):
+        occ = blocks_per_sm(a100, 256, 128, 32, 256, DType.FP16)
+        assert occ.limiter in ("smem", "regs", "threads", "blocks")
+
+    def test_never_exceeds_hardware_block_limit(self, a100):
+        occ = blocks_per_sm(a100, 16, 64, 32, 64, DType.FP16)
+        assert occ.blocks_per_sm <= a100.max_blocks_per_sm
+
+    def test_thread_limit_respected(self, a100):
+        occ = blocks_per_sm(a100, 64, 64, 32, 1024, DType.FP16)
+        assert occ.blocks_per_sm <= a100.max_threads_per_sm // 1024
+
+    def test_oversized_tile_raises(self, v100):
+        # A 512x512 fp32 accumulator cannot fit one V100 SM.
+        with pytest.raises(GPUModelError, match="does not fit"):
+            blocks_per_sm(v100, 512, 512, 64, 256, DType.FP16)
+
+    def test_occupancy_monotone_in_tile_area(self, a100):
+        small = blocks_per_sm(a100, 32, 32, 32, 64, DType.FP16)
+        big = blocks_per_sm(a100, 128, 128, 32, 256, DType.FP16)
+        assert small.blocks_per_sm >= big.blocks_per_sm

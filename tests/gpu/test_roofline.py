@@ -1,0 +1,90 @@
+"""Tests for roofline arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.gpu.roofline import (
+    RooflinePoint,
+    arithmetic_intensity,
+    attainable_tflops,
+    gemm_flops,
+    gemm_min_bytes,
+    ridge_intensity,
+)
+from repro.gpu.specs import get_gpu
+from repro.types import DType
+
+
+class TestFlopsAndBytes:
+    def test_gemm_flops(self):
+        assert gemm_flops(4, 8, 16) == 2 * 4 * 8 * 16
+
+    def test_batched(self):
+        assert gemm_flops(4, 8, 16, batch=10) == 10 * gemm_flops(4, 8, 16)
+
+    def test_min_bytes(self):
+        assert gemm_min_bytes(4, 8, 16, DType.FP16) == (4 * 16 + 16 * 8 + 4 * 8) * 2
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ShapeError):
+            gemm_flops(0, 8, 16)
+        with pytest.raises(ShapeError):
+            gemm_min_bytes(4, 8, -1, DType.FP16)
+
+
+class TestIntensity:
+    def test_square_gemm_intensity(self):
+        # n^3 cube: AI = 2n^3 / (3n^2 * 2 bytes) = n/3.
+        assert arithmetic_intensity(999, 999, 999, DType.FP16) == pytest.approx(999 / 3)
+
+    def test_batch_does_not_change_intensity(self):
+        a = arithmetic_intensity(128, 128, 64, DType.FP16)
+        b = arithmetic_intensity(128, 128, 64, DType.FP16, batch=32)
+        assert a == pytest.approx(b)
+
+    def test_attention_score_is_memory_bound(self, a100):
+        # Sec VI-A: the attention BMMs are memory-bound at transformer
+        # sizes because one dim is only h/a.
+        point = RooflinePoint.for_gemm(2048, 2048, 64, a100, DType.FP16, batch=128)
+        assert point.bound == "memory"
+
+    def test_mlp_gemm_is_compute_bound(self, a100):
+        point = RooflinePoint.for_gemm(8192, 10240, 2560, a100, DType.FP16)
+        assert point.bound == "compute"
+
+
+class TestAttainable:
+    def test_capped_by_peak(self, a100):
+        assert attainable_tflops(1e9, a100, DType.FP16) == a100.matrix_peak_tflops(
+            DType.FP16
+        )
+
+    def test_memory_slope(self, a100):
+        # Far below the ridge, attainable = AI * BW.
+        tfl = attainable_tflops(1.0, a100, DType.FP16)
+        assert tfl == pytest.approx(a100.mem_bw_bytes_per_s() / 1e12)
+
+    def test_ridge_consistency(self, a100):
+        ridge = ridge_intensity(a100, DType.FP16)
+        below = attainable_tflops(ridge * 0.99, a100, DType.FP16)
+        above = attainable_tflops(ridge * 1.01, a100, DType.FP16)
+        assert below < a100.matrix_peak_tflops(DType.FP16)
+        assert above == a100.matrix_peak_tflops(DType.FP16)
+
+    def test_vector_fallback_for_unsupported_dtype(self, v100):
+        # FP64 has no tensor-core path on V100 -> vector peak applies.
+        assert attainable_tflops(1e9, v100, DType.FP64) == v100.vector_peak_tflops(
+            DType.FP64
+        )
+
+    def test_nonpositive_intensity_raises(self, a100):
+        with pytest.raises(ShapeError):
+            attainable_tflops(0.0, a100, DType.FP16)
+
+    @given(st.floats(min_value=0.01, max_value=1e6))
+    def test_attainable_bounded_by_roofs(self, intensity):
+        a100 = get_gpu("A100")
+        tfl = attainable_tflops(intensity, a100, DType.FP16)
+        assert tfl <= a100.matrix_peak_tflops(DType.FP16) + 1e-9
+        assert tfl <= intensity * a100.mem_bw_bytes_per_s() / 1e12 + 1e-9

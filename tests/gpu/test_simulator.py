@@ -1,0 +1,93 @@
+"""Tests for the discrete-event SM simulator, including its agreement
+with the analytic model (the reproduction's internal consistency check)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.simulator import SMSimulator
+from repro.gpu.tiles import default_tile
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SMSimulator("A100")
+
+
+class TestBasics:
+    def test_nonpositive_raises(self, sim):
+        with pytest.raises(ShapeError):
+            sim.run(0, 128, 128)
+
+    def test_result_fields(self, sim):
+        r = sim.run(2048, 2048, 2048)
+        assert r.blocks > 0
+        assert r.slots == 108
+        assert r.makespan_s > 0
+        assert r.block_duration_s > 0
+        assert len(r.sm_busy_s) == 108
+        assert r.tflops > 0
+
+    def test_utilization_bounded(self, sim):
+        r = sim.run(4096, 4096, 1024)
+        assert 0 < r.mean_sm_utilization <= 1.0
+
+    def test_single_block_runs_one_duration(self, a100):
+        sim = SMSimulator("A100", tile=default_tile())
+        r = sim.run(64, 64, 64)
+        assert r.blocks == 1
+        # Makespan >= one block duration (plus memory floor + overhead).
+        assert r.makespan_s >= r.block_duration_s
+
+
+class TestWaveBehaviour:
+    def test_full_wave_parallel(self, a100):
+        sim = SMSimulator("A100", tile=default_tile())
+        tile = default_tile()
+        # 12 x 9 grid of 128x256 tiles = exactly 108 blocks, and a
+        # compute-bound shape (square-ish output, large k).
+        r = sim.run(12 * tile.m, 9 * tile.n, 4096)
+        assert r.blocks == a100.num_sms
+        # All blocks run concurrently: compute makespan ~ one duration.
+        compute_span = r.makespan_s - a100.kernel_overhead_s
+        assert compute_span == pytest.approx(r.block_duration_s, rel=0.01)
+
+    def test_tail_wave_costs_extra(self, a100):
+        sim = SMSimulator("A100", tile=default_tile())
+        tile = default_tile()
+        exact = sim.run(12 * tile.m, 9 * tile.n, 4096)  # 108 blocks
+        over = sim.run(12 * tile.m, 10 * tile.n, 4096)  # 120 -> 2 waves
+        assert over.makespan_s > 1.5 * exact.makespan_s
+
+
+class TestAgreementWithAnalytic:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.sampled_from([1, 4, 32]),
+    )
+    def test_sim_matches_analytic_within_tolerance(self, mi, ni, ki, batch):
+        m, n, k = 64 * mi, 64 * ni, 64 * ki
+        tile = default_tile()
+        analytic = GemmModel("A100", tile=tile).latency(m, n, k, batch)
+        simulated = SMSimulator("A100", tile=tile).run(m, n, k, batch).latency_s
+        # The DES resolves identical-duration blocks into the same
+        # ceil(blocks/SMs) waves; agreement should be tight.
+        assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_agreement_on_transformer_gemms(self):
+        shapes = [
+            (8192, 7680, 2560, 1),      # QKV, GPT-3 2.7B
+            (2048, 2048, 80, 128),      # attention score
+            (2048, 80, 2048, 128),      # attention over value
+            (8192, 10240, 2560, 1),     # MLP up
+            (8192, 50304, 2560, 1),     # logit
+        ]
+        gm = GemmModel("A100")
+        for m, n, k, batch in shapes:
+            a = gm.evaluate(m, n, k, batch)
+            s = SMSimulator("A100", tile=a.tile).run(m, n, k, batch)
+            assert s.latency_s == pytest.approx(a.latency_s, rel=0.08), (m, n, k)

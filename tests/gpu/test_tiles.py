@@ -1,0 +1,111 @@
+"""Tests for tile candidates and cuBLAS-like selection."""
+
+import pytest
+
+from repro.errors import GPUModelError
+from repro.gpu.tiles import (
+    TileConfig,
+    candidate_tiles,
+    default_tile,
+    select_tile,
+    tile_score,
+)
+from repro.types import DType
+
+
+class TestTileConfig:
+    def test_name_and_elems(self):
+        tile = TileConfig(128, 256, 32, 256, 0.95)
+        assert tile.name == "128x256"
+        assert tile.elems == 128 * 256
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(GPUModelError):
+            TileConfig(0, 256, 32, 256, 0.95)
+        with pytest.raises(GPUModelError):
+            TileConfig(128, 256, -1, 256, 0.95)
+
+    def test_invalid_peak_fraction_raises(self):
+        with pytest.raises(GPUModelError):
+            TileConfig(128, 256, 32, 256, 0.0)
+        with pytest.raises(GPUModelError):
+            TileConfig(128, 256, 32, 256, 1.5)
+
+
+class TestCandidates:
+    def test_default_tile_is_128x256(self):
+        # Sec VI-B: "a tile size of 128x256 which is the most efficient".
+        tile = default_tile()
+        assert (tile.m, tile.n) == (128, 256)
+        assert tile.peak_fraction == max(
+            t.peak_fraction for t in candidate_tiles_any()
+        )
+
+    def test_all_candidates_fit_a100(self, a100):
+        tiles = candidate_tiles(a100, DType.FP16)
+        assert len(tiles) >= 10
+
+    def test_candidates_fit_v100(self, v100):
+        tiles = candidate_tiles(v100, DType.FP16)
+        assert all(t.m * t.n <= 256 * 128 for t in tiles)
+        assert len(tiles) >= 8
+
+
+def candidate_tiles_any():
+    from repro.gpu.specs import get_gpu
+
+    return candidate_tiles(get_gpu("A100"), DType.FP16)
+
+
+class TestSelection:
+    def test_big_gemm_picks_big_tile(self, a100):
+        tile = select_tile(8192, 8192, 4096, a100, DType.FP16)
+        assert tile.elems >= 128 * 256
+
+    def test_gemv_picks_thin_tile(self, a100):
+        tile = select_tile(1, 4096, 1024, a100, DType.FP16)
+        assert tile.m <= 32
+
+    def test_tall_skinny_picks_tall_tile(self, a100):
+        tile = select_tile(8192, 16, 1024, a100, DType.FP16)
+        assert tile.n <= 32
+
+    def test_explicit_candidates_respected(self, a100):
+        only = TileConfig(64, 64, 32, 128, 0.64)
+        tile = select_tile(8192, 8192, 4096, a100, DType.FP16, candidates=[only])
+        assert tile is only
+
+    def test_empty_candidates_raise(self, a100):
+        with pytest.raises(GPUModelError):
+            select_tile(128, 128, 128, a100, DType.FP16, candidates=[])
+
+    def test_batch_changes_selection_granularity(self, a100):
+        # A single small matrix prefers small tiles; a large batch of
+        # them amortizes waves, letting efficient big tiles win.
+        small_batch = select_tile(512, 512, 64, a100, DType.FP16, batch=1)
+        big_batch = select_tile(512, 512, 64, a100, DType.FP16, batch=512)
+        assert big_batch.peak_fraction >= small_batch.peak_fraction
+
+    def test_selection_never_worse_than_default(self, a100):
+        # The auto selection's score must be <= the pinned default's
+        # (Fig 5c "PyTorch lessens quantization effects").
+        for size in range(512, 6145, 512):
+            auto = select_tile(size, size, size, a100, DType.FP16)
+            assert tile_score(auto, size, size, size, a100, DType.FP16) <= tile_score(
+                default_tile(), size, size, size, a100, DType.FP16
+            )
+
+
+class TestScore:
+    def test_score_scales_with_waves(self, a100):
+        tile = default_tile()
+        one_wave = tile_score(tile, 128, 256 * 108, 64, a100, DType.FP16)
+        two_waves = tile_score(tile, 128, 256 * 109, 64, a100, DType.FP16)
+        assert two_waves == pytest.approx(2 * one_wave)
+
+    def test_score_prefers_efficiency_at_equal_waves(self, a100):
+        good = TileConfig(128, 256, 32, 256, 0.95)
+        bad = TileConfig(128, 256, 32, 256, 0.50)
+        s_good = tile_score(good, 4096, 4096, 1024, a100, DType.FP16)
+        s_bad = tile_score(bad, 4096, 4096, 1024, a100, DType.FP16)
+        assert s_good < s_bad

@@ -1,0 +1,92 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.ascii_plot import PLOT_HINTS, line_plot, plot_experiment
+from repro.harness.results import ResultTable
+from repro.harness.runner import run_experiment
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        text = line_plot(
+            {None: [(0, 0.0), (5, 5.0), (10, 10.0)]},
+            width=20,
+            height=6,
+            title="demo",
+            x_label="x",
+            y_label="y",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert any("o" in line for line in lines)
+        assert "0" in text and "10" in text
+
+    def test_multiple_series_get_distinct_marks_and_legend(self):
+        text = line_plot(
+            {"a": [(0, 1.0), (1, 2.0)], "b": [(0, 3.0), (1, 4.0)]},
+            width=20,
+            height=6,
+        )
+        assert "o = a" in text
+        assert "x = b" in text
+
+    def test_extremes_land_on_grid_edges(self):
+        text = line_plot({None: [(0, 0.0), (10, 10.0)]}, width=20, height=6)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")  # max at top-right
+        assert rows[-1].split("|")[1][0] == "o"  # min at bottom-left
+
+    def test_zero_anchoring_for_throughput_like_data(self):
+        text = line_plot({None: [(0, 10.0), (1, 100.0)]}, width=20, height=6)
+        assert "\n      0|" in text or " 0|" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            line_plot({})
+        with pytest.raises(ExperimentError):
+            line_plot({"a": []})
+
+    def test_tiny_area_raises(self):
+        with pytest.raises(ExperimentError):
+            line_plot({None: [(0, 1.0)]}, width=4, height=2)
+
+    def test_constant_series_renders(self):
+        text = line_plot({None: [(0, 5.0), (1, 5.0)]}, width=20, height=6)
+        assert "o" in text
+
+
+class TestPlotExperiment:
+    def test_hinted_figures_plot(self):
+        report = run_experiment("fig12")
+        text = plot_experiment("fig12", report.table)
+        assert "FlashAttention" in text
+        assert "hidden" in text
+
+    def test_grouped_figure_has_legend(self):
+        report = run_experiment("fig10")
+        text = plot_experiment("fig10", report.table)
+        assert "h_to_4h" in text and "4h_to_h" in text
+
+    def test_unhinted_id_raises(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add(1, 2)
+        with pytest.raises(ExperimentError, match="no plot hint"):
+            plot_experiment("table2", table)
+
+    def test_all_hints_reference_existing_experiments(self):
+        from repro.harness.figures import get_experiment
+
+        for exp_id in PLOT_HINTS:
+            assert get_experiment(exp_id) is not None
+
+    def test_all_hints_reference_existing_columns(self):
+        # Light check on a few cheap experiments.
+        for exp_id in ("fig8", "fig20", "ext_flash_e2e"):
+            report = run_experiment(exp_id)
+            x, y, group = PLOT_HINTS[exp_id]
+            cols = set(report.table.columns)
+            assert {x, y} <= cols
+            if group is not None:
+                assert group in cols

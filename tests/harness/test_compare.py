@@ -1,0 +1,120 @@
+"""Tests for the qualitative paper-shape checkers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import compare
+
+
+class TestCheckResult:
+    def test_truthiness(self):
+        assert compare.CheckResult(True, "ok")
+        assert not compare.CheckResult(False, "bad")
+
+    def test_all_of(self):
+        combined = compare.CheckResult.all_of(
+            [compare.CheckResult(True, "a"), compare.CheckResult(False, "b")]
+        )
+        assert not combined.passed
+        assert "PASS a" in combined.details and "FAIL b" in combined.details
+
+    def test_all_of_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            compare.CheckResult.all_of([])
+
+
+class TestWinner:
+    def test_higher_is_better(self):
+        res = compare.check_winner({"a": 1.0, "b": 2.0}, "b")
+        assert res.passed
+
+    def test_lower_is_better(self):
+        res = compare.check_winner({"a": 1.0, "b": 2.0}, "a", higher_is_better=False)
+        assert res.passed
+
+    def test_wrong_winner_fails(self):
+        assert not compare.check_winner({"a": 1.0, "b": 2.0}, "a")
+
+    def test_missing_key_fails(self):
+        assert not compare.check_winner({"a": 1.0}, "z")
+
+
+class TestRatio:
+    def test_inside_band(self):
+        assert compare.check_ratio(1.2, 1.0, 1.1, 1.3, "x")
+
+    def test_outside_band(self):
+        assert not compare.check_ratio(2.0, 1.0, 1.1, 1.3, "x")
+
+    def test_zero_denominator_fails(self):
+        assert not compare.check_ratio(1.0, 0.0, 0.5, 2.0, "x")
+
+
+class TestSeriesOrdered:
+    def test_ordered_series_pass(self):
+        series = {
+            8: [(100, 1.0), (200, 2.0)],
+            64: [(100, 3.0), (200, 4.0)],
+        }
+        assert compare.check_series_ordered(series, [8, 64])
+
+    def test_inverted_series_fail(self):
+        series = {
+            8: [(100, 5.0), (200, 6.0)],
+            64: [(100, 1.0), (200, 2.0)],
+        }
+        assert not compare.check_series_ordered(series, [8, 64])
+
+    def test_far_apart_points_not_compared(self):
+        series = {8: [(100, 5.0)], 64: [(1000, 1.0)]}
+        res = compare.check_series_ordered(series, [8, 64])
+        assert not res.passed
+        assert "no comparable points" in res.details
+
+
+class TestMonotoneRise:
+    def test_rising_passes(self):
+        pts = [(i, float(i)) for i in range(10)]
+        assert compare.check_monotone_rise(pts)
+
+    def test_falling_fails(self):
+        pts = [(i, float(10 - i)) for i in range(10)]
+        assert not compare.check_monotone_rise(pts)
+
+    def test_plateau_allowed(self):
+        pts = [(0, 1.0), (1, 2.0), (2, 2.0), (3, 2.0), (4, 2.0)]
+        assert compare.check_monotone_rise(pts)
+
+    def test_too_few_points_fail(self):
+        assert not compare.check_monotone_rise([(0, 1.0), (1, 2.0)])
+
+
+class TestSaturates:
+    def test_flat_tail_passes(self):
+        pts = [(i, min(i, 5.0)) for i in map(float, range(20))]
+        assert compare.check_saturates(pts)
+
+    def test_linear_growth_fails(self):
+        pts = [(float(i), float(i)) for i in range(1, 21)]
+        assert not compare.check_saturates(pts, spread=0.1)
+
+
+class TestSawtooth:
+    def test_sawtooth_detected(self):
+        pts = [(i, 10.0 + (i % 3) - 0.5 * i % 2 - (0.8 if i % 4 == 0 else 0)) for i in range(20)]
+        assert compare.check_sawtooth(pts, min_drops=2, drop_rel=0.01)
+
+    def test_smooth_curve_fails(self):
+        pts = [(i, float(i)) for i in range(20)]
+        assert not compare.check_sawtooth(pts)
+
+
+class TestAllEqual:
+    def test_equal_within_tolerance(self):
+        assert compare.check_all_equal({"a": 1.0, "b": 1.01}, tolerance=0.05)
+
+    def test_unequal_fails(self):
+        assert not compare.check_all_equal({"a": 1.0, "b": 2.0}, tolerance=0.05)
+
+    def test_empty_fails(self):
+        assert not compare.check_all_equal({})

@@ -1,0 +1,107 @@
+"""Tests for the Experiment wrapper and the figure registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.compare import CheckResult
+from repro.harness.experiment import Experiment
+from repro.harness.figures import get_experiment, list_experiments
+from repro.harness.results import ResultTable
+
+
+def make_table():
+    t = ResultTable("t", ["a"])
+    t.add(1)
+    return t
+
+
+class TestExperiment:
+    def test_run_returns_table(self):
+        exp = Experiment("e", "t", "Fig X", run_fn=make_table)
+        assert len(exp.run()) == 1
+
+    def test_empty_table_raises(self):
+        exp = Experiment("e", "t", "Fig X", run_fn=lambda: ResultTable("t", ["a"]))
+        with pytest.raises(ExperimentError, match="no rows"):
+            exp.run()
+
+    def test_wrong_type_raises(self):
+        exp = Experiment("e", "t", "Fig X", run_fn=lambda: [1, 2])
+        with pytest.raises(ExperimentError, match="expected ResultTable"):
+            exp.run()
+
+    def test_check_without_fn_passes(self):
+        exp = Experiment("e", "t", "Fig X", run_fn=make_table)
+        assert exp.check().passed
+
+    def test_check_reuses_table(self):
+        calls = []
+
+        def run():
+            calls.append(1)
+            return make_table()
+
+        exp = Experiment(
+            "e", "t", "Fig X", run_fn=run, check_fn=lambda t: CheckResult(True, "ok")
+        )
+        table = exp.run()
+        exp.check(table)
+        assert len(calls) == 1
+
+    def test_describe(self):
+        exp = Experiment("e", "title", "Fig X", run_fn=make_table)
+        assert "Fig X" in exp.describe()
+
+
+class TestRegistry:
+    EXPECTED_IDS = {
+        "fig1",
+        "fig2",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21_33",
+        "fig34",
+        "fig35_47",
+        "table2",
+        "gemm_share",
+        "case_gpt3",
+        "case_swiglu",
+        "case_6gpu",
+    }
+
+    def test_every_paper_artifact_registered(self):
+        ids = {e.id for e in list_experiments()}
+        assert self.EXPECTED_IDS <= ids
+
+    def test_top_level_listing_hides_family_members(self):
+        ids = {e.id for e in list_experiments()}
+        assert not any("/" in i for i in ids)
+
+    def test_family_members_listed_when_requested(self):
+        ids = {e.id for e in list_experiments(include_family_members=True)}
+        assert "fig21_33/a32" in ids
+        assert "fig35_47/a128" in ids
+
+    def test_get_by_id(self):
+        assert get_experiment("fig8").paper_ref == "Fig 8"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError, match="known:"):
+            get_experiment("fig99")
+
+    def test_all_have_checks(self):
+        for exp in list_experiments():
+            assert exp.check_fn is not None, exp.id

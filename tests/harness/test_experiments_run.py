@@ -1,0 +1,30 @@
+"""Integration: every paper figure/table experiment runs AND its
+qualitative paper-shape check passes.
+
+This is the reproduction's acceptance suite — one test per artifact in
+the paper's evaluation.  A failure here means the modelled physics no
+longer produces the shape the paper reports.
+"""
+
+import pytest
+
+from repro.harness.figures import list_experiments
+from repro.harness.runner import run_experiment
+
+ALL_IDS = [e.id for e in list_experiments()]
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_experiment_reproduces_paper_shape(exp_id):
+    report = run_experiment(exp_id)
+    assert len(report.table) > 0
+    assert report.passed, f"{exp_id}: {report.check.details}"
+
+
+@pytest.mark.parametrize("heads", [8, 20, 40, 128])
+def test_appendix_family_members(heads):
+    # Spot-check individual appendix figures (full set is covered by
+    # fig21_33 / fig35_47 above).
+    for family in ("fig21_33", "fig35_47"):
+        report = run_experiment(f"{family}/a{heads}")
+        assert report.passed, f"{family}/a{heads}: {report.check.details}"

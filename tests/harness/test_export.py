@@ -1,0 +1,57 @@
+"""Tests for the bulk artifact exporter."""
+
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.export import export_all, export_report
+from repro.harness.runner import run_experiment
+
+
+class TestExportReport:
+    def test_writes_csv_and_md(self, tmp_path):
+        report = run_experiment("fig14")
+        written = export_report(report, str(tmp_path))
+        names = {os.path.basename(p) for p in written}
+        assert names == {"fig14.csv", "fig14.md"}
+        csv = (tmp_path / "fig14.csv").read_text()
+        assert csv.startswith("ordering,n,tflops")
+        md = (tmp_path / "fig14.md").read_text()
+        assert "**Check [PASS]**" in md
+
+    def test_plot_written_for_hinted_experiments(self, tmp_path):
+        report = run_experiment("fig12")
+        written = export_report(report, str(tmp_path))
+        assert any(p.endswith("fig12.txt") for p in written)
+        plot = (tmp_path / "fig12.txt").read_text()
+        assert "tflops" in plot
+
+    def test_family_member_ids_sanitized(self, tmp_path):
+        report = run_experiment("fig21_33/a8")
+        written = export_report(report, str(tmp_path))
+        assert all("/" not in os.path.basename(p) for p in written)
+
+
+class TestExportAll:
+    def test_subset_with_index(self, tmp_path):
+        out = tmp_path / "artifacts"
+        written = export_all(str(out), ids=["fig14", "ext_gpus"])
+        assert (out / "index.md").exists()
+        index = (out / "index.md").read_text()
+        assert "`fig14`" in index and "`ext_gpus`" in index
+        assert len(written) >= 5  # 2x(csv+md) + index
+
+    def test_non_directory_target_raises(self, tmp_path):
+        path = tmp_path / "afile"
+        path.write_text("x")
+        with pytest.raises(ExperimentError, match="not a directory"):
+            export_all(str(path), ids=["fig14"])
+
+    def test_cli_verb(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cli-out"
+        assert main(["export", "--dir", str(out), "--ids", "fig14"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert (out / "fig14.csv").exists()

@@ -1,0 +1,31 @@
+"""Tests for the markdown reproduction report renderer."""
+
+from repro.harness.runner import run_all, to_markdown_report
+
+
+class TestMarkdownReport:
+    def test_structure(self):
+        reports = run_all(["fig14", "ext_gpus"])
+        text = to_markdown_report(reports)
+        assert text.startswith("# Reproduction report")
+        assert "2/2 experiments" in text
+        # Summary table rows plus one section per experiment.
+        assert "| `fig14` |" in text
+        assert "## `ext_gpus` —" in text
+        assert text.count("Check:") == 2
+
+    def test_status_marks(self):
+        reports = run_all(["fig14"])
+        text = to_markdown_report(reports)
+        assert "✅" in text
+        assert "[PASS]" in text
+
+    def test_row_truncation(self):
+        reports = run_all(["fig20"])  # ~154 rows
+        text = to_markdown_report(reports, max_rows=10)
+        assert "more rows" in text
+
+    def test_tables_render_as_markdown(self):
+        reports = run_all(["fig14"])
+        text = to_markdown_report(reports)
+        assert "| ordering | n | tflops |" in text

@@ -1,0 +1,116 @@
+"""Tests for ResultTable."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.results import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable("demo", ["x", "group", "y"], notes="a note")
+    t.add(1, "a", 10.0)
+    t.add(2, "a", 20.0)
+    t.add(1, "b", 5.0)
+    return t
+
+
+class TestBuilding:
+    def test_positional_add(self, table):
+        assert len(table) == 3
+
+    def test_named_add(self):
+        t = ResultTable("t", ["a", "b"])
+        t.add(a=1, b=2)
+        assert t.rows == [(1, 2)]
+
+    def test_named_add_missing_column_raises(self):
+        t = ResultTable("t", ["a", "b"])
+        with pytest.raises(ExperimentError, match="missing columns"):
+            t.add(a=1)
+
+    def test_mixed_add_raises(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(ExperimentError):
+            t.add(1, a=1)
+
+    def test_wrong_width_raises(self, table):
+        with pytest.raises(ExperimentError):
+            table.add(1, 2)
+
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(ExperimentError):
+            ResultTable("t", ["a", "a"])
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(ExperimentError):
+            ResultTable("t", [])
+
+    def test_extend(self):
+        t = ResultTable("t", ["a", "b"])
+        t.extend([(1, 2), (3, 4)])
+        assert len(t) == 2
+
+
+class TestAccess:
+    def test_column(self, table):
+        assert table.column("x") == [1, 2, 1]
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(ExperimentError):
+            table.column("z")
+
+    def test_series_ungrouped(self, table):
+        assert table.series("x", "y")[None] == [(1, 10.0), (2, 20.0), (1, 5.0)]
+
+    def test_series_grouped(self, table):
+        series = table.series("x", "y", group="group")
+        assert series["a"] == [(1, 10.0), (2, 20.0)]
+        assert series["b"] == [(1, 5.0)]
+
+    def test_rows_as_dicts(self, table):
+        assert table.rows_as_dicts()[0] == {"x": 1, "group": "a", "y": 10.0}
+
+    def test_best_row_max(self, table):
+        assert table.best_row(by="y")["y"] == 20.0
+
+    def test_best_row_min(self, table):
+        assert table.best_row(by="y", minimize=True)["y"] == 5.0
+
+    def test_best_row_empty_raises(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(ExperimentError):
+            t.best_row(by="a")
+
+
+class TestRendering:
+    def test_markdown(self, table):
+        md = table.to_markdown()
+        assert "### demo" in md
+        assert "a note" in md
+        assert "| x | group | y |" in md
+        assert md.count("\n") >= 7
+
+    def test_markdown_truncation(self, table):
+        md = table.to_markdown(max_rows=1)
+        assert "more rows" in md
+
+    def test_csv(self, table):
+        csv = table.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "x,group,y"
+        assert len(lines) == 4
+
+    def test_str_fixed_width(self, table):
+        text = str(table)
+        assert "demo" in text
+        assert "---" in text
+
+    def test_float_formatting(self):
+        t = ResultTable("t", ["v"])
+        t.add(0.000001234)
+        t.add(123456.7)
+        t.add(0)
+        text = t.to_csv()
+        assert "1.234e-06" in text
+        assert "1.235e+05" in text

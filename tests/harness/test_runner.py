@@ -1,0 +1,42 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.runner import run_all, run_experiment, summary
+
+
+class TestRunExperiment:
+    def test_report_fields(self):
+        rep = run_experiment("fig14")
+        assert rep.id == "fig14"
+        assert rep.passed
+        assert len(rep.table) > 0
+
+    def test_render_contains_status_and_check(self):
+        rep = run_experiment("fig14")
+        text = rep.render()
+        assert "[PASS]" in text
+        assert "check:" in text
+
+    def test_render_truncates(self):
+        rep = run_experiment("fig20")
+        text = rep.render(max_rows=5)
+        assert "more rows" in text
+
+    def test_unknown_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig999")
+
+
+class TestRunAll:
+    def test_subset(self):
+        reports = run_all(["fig14", "table2"])
+        assert [r.id for r in reports] == ["fig14", "table2"]
+        assert all(r.passed for r in reports)
+
+    def test_summary_format(self):
+        reports = run_all(["fig14", "table2"])
+        text = summary(reports)
+        assert "2/2 experiments" in text
+        assert "PASS" in text

@@ -1,0 +1,89 @@
+"""Tests for sweep-grid helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExperimentError
+from repro.harness import sweep
+
+
+class TestArange:
+    def test_inclusive(self):
+        assert sweep.arange_steps(2, 10, 4) == [2, 6, 10]
+
+    def test_invalid_raises(self):
+        with pytest.raises(ExperimentError):
+            sweep.arange_steps(10, 2, 1)
+        with pytest.raises(ExperimentError):
+            sweep.arange_steps(2, 10, 0)
+
+
+class TestHiddenSweep:
+    def test_all_points_keep_integral_head_dim(self):
+        for h in sweep.hidden_sweep_for_heads(24, min_head_dim=8, max_hidden=8192):
+            assert h % 24 == 0
+
+    def test_thinning_respects_points(self):
+        grid = sweep.hidden_sweep_for_heads(8, min_head_dim=8, max_hidden=16384, points=30)
+        assert len(grid) <= 35
+
+    @given(st.sampled_from([8, 12, 16, 20, 32, 64, 128]))
+    def test_thinned_grid_samples_multiple_pow2_buckets(self, a):
+        # The regression this guards: an even thinning stride aliases
+        # h/a onto a single pow-2 class, flattening Figs 7/21-47.
+        grid = sweep.hidden_sweep_for_heads(a, min_head_dim=8, max_hidden=16384, points=40)
+        buckets = {sweep.pow2_bucket(h // a) for h in grid}
+        if len(grid) >= 8:
+            assert len(buckets) >= 3
+
+    def test_invalid_raises(self):
+        with pytest.raises(ExperimentError):
+            sweep.hidden_sweep_for_heads(0)
+
+
+class TestHeadDimPreserving:
+    def test_fixed_ratio(self):
+        for h, a in sweep.head_dim_preserving_sweep(64, max_hidden=2048):
+            assert h == 64 * a
+
+    def test_respects_bound(self):
+        pairs = sweep.head_dim_preserving_sweep(64, max_hidden=2048)
+        assert max(h for h, _ in pairs) <= 2048
+
+    def test_invalid_raises(self):
+        with pytest.raises(ExperimentError):
+            sweep.head_dim_preserving_sweep(0)
+
+
+class TestPow2Bucket:
+    def test_capped_at_64(self):
+        assert sweep.pow2_bucket(256) == 64
+        assert sweep.pow2_bucket(80) == 16
+        assert sweep.pow2_bucket(7) == 1
+
+    def test_invalid_raises(self):
+        with pytest.raises(ExperimentError):
+            sweep.pow2_bucket(0)
+
+
+class TestVocabSweep:
+    def test_brackets_center(self):
+        grid = sweep.vocab_sweep(center=50257, span=10)
+        assert 50257 in grid
+        assert min(grid) == 50247 and max(grid) == 50267
+
+
+class TestGeometric:
+    def test_snapped_to_multiple(self):
+        for v in sweep.geometric_sizes(100, 10000, factor=1.5, multiple=64):
+            assert v % 64 == 0
+
+    def test_strictly_increasing(self):
+        grid = sweep.geometric_sizes(100, 100000, factor=1.4)
+        assert all(b > a for a, b in zip(grid, grid[1:]))
+
+    def test_invalid_raises(self):
+        with pytest.raises(ExperimentError):
+            sweep.geometric_sizes(100, 10, factor=1.5)
+        with pytest.raises(ExperimentError):
+            sweep.geometric_sizes(10, 100, factor=1.0)

@@ -1,0 +1,87 @@
+"""Tests for the decode batching analyzer."""
+
+import pytest
+
+from repro.core.config import get_model
+from repro.errors import ConfigError
+from repro.inference.batching import BatchingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return BatchingAnalyzer("A100-80GB")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_model("pythia-2.8b", microbatch=1)
+
+
+class TestPoint:
+    def test_fields(self, analyzer, cfg):
+        pt = analyzer.point(cfg, batch=4)
+        assert pt.batch == 4
+        assert pt.per_token_ms > 0
+        assert pt.tokens_per_s == pytest.approx(4 / (pt.per_token_ms / 1e3))
+
+    def test_invalid_batch_raises(self, analyzer, cfg):
+        with pytest.raises(ConfigError):
+            analyzer.point(cfg, batch=0)
+
+
+class TestSweep:
+    def test_power_of_two_grid(self, analyzer, cfg):
+        points = analyzer.sweep(cfg, max_batch=64)
+        assert [p.batch for p in points] == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_throughput_monotone_in_batch(self, analyzer, cfg):
+        points = analyzer.sweep(cfg, max_batch=64)
+        tps = [p.tokens_per_s for p in points]
+        assert tps == sorted(tps)
+
+    def test_batching_amortizes_weights(self, analyzer, cfg):
+        # Early doublings nearly double throughput: the weight stream
+        # is shared across the batch.
+        points = {p.batch: p for p in analyzer.sweep(cfg, max_batch=8)}
+        assert points[2].tokens_per_s > 1.7 * points[1].tokens_per_s
+
+    def test_per_token_latency_rises_with_batch(self, analyzer, cfg):
+        points = analyzer.sweep(cfg, max_batch=64)
+        assert points[-1].per_token_ms > points[0].per_token_ms
+
+    def test_per_stream_throughput_falls(self, analyzer, cfg):
+        points = analyzer.sweep(cfg, max_batch=64)
+        assert points[-1].throughput_per_stream < points[0].throughput_per_stream
+
+
+class TestFeasibility:
+    def test_small_model_allows_big_batches(self, analyzer):
+        small = get_model("pythia-410m", microbatch=1)
+        assert analyzer.max_feasible_batch(small) >= 64
+
+    def test_long_context_shrinks_feasible_batch(self, analyzer, cfg):
+        short = analyzer.max_feasible_batch(cfg, context_len=512)
+        long = analyzer.max_feasible_batch(cfg, context_len=16384)
+        assert long < short
+
+    def test_oversized_model_returns_zero(self):
+        analyzer = BatchingAnalyzer("A100")  # 40 GB
+        big = get_model("llama2-70b", microbatch=1)
+        assert analyzer.max_feasible_batch(big) == 0
+
+
+class TestKnee:
+    def test_knee_is_on_grid(self, analyzer, cfg):
+        knee = analyzer.knee(cfg)
+        assert knee >= 1 and (knee & (knee - 1)) == 0  # power of two
+
+    def test_longer_context_earlier_knee(self, analyzer, cfg):
+        # More per-sequence KV traffic -> batching pays off less, knee
+        # arrives no later.
+        short = analyzer.knee(cfg, context_len=256)
+        long = analyzer.knee(cfg, context_len=8192)
+        assert long <= short
+
+    def test_bad_threshold_raises(self, analyzer, cfg):
+        with pytest.raises(ConfigError):
+            analyzer.knee(cfg, threshold=2.5)

@@ -1,0 +1,110 @@
+"""Tests for the prefill/decode inference latency model."""
+
+import pytest
+
+from repro.core.config import get_model
+from repro.errors import ConfigError
+from repro.inference.latency import InferenceModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return InferenceModel("A100")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_model("pythia-1b")
+
+
+class TestPrefill:
+    def test_reuses_forward_gemms(self, model, cfg):
+        # Sec VII-C claim 1: prefill latency == the forward-pass latency
+        # of the same config (same underlying GEMMs).
+        pre = model.prefill(cfg)
+        assert pre.latency_s == pytest.approx(model.layer_model.model_latency(cfg))
+
+    def test_shorter_prompt_faster(self, model, cfg):
+        assert model.prefill(cfg, 128).latency_s < model.prefill(cfg, 2048).latency_s
+
+    def test_tokens_per_s(self, model, cfg):
+        pre = model.prefill(cfg, 512)
+        assert pre.tokens_per_s == pytest.approx(pre.tokens / pre.latency_s)
+
+    def test_bad_prompt_raises(self, model, cfg):
+        with pytest.raises(ConfigError):
+            model.prefill(cfg, 0)
+
+
+class TestDecode:
+    def test_components_positive(self, model, cfg):
+        step = model.decode_step(cfg, 512)
+        assert step.weight_s > 0
+        assert step.kv_cache_s > 0
+        assert step.overhead_s > 0
+        assert step.gemm_s > 0
+        assert step.latency_s > 0
+
+    def test_weight_streaming_floor(self, model, cfg, a100):
+        # Decode can never beat reading every weight once.
+        step = model.decode_step(cfg, 512)
+        weight_bytes = cfg.param_count() * 2
+        floor = weight_bytes / a100.mem_bw_bytes_per_s()
+        assert step.latency_s > floor
+
+    def test_kv_cache_grows_with_context(self, model, cfg):
+        short = model.decode_step(cfg, 128)
+        long = model.decode_step(cfg, 4096)
+        assert long.kv_cache_s > short.kv_cache_s
+        assert long.latency_s > short.latency_s
+
+    def test_overhead_scales_with_layers(self, model):
+        shallow = get_model("pythia-1b")     # 16 layers
+        deep = get_model("pythia-410m")      # 24 layers
+        assert model.decode_step(deep, 512).overhead_s > model.decode_step(
+            shallow, 512
+        ).overhead_s
+
+    def test_tokens_per_s(self, model, cfg):
+        step = model.decode_step(cfg, 512)
+        assert step.tokens_per_s == pytest.approx(1.0 / step.latency_s)
+
+    def test_bad_context_raises(self, model, cfg):
+        with pytest.raises(ConfigError):
+            model.decode_step(cfg, 0)
+
+
+class TestGenerate:
+    def test_total_is_prefill_plus_decode(self, model, cfg):
+        total = model.generate_latency(cfg, prompt_len=128, new_tokens=64)
+        pre = model.prefill(cfg.with_overrides(microbatch=1), prompt_len=128)
+        assert total > pre.latency_s
+        per_token = (total - pre.latency_s) / 64
+        step = model.decode_step(cfg, context_len=128 + 32)
+        assert per_token == pytest.approx(step.latency_s, rel=0.05)
+
+    def test_more_tokens_longer(self, model, cfg):
+        a = model.generate_latency(cfg, new_tokens=32)
+        b = model.generate_latency(cfg, new_tokens=256)
+        assert b > a
+
+    def test_bad_tokens_raises(self, model, cfg):
+        with pytest.raises(ConfigError):
+            model.generate_latency(cfg, new_tokens=0)
+
+
+class TestShapeSensitivity:
+    def test_bigger_models_slower(self, model):
+        small = model.per_token_ms(get_model("pythia-160m"))
+        big = model.per_token_ms(get_model("pythia-6.9b"))
+        assert big > 5 * small
+
+    def test_efficient_training_shape_infers_efficiently(self, model):
+        # Sec VII-C claim: the same shape pathologies transfer from
+        # training to inference.  Per *parameter*, the well-shaped
+        # Pythia-1B decodes faster than the deep, narrow 410M.
+        p410 = get_model("pythia-410m")
+        p1b = get_model("pythia-1b")
+        ms_per_gparam_410 = model.per_token_ms(p410) / (p410.param_count() / 1e9)
+        ms_per_gparam_1b = model.per_token_ms(p1b) / (p1b.param_count() / 1e9)
+        assert ms_per_gparam_1b < ms_per_gparam_410

@@ -1,0 +1,87 @@
+"""Tests for the Pythia suite and the Fig 13 trend analysis."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.inference.pythia import (
+    OFF_TREND_EXPECTED,
+    PYTHIA_SUITE,
+    TrendPoint,
+    pythia_configs,
+    run_suite,
+    trend_analysis,
+)
+
+
+class TestSuite:
+    def test_size_ordered(self):
+        configs = pythia_configs()
+        params = [c.param_count() for c in configs]
+        assert params == sorted(params)
+
+    def test_suite_members(self):
+        assert "pythia-410m" in PYTHIA_SUITE
+        assert "pythia-1b" in PYTHIA_SUITE
+        assert len(PYTHIA_SUITE) == 8
+
+
+class TestTrendAnalysis:
+    def synthetic(self, slope=1.0, n=6):
+        rows = []
+        for i in range(n):
+            params = 10**8 * 2**i
+            rows.append((f"m{i}", params, 0.001 * params**slope / 1e5))
+        return rows
+
+    def test_perfect_power_law_zero_residuals(self):
+        points = trend_analysis(self.synthetic())
+        for p in points:
+            assert p.residual == pytest.approx(0.0, abs=1e-9)
+            assert not p.off_trend
+
+    def test_outlier_detected(self):
+        rows = self.synthetic()
+        name, params, lat = rows[3]
+        rows[3] = (name, params, lat * 1.5)
+        points = trend_analysis(rows, fit_exclude=[name])
+        flagged = {p.name for p in points if p.off_trend}
+        assert flagged == {name}
+        assert [p for p in points if p.name == name][0].residual > 0
+
+    def test_fit_exclude_does_not_drop_points(self):
+        points = trend_analysis(self.synthetic(), fit_exclude=["m0"])
+        assert len(points) == 6
+
+    def test_too_few_models_raises(self):
+        with pytest.raises(ExperimentError):
+            trend_analysis(self.synthetic(n=2))
+
+    def test_too_few_after_exclusion_raises(self):
+        with pytest.raises(ExperimentError):
+            trend_analysis(self.synthetic(n=4), fit_exclude=["m0", "m1"])
+
+    def test_nonpositive_latency_raises(self):
+        rows = self.synthetic()
+        rows[0] = ("m0", rows[0][1], -1.0)
+        with pytest.raises(ExperimentError):
+            trend_analysis(rows)
+
+
+class TestFig13Reproduction:
+    def test_off_trend_pair_and_signs(self):
+        points = {p.name: p for p in run_suite()}
+        # Paper: 410M slower than trend, 1B faster than trend.
+        assert points["pythia-410m"].residual > 0.05
+        assert points["pythia-1b"].residual < -0.05
+
+    def test_off_trend_pair_most_extreme(self):
+        points = run_suite()
+        on_trend = [p for p in points if p.name not in OFF_TREND_EXPECTED]
+        off_trend = [p for p in points if p.name in OFF_TREND_EXPECTED]
+        max_on = max(abs(p.residual) for p in on_trend)
+        assert all(abs(p.residual) > max_on for p in off_trend)
+
+    def test_trend_point_properties(self):
+        tp = TrendPoint(name="x", params=10**9, latency_ms=11.0, predicted_ms=10.0)
+        assert tp.residual == pytest.approx(0.0953, rel=0.01)
+        assert tp.off_trend

@@ -1,0 +1,83 @@
+"""Tests for weight-only quantized inference."""
+
+import pytest
+
+from repro.core.config import get_model
+from repro.errors import ConfigError
+from repro.inference.quantization import SCHEMES, QuantizedInferenceModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return QuantizedInferenceModel("A100")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_model("pythia-2.8b")
+
+
+class TestDecodeStep:
+    def test_fp16_scheme_matches_weight_bytes(self, model, cfg, a100):
+        step = model.decode_step(cfg, 512, scheme="fp16")
+        expected = cfg.param_count() * 2 / (a100.mem_bw_bytes_per_s() * 0.82)
+        assert step.weight_s == pytest.approx(expected)
+        assert step.dequant_s == 0.0
+
+    def test_int8_halves_weight_traffic(self, model, cfg):
+        fp16 = model.decode_step(cfg, 512, scheme="fp16")
+        int8 = model.decode_step(cfg, 512, scheme="int8")
+        assert int8.weight_s == pytest.approx(fp16.weight_s / 2)
+        assert int8.dequant_s > 0
+
+    def test_int4_quarter_traffic(self, model, cfg):
+        fp16 = model.decode_step(cfg, 512, scheme="fp16")
+        int4 = model.decode_step(cfg, 512, scheme="int4")
+        assert int4.weight_s == pytest.approx(fp16.weight_s / 4)
+
+    def test_kv_cache_unchanged(self, model, cfg):
+        # W*A16 schemes keep the KV cache fp16.
+        fp16 = model.decode_step(cfg, 1024, scheme="fp16")
+        int8 = model.decode_step(cfg, 1024, scheme="int8")
+        assert int8.kv_cache_s == fp16.kv_cache_s
+
+    def test_unknown_scheme_raises(self, model, cfg):
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            model.decode_step(cfg, 512, scheme="fp8")
+
+    def test_invalid_context_raises(self, model, cfg):
+        with pytest.raises(ConfigError):
+            model.decode_step(cfg, 0)
+
+
+class TestSpeedup:
+    def test_int8_speedup_below_2x(self, model, cfg):
+        # KV cache + launch overhead dilute the 2x weight saving.
+        s = model.speedup_vs_fp16(cfg, 512, "int8")
+        assert 1.2 < s < 2.0
+
+    def test_int4_beats_int8(self, model, cfg):
+        assert model.speedup_vs_fp16(cfg, 512, "int4") > model.speedup_vs_fp16(
+            cfg, 512, "int8"
+        )
+
+    def test_long_context_dilutes_speedup(self, model, cfg):
+        # At huge contexts the (unquantized) KV cache dominates.
+        short = model.speedup_vs_fp16(cfg, 256, "int8")
+        long = model.speedup_vs_fp16(cfg, 32768, "int8")
+        assert long < short
+
+
+class TestMemoryHeadroom:
+    def test_quantization_extends_context(self, model):
+        cfg = get_model("gpt3-6.7b", microbatch=1)
+        fp16_ctx = model.max_context_fitting(cfg, "fp16")
+        int8_ctx = model.max_context_fitting(cfg, "int8")
+        assert int8_ctx > fp16_ctx
+
+    def test_oversized_model_returns_zero(self, model):
+        cfg = get_model("llama2-70b", microbatch=1)
+        assert model.max_context_fitting(cfg, "fp16") == 0
+
+    def test_schemes_table(self):
+        assert SCHEMES == {"fp16": 16, "int8": 8, "int4": 4}

@@ -1,0 +1,70 @@
+"""Tests for the alpha-beta collective cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParallelismError
+from repro.parallelism.comm import (
+    CommModel,
+    point_to_point_s,
+    ring_allgather_s,
+    ring_allreduce_s,
+)
+
+BW = 100e9
+ALPHA = 5e-6
+
+
+class TestAllReduce:
+    def test_single_rank_free(self):
+        assert ring_allreduce_s(1e9, 1, BW, ALPHA) == 0.0
+
+    def test_two_ranks(self):
+        # 2(n-1) steps of alpha + 2(n-1)/n volume.
+        got = ring_allreduce_s(1e9, 2, BW, ALPHA)
+        assert got == pytest.approx(2 * ALPHA + 1e9 / BW)
+
+    def test_bandwidth_term_saturates(self):
+        # As n grows the volume term approaches 2V/bw.
+        big = ring_allreduce_s(1e9, 1000, BW, 0.0)
+        assert big == pytest.approx(2 * 1e9 / BW, rel=0.01)
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ParallelismError):
+            ring_allreduce_s(-1, 2, BW, ALPHA)
+
+    def test_zero_ranks_raise(self):
+        with pytest.raises(ParallelismError):
+            ring_allreduce_s(1e9, 0, BW, ALPHA)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e12),
+        st.integers(min_value=2, max_value=64),
+    )
+    def test_monotone_in_volume(self, nbytes, ranks):
+        a = ring_allreduce_s(nbytes, ranks, BW, ALPHA)
+        b = ring_allreduce_s(2 * nbytes, ranks, BW, ALPHA)
+        assert b > a
+
+
+class TestAllGather:
+    def test_half_of_allreduce_volume(self):
+        ag = ring_allgather_s(1e9, 8, BW, 0.0)
+        ar = ring_allreduce_s(1e9, 8, BW, 0.0)
+        assert ar == pytest.approx(2 * ag)
+
+    def test_single_rank_free(self):
+        assert ring_allgather_s(1e9, 1, BW, ALPHA) == 0.0
+
+
+class TestPointToPoint:
+    def test_alpha_beta(self):
+        assert point_to_point_s(1e9, BW, ALPHA) == pytest.approx(ALPHA + 1e9 / BW)
+
+
+class TestCommModel:
+    def test_facade(self):
+        model = CommModel(bw_bytes_s=BW, alpha_s=ALPHA)
+        assert model.allreduce(1e9, 4) == ring_allreduce_s(1e9, 4, BW, ALPHA)
+        assert model.allgather(1e9, 4) == ring_allgather_s(1e9, 4, BW, ALPHA)
+        assert model.send(1e9) == point_to_point_s(1e9, BW, ALPHA)

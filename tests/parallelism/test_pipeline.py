@@ -1,0 +1,90 @@
+"""Tests for pipeline stage assignment and bubble model."""
+
+import pytest
+
+from repro.errors import ParallelismError
+from repro.parallelism.pipeline import (
+    PipelinePlan,
+    assign_stages,
+    bubble_fraction,
+    is_balanced,
+)
+
+
+class TestAssignStages:
+    def test_even_split(self):
+        assert assign_stages(32, 8) == [4] * 8
+
+    def test_remainder_front_loaded(self):
+        assert assign_stages(10, 4) == [3, 3, 2, 2]
+
+    def test_sum_preserved(self):
+        for L, p in [(32, 8), (10, 4), (7, 3), (5, 5)]:
+            assert sum(assign_stages(L, p)) == L
+
+    def test_more_stages_than_layers_raises(self):
+        with pytest.raises(ParallelismError):
+            assign_stages(4, 5)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ParallelismError):
+            assign_stages(0, 1)
+
+    def test_is_balanced(self):
+        assert is_balanced(32, 8)
+        assert not is_balanced(32, 5)
+
+
+class TestBubble:
+    def test_formula(self):
+        assert bubble_fraction(4, 12) == pytest.approx(3 / 12)
+
+    def test_single_stage_no_bubble(self):
+        assert bubble_fraction(1, 8) == 0.0
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ParallelismError):
+            bubble_fraction(0, 8)
+
+
+class TestPipelinePlan:
+    def make(self, L, p, m=8, layer_s=1e-3, boundary=0.0):
+        return PipelinePlan(
+            num_layers=L,
+            num_stages=p,
+            num_microbatches=m,
+            layer_time_s=layer_s,
+            stage_boundary_s=boundary,
+        )
+
+    def test_balanced_iteration_time(self):
+        plan = self.make(32, 4, m=8)
+        # (m + p - 1) * stage_time; stage = 8 layers.
+        assert plan.iteration_time_s == pytest.approx((8 + 3) * 8e-3)
+
+    def test_unbalanced_runs_at_slowest_stage(self):
+        # Paper: "optimal for the number of layers to be divisible by
+        # the number of pipeline parallel stages".
+        balanced = self.make(30, 5)
+        unbalanced = self.make(31, 5)  # one stage has 7 layers
+        per_layer_bal = balanced.iteration_time_s / 30
+        per_layer_unb = unbalanced.iteration_time_s / 31
+        assert per_layer_unb > per_layer_bal
+
+    def test_efficiency_bounded(self):
+        for L, p in [(32, 8), (31, 8), (30, 7)]:
+            plan = self.make(L, p)
+            assert 0 < plan.efficiency <= 1
+
+    def test_balanced_beats_unbalanced_efficiency(self):
+        assert self.make(32, 8).efficiency > self.make(33, 8).efficiency
+
+    def test_more_microbatches_shrink_bubble(self):
+        small = self.make(32, 8, m=8)
+        large = self.make(32, 8, m=64)
+        assert large.efficiency > small.efficiency
+
+    def test_boundary_cost_counted(self):
+        free = self.make(32, 4)
+        costly = self.make(32, 4, boundary=1e-3)
+        assert costly.iteration_time_s > free.iteration_time_s

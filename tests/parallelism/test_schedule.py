@@ -1,0 +1,133 @@
+"""Tests for the event-based pipeline schedule simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParallelismError
+from repro.parallelism.pipeline import bubble_fraction
+from repro.parallelism.schedule import simulate_pipeline
+
+
+class TestValidity:
+    @pytest.mark.parametrize("schedule", ["1f1b", "gpipe"])
+    def test_all_ops_executed_once(self, schedule):
+        res = simulate_pipeline(4, 8, schedule=schedule)
+        keys = {(op.stage, op.microbatch, op.kind) for op in res.ops}
+        assert len(res.ops) == len(keys) == 2 * 4 * 8
+
+    @pytest.mark.parametrize("schedule", ["1f1b", "gpipe"])
+    def test_no_stage_overlap(self, schedule):
+        res = simulate_pipeline(4, 6, schedule=schedule)
+        for stage in range(4):
+            intervals = sorted(
+                (op.start, op.end) for op in res.ops if op.stage == stage
+            )
+            for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+                assert s1 >= e0 - 1e-12
+
+    @pytest.mark.parametrize("schedule", ["1f1b", "gpipe"])
+    def test_dependencies_respected(self, schedule):
+        res = simulate_pipeline(3, 5, schedule=schedule)
+        fwd = {(o.stage, o.microbatch): o for o in res.ops if o.kind == "fwd"}
+        bwd = {(o.stage, o.microbatch): o for o in res.ops if o.kind == "bwd"}
+        for (stage, mb), op in fwd.items():
+            if stage > 0:
+                assert op.start >= fwd[(stage - 1, mb)].end - 1e-12
+        for (stage, mb), op in bwd.items():
+            assert op.start >= fwd[(stage, mb)].end - 1e-12
+            if stage < 2:
+                assert op.start >= bwd[(stage + 1, mb)].end - 1e-12
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ParallelismError):
+            simulate_pipeline(0, 4)
+        with pytest.raises(ParallelismError):
+            simulate_pipeline(4, 4, fwd_time=0)
+        with pytest.raises(ParallelismError):
+            simulate_pipeline(4, 4, schedule="zb-h1")
+
+
+class TestBubble:
+    def test_single_stage_no_bubble(self):
+        res = simulate_pipeline(1, 4)
+        assert res.bubble_fraction == pytest.approx(0.0)
+
+    def test_1f1b_matches_closed_form(self):
+        # With uniform stages the 1F1B bubble is exactly (p-1)/m.
+        for p, m in [(2, 4), (4, 8), (4, 16), (8, 8)]:
+            res = simulate_pipeline(p, m, fwd_time=1.0, bwd_time=2.0)
+            assert res.bubble_fraction == pytest.approx(
+                bubble_fraction(p, m), rel=1e-9
+            ), (p, m)
+
+    def test_gpipe_same_bubble_uniform_ops(self):
+        # With one pass of forwards and one of backwards, GPipe's bubble
+        # is also (p-1)/m for uniform op times.
+        res = simulate_pipeline(4, 8, schedule="gpipe")
+        assert res.bubble_fraction == pytest.approx(bubble_fraction(4, 8))
+
+    def test_more_microbatches_shrink_bubble(self):
+        small = simulate_pipeline(4, 4).bubble_fraction
+        large = simulate_pipeline(4, 32).bubble_fraction
+        assert large < small
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=24),
+    )
+    def test_bubble_never_negative(self, p, m):
+        res = simulate_pipeline(p, m)
+        assert res.bubble_fraction >= -1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=2, max_value=16),
+    )
+    def test_1f1b_never_slower_than_gpipe(self, p, m):
+        f1b = simulate_pipeline(p, m, schedule="1f1b").makespan
+        gpipe = simulate_pipeline(p, m, schedule="gpipe").makespan
+        assert f1b <= gpipe + 1e-9
+
+
+class TestInterleaved:
+    def test_closed_form(self):
+        from repro.parallelism.schedule import interleaved_bubble_fraction
+
+        assert interleaved_bubble_fraction(8, 8, 1) == pytest.approx(7 / 8)
+        assert interleaved_bubble_fraction(8, 8, 2) == pytest.approx(7 / 16)
+        assert interleaved_bubble_fraction(8, 8, 4) == pytest.approx(7 / 32)
+
+    def test_v1_matches_plain_bubble(self):
+        from repro.parallelism.schedule import interleaved_bubble_fraction
+
+        assert interleaved_bubble_fraction(4, 16, 1) == bubble_fraction(4, 16)
+
+    def test_invalid_raises(self):
+        from repro.parallelism.schedule import interleaved_bubble_fraction
+
+        with pytest.raises(ParallelismError):
+            interleaved_bubble_fraction(4, 4, 0)
+
+
+class TestMemoryProperty:
+    def test_1f1b_caps_inflight_activations(self):
+        # The defining property: stage i holds at most p - i in-flight
+        # microbatches, independent of m.
+        p, m = 4, 32
+        res = simulate_pipeline(p, m, schedule="1f1b")
+        for stage in range(p):
+            assert res.peak_activations(stage) <= p - stage
+
+    def test_gpipe_holds_all_microbatches(self):
+        p, m = 4, 16
+        res = simulate_pipeline(p, m, schedule="gpipe")
+        assert res.peak_activations(0) == m
+
+    def test_1f1b_memory_advantage_grows_with_m(self):
+        p = 4
+        for m in (8, 32):
+            f1b = simulate_pipeline(p, m, 1.0, 2.0, "1f1b")
+            gp = simulate_pipeline(p, m, 1.0, 2.0, "gpipe")
+            assert f1b.peak_activations(0) < gp.peak_activations(0)

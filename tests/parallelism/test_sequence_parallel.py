@@ -1,0 +1,82 @@
+"""Tests for the sequence-parallel cost model."""
+
+import pytest
+
+from repro.core.config import get_model
+from repro.errors import ParallelismError
+from repro.parallelism.sequence_parallel import (
+    SequenceParallelLayer,
+    validate_sp_feasible,
+)
+from repro.parallelism.tensor_parallel import TensorParallelLayer
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return SequenceParallelLayer("aws-p4d")
+
+
+@pytest.fixture(scope="module")
+def tp():
+    return TensorParallelLayer("aws-p4d")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_model("gpt3-6.7b")
+
+
+class TestFeasibility:
+    def test_pow2_seq_divides(self, cfg):
+        for t in (2, 4, 8):
+            validate_sp_feasible(cfg, t)
+
+    def test_odd_seq_rejected(self, cfg):
+        odd = cfg.with_overrides(seq_len=2050)
+        with pytest.raises(ParallelismError, match="sequence length"):
+            validate_sp_feasible(odd, 4)
+
+
+class TestCost:
+    def test_sp_never_slower_than_tp(self, sp, tp, cfg):
+        for t in (2, 4, 8):
+            assert sp.layer_cost(cfg, t).total_s <= tp.layer_cost(cfg, t).total_s
+
+    def test_pointwise_saving_grows_with_t(self, sp, cfg):
+        saved = [sp.layer_cost(cfg, t).pointwise_saved_s for t in (2, 4, 8)]
+        assert saved[0] < saved[1] < saved[2]
+        assert all(s > 0 for s in saved)
+
+    def test_comm_volume_matches_tp(self, sp, tp, cfg):
+        # RS + AG == ring all-reduce: identical modelled comm time.
+        for t in (2, 8):
+            assert sp.layer_cost(cfg, t).comm_s == pytest.approx(
+                tp.layer_cost(cfg, t).comm_s
+            )
+
+    def test_gemm_time_unchanged(self, sp, tp, cfg):
+        # The saving is exactly the pointwise delta.
+        t = 4
+        sp_cost = sp.layer_cost(cfg, t)
+        tp_cost = tp.layer_cost(cfg, t)
+        assert tp_cost.compute_s - sp_cost.compute_s == pytest.approx(
+            sp_cost.pointwise_saved_s
+        )
+
+    def test_activation_savings_fraction(self, sp, cfg):
+        assert sp.activation_savings_fraction(cfg, 8) == pytest.approx(0.875)
+        assert sp.activation_savings_fraction(cfg, 2) == pytest.approx(0.5)
+
+
+class TestNewShapeRule:
+    def test_sp_adds_s_divisibility_rule(self):
+        """The new sizing rule SP introduces: s % t == 0.
+
+        An s that is a large power of two (the paper's recommendation
+        for other reasons) automatically satisfies it for power-of-two
+        t — but not for Summit-style t=6."""
+        cfg = get_model("gpt3-6.7b").with_overrides(hidden_size=4608, num_heads=36)
+        # s=2048 is not divisible by 6 even when h and a are.
+        with pytest.raises(ParallelismError):
+            validate_sp_feasible(cfg, 6)
+        validate_sp_feasible(cfg.with_overrides(seq_len=2052), 6)

@@ -1,0 +1,84 @@
+"""Tests for Megatron-style tensor parallel sharding and cost."""
+
+import pytest
+
+from repro.core.config import get_model
+from repro.errors import ParallelismError
+from repro.parallelism.tensor_parallel import (
+    TensorParallelLayer,
+    validate_tp_feasible,
+)
+
+
+@pytest.fixture(scope="module")
+def tp():
+    return TensorParallelLayer("aws-p4d")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_model("gpt3-6.7b")  # h=4096, a=32
+
+
+class TestFeasibility:
+    def test_power_of_two_degrees_ok(self, cfg):
+        for t in (1, 2, 4, 8):
+            validate_tp_feasible(cfg, t)
+
+    def test_t6_infeasible_for_2560(self):
+        # The Sec VII-A problem: 2560 % 6 != 0, 32 heads % 6 != 0.
+        with pytest.raises(ParallelismError, match="infeasible TP"):
+            validate_tp_feasible(get_model("gpt3-2.7b"), 6)
+
+    def test_heads_constraint(self):
+        cfg = get_model("gpt3-2.7b").with_overrides(num_heads=20)
+        with pytest.raises(ParallelismError, match="a=20"):
+            validate_tp_feasible(cfg, 8)
+
+    def test_nonpositive_raises(self, cfg):
+        with pytest.raises(ParallelismError):
+            validate_tp_feasible(cfg, 0)
+
+
+class TestSharding:
+    def test_shard_config_sets_degree(self, tp, cfg):
+        sharded = tp.shard_config(cfg, 4)
+        assert sharded.tp_degree == 4
+        assert "tp4" in sharded.name
+
+    def test_rank_gemms_match_table2(self, tp, cfg):
+        ops = {op.module: op for op in tp.rank_gemms(cfg, 4)}
+        assert ops["qkv_transform"].n == 3 * 4096 // 4
+        assert ops["mlp_h_to_4h"].n == 4 * 4096 // 4
+        assert ops["attention_score"].batch == cfg.microbatch * 32 // 4
+
+
+class TestCost:
+    def test_compute_shrinks_with_t(self, tp, cfg):
+        c1 = tp.layer_cost(cfg, 1)
+        c4 = tp.layer_cost(cfg, 4)
+        assert c4.compute_s < c1.compute_s
+
+    def test_comm_zero_at_t1(self, tp, cfg):
+        assert tp.layer_cost(cfg, 1).comm_s == 0.0
+
+    def test_comm_positive_beyond_t1(self, tp, cfg):
+        cost = tp.layer_cost(cfg, 4)
+        assert cost.comm_s > 0
+        assert 0 < cost.comm_fraction < 1
+
+    def test_total_is_sum(self, tp, cfg):
+        cost = tp.layer_cost(cfg, 2)
+        assert cost.total_s == pytest.approx(cost.compute_s + cost.comm_s)
+
+    def test_scaling_table_skips_infeasible(self, tp):
+        table = tp.scaling_table(get_model("gpt3-2.7b"), [1, 2, 3, 4, 6, 8])
+        assert set(table) == {1, 2, 4, 8}  # 3 and 6 dropped
+
+    def test_diminishing_returns(self, tp, cfg):
+        # Per the paper ("t should be as small as possible"): per-rank
+        # speedup from doubling t is sublinear because comm grows and
+        # GEMMs shrink into less efficient regimes.
+        t1 = tp.layer_cost(cfg, 1).total_s
+        t8 = tp.layer_cost(cfg, 8).total_s
+        assert t8 > t1 / 8

@@ -1,0 +1,69 @@
+"""Tests for the Table III node topologies."""
+
+import pytest
+
+from repro.errors import ParallelismError
+from repro.parallelism.topology import NodeTopology, get_system, list_systems
+
+
+class TestTableIII:
+    def test_p4d_is_8x_a100(self):
+        topo = get_system("aws-p4d")
+        assert topo.gpus_per_node == 8
+        assert topo.gpu.name == "A100"
+
+    def test_summit_is_6x_v100(self):
+        topo = get_system("ornl-summit")
+        assert topo.gpus_per_node == 6
+        assert topo.gpu.name == "V100"
+
+    def test_expanse_is_4x_v100_32gb(self):
+        topo = get_system("sdsc-expanse")
+        assert topo.gpus_per_node == 4
+        assert topo.gpu.memory_gb == 32.0
+
+    def test_nvlink_faster_than_network(self):
+        for topo in list_systems():
+            assert topo.intra_node_bw > topo.inter_node_bw
+
+
+class TestCommFor:
+    def test_intra_node_group_uses_nvlink(self):
+        topo = get_system("aws-p4d")
+        comm = topo.comm_for(8)
+        assert comm.bw_bytes_s == topo.intra_node_bw
+
+    def test_cross_node_group_uses_network(self):
+        topo = get_system("aws-p4d")
+        comm = topo.comm_for(16)
+        assert comm.bw_bytes_s == topo.inter_node_bw
+
+    def test_summit_boundary_is_6(self):
+        topo = get_system("ornl-summit")
+        assert topo.comm_for(6).bw_bytes_s == topo.intra_node_bw
+        assert topo.comm_for(7).bw_bytes_s == topo.inter_node_bw
+
+
+class TestRegistry:
+    def test_unknown_raises(self):
+        with pytest.raises(ParallelismError, match="known:"):
+            get_system("frontier")
+
+    def test_passthrough(self):
+        topo = get_system("aws-p4d")
+        assert get_system(topo) is topo
+
+    def test_invalid_gpus_per_node_rejected(self):
+        from repro.gpu.specs import get_gpu
+
+        with pytest.raises(ParallelismError):
+            NodeTopology(
+                name="bad",
+                gpu=get_gpu("A100"),
+                gpus_per_node=0,
+                intra_node_bw=1e9,
+                inter_node_bw=1e9,
+            )
+
+    def test_describe(self):
+        assert "V100" in get_system("ornl-summit").describe()

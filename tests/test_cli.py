@@ -1,0 +1,162 @@
+"""Smoke tests for every CLI verb."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_basic(self, capsys):
+        assert main(["analyze", "gpt3-2.7b"]) == 0
+        out = capsys.readouterr().out
+        assert "GEMM share" in out and "tokens/s" in out
+
+    def test_flash_flag(self, capsys):
+        assert main(["analyze", "gpt3-2.7b", "--flash"]) == 0
+        assert "FlashAttention" in capsys.readouterr().out
+
+    def test_gpu_flag(self, capsys):
+        assert main(["analyze", "pythia-1b", "--gpu", "V100"]) == 0
+        assert "V100" in capsys.readouterr().out
+
+    def test_unknown_model_errors(self, capsys):
+        assert main(["analyze", "gpt9"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRules:
+    def test_basic(self, capsys):
+        assert main(["rules", "gpt3-2.7b"]) == 0
+        out = capsys.readouterr().out
+        assert "head_dim_pow2" in out
+
+    def test_pipeline_stages(self, capsys):
+        assert main(["rules", "gpt3-2.7b", "--pipeline-stages", "5"]) == 0
+        assert "pipeline" in capsys.readouterr().out
+
+
+class TestAdvise:
+    def test_basic(self, capsys):
+        assert main(["advise", "gpt3-2.7b", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "#1" in out
+
+
+class TestFigure:
+    def test_table_output(self, capsys):
+        assert main(["figure", "fig14"]) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_csv_output(self, capsys):
+        assert main(["figure", "fig14", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ordering,n,tflops")
+
+    def test_check_only(self, capsys):
+        assert main(["figure", "fig14", "--check"]) == 0
+        assert capsys.readouterr().out.startswith("PASS")
+
+    def test_plot_output(self, capsys):
+        assert main(["figure", "fig12", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "tflops" in out and "check: PASS" in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figure", "fig999"]) == 2
+
+
+class TestListings:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "case_swiglu" in out
+
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        assert "gpt3-2.7b" in capsys.readouterr().out
+
+    def test_list_gpus(self, capsys):
+        assert main(["list-gpus"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "MI250X" in out
+
+
+class TestGemm:
+    def test_basic(self, capsys):
+        assert main(["gemm", "4096", "4096", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "roofline" in out and "selected" in out
+
+    def test_batched_misaligned(self, capsys):
+        assert main(["gemm", "2048", "2048", "80", "--batch", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "memory-bound" in out
+        assert "pow2(m, n, k) = (2048, 2048, 16)" in out
+
+    def test_dtype_flag(self, capsys):
+        assert main(["gemm", "1024", "1024", "1024", "--dtype", "fp32"]) == 0
+
+
+class TestWhatIf:
+    def test_ranks_knobs(self, capsys):
+        assert main(["whatif", "gpt-neo-2.7b"]) == 0
+        out = capsys.readouterr().out
+        assert "heads" in out and "vocabulary" in out
+        # Heads must rank first (largest payoff for this model).
+        knob_lines = [
+            line
+            for line in out.splitlines()
+            if line.split() and line.split()[0] in
+            ("heads", "vocabulary", "microbatch", "hidden", "swiglu_width")
+        ]
+        assert knob_lines[0].startswith("heads")
+
+
+class TestReport:
+    def test_stdout_subset(self, capsys):
+        assert main(["report", "--ids", "fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "`fig14`" in out
+
+    def test_file_output(self, capsys, tmp_path):
+        path = tmp_path / "rep.md"
+        assert main(["report", "--ids", "fig14", "--output", str(path)]) == 0
+        assert "# Reproduction report" in path.read_text()
+
+
+class TestCalibrate:
+    def _write_csv(self, tmp_path, bw=0.70):
+        from repro.gpu.gemm_model import GemmModel
+
+        gen = GemmModel("A100", bw_efficiency=bw)
+        rows = ["m,n,k,latency_s"]
+        for m, n, k in [(2048, 2048, 64), (4096, 4096, 128), (2048, 2048, 80)]:
+            rows.append(f"{m},{n},{k},{gen.latency(m, n, k)}")
+        path = tmp_path / "meas.csv"
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_recovers_bw_constant(self, tmp_path, capsys):
+        path = self._write_csv(tmp_path, bw=0.70)
+        assert main(["calibrate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "loaded 3 measurements" in out
+        assert "bw_efficiency" in out
+        bw_line = [l for l in out.splitlines() if l.startswith("bw_efficiency")][0]
+        assert abs(float(bw_line.split("=")[1].split()[0]) - 0.70) < 0.03
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["calibrate", "/nonexistent/meas.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_line_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2\n")
+        assert main(["calibrate", str(path)]) == 2
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

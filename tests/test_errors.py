@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigError,
+        errors.ShapeError,
+        errors.GPUModelError,
+        errors.ParallelismError,
+        errors.ExperimentError,
+        errors.CalibrationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_does_not_catch_unrelated():
+    with pytest.raises(ValueError):
+        try:
+            raise ValueError("unrelated")
+        except errors.ReproError:  # pragma: no cover - must not trigger
+            pytest.fail("ReproError caught a ValueError")

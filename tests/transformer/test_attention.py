@@ -1,0 +1,142 @@
+"""Tests for multi-head attention: shapes, causality, tensor parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer.attention import MultiHeadAttention
+from repro.transformer.trace import OpTrace
+
+
+def make_attention(rng, h=32, a=4, t=1, positional="learned"):
+    return MultiHeadAttention(h, a, rng, tp_degree=t, positional=positional)
+
+
+class TestConstruction:
+    def test_param_count(self, rng):
+        att = make_attention(rng, h=32, a=4)
+        # 3h^2 + 3h (QKV) + h^2 + h (projection) = 4h^2 + 4h.
+        assert att.param_count() == 4 * 32 * 32 + 4 * 32
+
+    def test_param_count_invariant_to_tp(self, rng):
+        h, a = 64, 8
+        assert (
+            make_attention(rng, h, a, t=1).param_count()
+            == make_attention(rng, h, a, t=4).param_count()
+        )
+
+    def test_h_not_divisible_raises(self, rng):
+        with pytest.raises(ConfigError):
+            make_attention(rng, h=30, a=4)
+
+    def test_heads_not_divisible_by_tp_raises(self, rng):
+        with pytest.raises(ConfigError):
+            make_attention(rng, h=32, a=4, t=3)
+
+    def test_rotary_needs_even_head_dim(self, rng):
+        with pytest.raises(ConfigError, match="even head dim"):
+            MultiHeadAttention(15, 3, rng, positional="rotary")
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        att = make_attention(rng)
+        x = rng.normal(size=(8, 2, 32))
+        out = att.forward(x, OpTrace())
+        assert out.shape == x.shape
+
+    def test_bad_input_shape_raises(self, rng):
+        att = make_attention(rng)
+        with pytest.raises(ShapeError):
+            att.forward(rng.normal(size=(8, 2, 16)), OpTrace())
+
+    def test_causality(self, rng):
+        # Changing a future token must not change earlier outputs.
+        att = make_attention(rng)
+        x = rng.normal(size=(8, 1, 32))
+        base = att.forward(x, OpTrace())
+        x2 = x.copy()
+        x2[5] += 10.0
+        out = att.forward(x2, OpTrace())
+        np.testing.assert_allclose(out[:5], base[:5], rtol=1e-10)
+        assert not np.allclose(out[5:], base[5:])
+
+    def test_traced_shapes_match_table2(self, rng):
+        s, b, h, a = 8, 2, 32, 4
+        att = make_attention(rng, h=h, a=a)
+        trace = OpTrace()
+        att.forward(rng.normal(size=(s, b, h)), trace)
+        shapes = {r.module: r.shape_tuple() for r in trace}
+        assert shapes["qkv_transform"] == (1, s * b, h, 3 * h)
+        assert shapes["attention_score"] == (b * a, s, h // a, s)
+        assert shapes["attention_over_value"] == (b * a, s, s, h // a)
+        assert shapes["attention_projection"] == (1, s * b, h, h)
+
+    def test_traced_shapes_with_tp(self, rng):
+        s, b, h, a, t = 8, 2, 32, 4, 2
+        att = make_attention(rng, h=h, a=a, t=t)
+        trace = OpTrace()
+        att.forward(rng.normal(size=(s, b, h)), trace)
+        qkv = [r for r in trace if r.module == "qkv_transform"]
+        assert len(qkv) == t  # one per emulated rank
+        assert qkv[0].shape_tuple() == (1, s * b, h, 3 * h // t)
+        score = [r for r in trace if r.module == "attention_score"]
+        assert score[0].batch == b * a // t
+
+
+class TestTensorParallelEquivalence:
+    def test_tp2_matches_tp1_with_shared_weights(self, rng):
+        """Sharding is a numerics-preserving rearrangement."""
+        s, b, h, a = 8, 2, 32, 4
+        one = make_attention(np.random.default_rng(7), h=h, a=a, t=1)
+        two = make_attention(np.random.default_rng(7), h=h, a=a, t=2)
+        # Rebuild the sharded weights from the t=1 weights: shard i of
+        # QKV takes head-block columns i of each of Q|K|V.
+        w = one.w_qkv[0]  # (h, 3h), columns [Q | K | V]
+        d = h // a
+        for i in range(2):
+            heads = slice(i * (a // 2) * d, (i + 1) * (a // 2) * d)
+            two.w_qkv[i] = np.concatenate(
+                [w[:, 0 * h:][:, heads], w[:, 1 * h:][:, heads], w[:, 2 * h:][:, heads]],
+                axis=1,
+            )
+            two.b_qkv[i] = np.zeros(3 * h // 2)
+            two.w_proj[i] = one.w_proj[0][i * h // 2 : (i + 1) * h // 2]
+        two.b_proj = one.b_proj
+        x = rng.normal(size=(s, b, h))
+        np.testing.assert_allclose(
+            one.forward(x, OpTrace()), two.forward(x, OpTrace()), rtol=1e-10
+        )
+
+
+class TestPositionalVariants:
+    @pytest.mark.parametrize("kind", ["learned", "rotary", "alibi", "none"])
+    def test_gemm_shapes_identical_across_variants(self, rng, kind):
+        # Sec VI-C2: embeddings do not change the GEMM analysis.
+        s, b, h, a = 8, 2, 32, 4
+        att = make_attention(rng, h=h, a=a, positional=kind)
+        trace = OpTrace()
+        att.forward(rng.normal(size=(s, b, h)), trace)
+        shapes = [r.shape_tuple() for r in trace]
+        ref = make_attention(rng, h=h, a=a, positional="learned")
+        ref_trace = OpTrace()
+        ref.forward(rng.normal(size=(s, b, h)), ref_trace)
+        assert shapes == [r.shape_tuple() for r in ref_trace]
+
+    def test_rotary_changes_output(self, rng):
+        s, b, h, a = 8, 1, 32, 4
+        x = rng.normal(size=(s, b, h))
+        plain = make_attention(np.random.default_rng(5), h=h, a=a, positional="none")
+        rot = make_attention(np.random.default_rng(5), h=h, a=a, positional="rotary")
+        assert not np.allclose(
+            plain.forward(x, OpTrace()), rot.forward(x, OpTrace())
+        )
+
+    def test_alibi_preserves_causality(self, rng):
+        att = make_attention(rng, positional="alibi")
+        x = rng.normal(size=(8, 1, 32))
+        base = att.forward(x, OpTrace())
+        x2 = x.copy()
+        x2[7] += 5.0
+        out = att.forward(x2, OpTrace())
+        np.testing.assert_allclose(out[:7], base[:7], rtol=1e-10)

@@ -1,0 +1,222 @@
+"""Tests for the explicit backward pass: gradcheck + training mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TransformerConfig
+from repro.core.gemms import training_gemms
+from repro.errors import ConfigError
+from repro.transformer.backward import (
+    gelu_backward,
+    layer_norm_backward,
+    layer_norm_forward,
+    loss_and_gradients,
+    softmax_backward,
+)
+from repro.transformer.model import DecoderModel
+from repro.transformer.trace import OpTrace
+
+
+def make_model(**kw):
+    defaults = dict(
+        vocab_size=64,
+        max_seq=8,
+        hidden_size=16,
+        num_heads=2,
+        num_layers=2,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kw)
+    return DecoderModel(**defaults)
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One traced loss+gradients evaluation, shared across tests."""
+    model = make_model()
+    ids = np.random.default_rng(0).integers(0, 64, size=(8, 2))
+    trace = OpTrace()
+    loss, grads = loss_and_gradients(model, ids, trace)
+    return model, ids, trace, loss, grads
+
+
+class TestPrimitives:
+    def test_layer_norm_roundtrip_gradcheck(self, rng):
+        x = rng.normal(size=(3, 8))
+        gamma = rng.normal(1.0, 0.1, size=8)
+        beta = rng.normal(size=8)
+        dy = rng.normal(size=(3, 8))
+        _, cache = layer_norm_forward(x, gamma, beta)
+        dx, dgamma, dbeta = layer_norm_backward(cache, dy)
+
+        eps = 1e-6
+
+        def loss_at(xp):
+            y, _ = layer_norm_forward(xp, gamma, beta)
+            return float((y * dy).sum())
+
+        num = np.zeros_like(x)
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                xp = x.copy()
+                xp[i, j] += eps
+                xm = x.copy()
+                xm[i, j] -= eps
+                num[i, j] = (loss_at(xp) - loss_at(xm)) / (2 * eps)
+        np.testing.assert_allclose(dx, num, rtol=1e-5, atol=1e-8)
+
+    def test_gelu_backward_matches_numeric(self, rng):
+        from repro.transformer.functional import gelu
+
+        x = rng.normal(size=32)
+        dy = rng.normal(size=32)
+        eps = 1e-6
+        num = (gelu(x + eps) - gelu(x - eps)) / (2 * eps) * dy
+        np.testing.assert_allclose(gelu_backward(x, dy), num, rtol=1e-6, atol=1e-9)
+
+    def test_softmax_backward_matches_numeric(self, rng):
+        from repro.transformer.functional import softmax
+
+        x = rng.normal(size=(2, 5))
+        dy = rng.normal(size=(2, 5))
+        probs = softmax(x)
+        got = softmax_backward(probs, dy)
+        eps = 1e-6
+        num = np.zeros_like(x)
+        for i in range(2):
+            for j in range(5):
+                xp = x.copy()
+                xp[i, j] += eps
+                xm = x.copy()
+                xm[i, j] -= eps
+                num[i, j] = ((softmax(xp) - softmax(xm)) * dy).sum() / (2 * eps)
+        np.testing.assert_allclose(got, num, rtol=1e-5, atol=1e-9)
+
+
+class TestGradcheck:
+    """Analytic gradients vs central finite differences on the real model."""
+
+    PARAMS = [
+        ("wte", lambda m: m.wte, (5, 3)),
+        ("wpe", lambda m: m.wpe, (2, 7)),
+        ("L0.attention.w_qkv", lambda m: m.blocks[0].attention.w_qkv[0], (3, 9)),
+        ("L0.attention.b_qkv", lambda m: m.blocks[0].attention.b_qkv[0], (11,)),
+        ("L1.attention.w_proj", lambda m: m.blocks[1].attention.w_proj[0], (4, 2)),
+        ("L0.attention.b_proj", lambda m: m.blocks[0].attention.b_proj, (1,)),
+        ("L0.mlp.w1", lambda m: m.blocks[0].mlp.w1[0], (7, 11)),
+        ("L0.mlp.b1", lambda m: m.blocks[0].mlp.b1[0], (9,)),
+        ("L1.mlp.w2", lambda m: m.blocks[1].mlp.w2[0], (20, 5)),
+        ("L1.mlp.b2", lambda m: m.blocks[1].mlp.b2, (3,)),
+        ("lnf_gamma", lambda m: m.lnf_gamma, (4,)),
+        ("lnf_beta", lambda m: m.lnf_beta, (0,)),
+        ("L0.ln1_gamma", lambda m: m.blocks[0].ln1_gamma, (6,)),
+        ("L1.ln2_beta", lambda m: m.blocks[1].ln2_beta, (2,)),
+    ]
+
+    @pytest.mark.parametrize("name,getter,idx", PARAMS, ids=[p[0] for p in PARAMS])
+    def test_gradcheck(self, run, name, getter, idx):
+        model, ids, _, _, grads = run
+        arr = getter(model)
+        eps = 1e-6
+        orig = arr[idx]
+        arr[idx] = orig + eps
+        lp = model.loss(ids)
+        arr[idx] = orig - eps
+        lm = model.loss(ids)
+        arr[idx] = orig
+        numeric = (lp - lm) / (2 * eps)
+        assert grads[name][idx] == pytest.approx(numeric, rel=1e-5, abs=1e-9)
+
+    def test_loss_matches_forward_loss(self, run):
+        model, ids, _, loss, _ = run
+        assert loss == pytest.approx(model.loss(ids))
+
+    def test_gradient_shapes_match_params(self, run):
+        model, _, _, _, grads = run
+        assert grads["wte"].shape == model.wte.shape
+        assert grads["L0.attention.w_qkv"].shape == model.blocks[0].attention.w_qkv[0].shape
+        assert grads["L1.mlp.w1"].shape == model.blocks[1].mlp.w1[0].shape
+
+
+class TestTrainingMapping:
+    def test_traced_ops_equal_analytic_training_gemms(self, run):
+        _, _, trace, _, _ = run
+        cfg = TransformerConfig(
+            name="t",
+            hidden_size=16,
+            num_heads=2,
+            num_layers=2,
+            vocab_size=64,
+            seq_len=8,
+            microbatch=2,
+        )
+        want = sorted((op.module, op.shape_tuple()) for op in training_gemms(cfg))
+        got = sorted((r.module, r.shape_tuple()) for r in trace)
+        assert want == got
+
+    def test_training_flops_are_3x_forward(self, run):
+        _, _, trace, _, _ = run
+        fwd = sum(r.flops for r in trace if "." not in r.module)
+        bwd = sum(r.flops for r in trace if "." in r.module)
+        assert bwd == 2 * fwd
+
+    def test_backward_op_count(self, run):
+        _, _, trace, _, _ = run
+        # 6 ops/layer x 2 layers + logit = 13 forward; each induces 2.
+        assert len(trace) == 13 * 3
+
+
+class TestRestrictions:
+    def test_tp_rejected(self):
+        model = make_model(tp_degree=2, num_heads=2)
+        ids = np.random.default_rng(0).integers(0, 64, size=(8, 1))
+        with pytest.raises(ConfigError, match="tensor-parallel"):
+            loss_and_gradients(model, ids)
+
+    def test_untied_rejected(self):
+        model = make_model(tie_embeddings=False)
+        ids = np.random.default_rng(0).integers(0, 64, size=(8, 1))
+        with pytest.raises(ConfigError, match="tied"):
+            loss_and_gradients(model, ids)
+
+    def test_rotary_rejected(self):
+        model = make_model(positional="rotary")
+        ids = np.random.default_rng(0).integers(0, 64, size=(8, 1))
+        with pytest.raises(ConfigError, match="positions"):
+            loss_and_gradients(model, ids)
+
+
+class TestTrainingImprovesLoss:
+    def test_sgd_steps_reduce_loss(self):
+        """End-to-end sanity: a few SGD steps on one batch reduce loss."""
+        model = make_model()
+        ids = np.random.default_rng(3).integers(0, 64, size=(8, 4))
+        first_loss, _ = loss_and_gradients(model, ids)
+        lr = 0.5
+        applier = {
+            "wte": lambda m: m.wte,
+            "wpe": lambda m: m.wpe,
+            "lnf_gamma": lambda m: m.lnf_gamma,
+            "lnf_beta": lambda m: m.lnf_beta,
+        }
+        for i in range(2):
+            applier[f"L{i}.attention.w_qkv"] = lambda m, i=i: m.blocks[i].attention.w_qkv[0]
+            applier[f"L{i}.attention.b_qkv"] = lambda m, i=i: m.blocks[i].attention.b_qkv[0]
+            applier[f"L{i}.attention.w_proj"] = lambda m, i=i: m.blocks[i].attention.w_proj[0]
+            applier[f"L{i}.attention.b_proj"] = lambda m, i=i: m.blocks[i].attention.b_proj
+            applier[f"L{i}.mlp.w1"] = lambda m, i=i: m.blocks[i].mlp.w1[0]
+            applier[f"L{i}.mlp.b1"] = lambda m, i=i: m.blocks[i].mlp.b1[0]
+            applier[f"L{i}.mlp.w2"] = lambda m, i=i: m.blocks[i].mlp.w2[0]
+            applier[f"L{i}.mlp.b2"] = lambda m, i=i: m.blocks[i].mlp.b2
+            applier[f"L{i}.ln1_gamma"] = lambda m, i=i: m.blocks[i].ln1_gamma
+            applier[f"L{i}.ln1_beta"] = lambda m, i=i: m.blocks[i].ln1_beta
+            applier[f"L{i}.ln2_gamma"] = lambda m, i=i: m.blocks[i].ln2_gamma
+            applier[f"L{i}.ln2_beta"] = lambda m, i=i: m.blocks[i].ln2_beta
+
+        loss = first_loss
+        for _ in range(5):
+            _, grads = loss_and_gradients(model, ids)
+            for name, get in applier.items():
+                get(model)[...] -= lr * grads[name]
+            loss, _ = loss_and_gradients(model, ids)
+        assert loss < first_loss

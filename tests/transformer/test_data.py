@@ -1,0 +1,84 @@
+"""Tests for the synthetic corpora."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.transformer.data import CopyCorpus, MarkovCorpus
+
+
+class TestMarkovCorpus:
+    def test_tokens_in_range(self):
+        corpus = MarkovCorpus(vocab_size=16)
+        ids = corpus.sample(seq_len=64, batch=4)
+        assert ids.shape == (64, 4)
+        assert ids.min() >= 0 and ids.max() < 16
+
+    def test_transition_rows_are_distributions(self):
+        corpus = MarkovCorpus(vocab_size=16)
+        np.testing.assert_allclose(corpus.transitions.sum(axis=1), 1.0)
+        assert np.all(corpus.transitions >= 0)
+
+    def test_stationary_distribution(self):
+        corpus = MarkovCorpus(vocab_size=8, seed=3)
+        pi = corpus.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(pi @ corpus.transitions, pi, atol=1e-10)
+
+    def test_conditional_entropy_bounds(self):
+        corpus = MarkovCorpus(vocab_size=16, concentration=0.05)
+        h = corpus.conditional_entropy()
+        assert 0.0 < h < np.log(16)
+
+    def test_concentration_controls_entropy(self):
+        peaky = MarkovCorpus(vocab_size=16, concentration=0.02).conditional_entropy()
+        flat = MarkovCorpus(vocab_size=16, concentration=20.0).conditional_entropy()
+        assert peaky < flat
+
+    def test_empirical_transitions_match(self):
+        # Long sample's bigram statistics should approximate the chain.
+        corpus = MarkovCorpus(vocab_size=4, concentration=0.5, seed=7)
+        ids = corpus.sample(seq_len=20000, batch=1)[:, 0]
+        counts = np.zeros((4, 4))
+        np.add.at(counts, (ids[:-1], ids[1:]), 1)
+        empirical = counts / counts.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(empirical, corpus.transitions, atol=0.05)
+
+    def test_batches_iterator(self):
+        corpus = MarkovCorpus(vocab_size=8)
+        batches = list(corpus.batches(seq_len=8, batch=2, steps=3))
+        assert len(batches) == 3
+        assert all(b.shape == (8, 2) for b in batches)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ConfigError):
+            MarkovCorpus(vocab_size=1)
+        with pytest.raises(ConfigError):
+            MarkovCorpus(vocab_size=8, concentration=0.0)
+        with pytest.raises(ConfigError):
+            MarkovCorpus(vocab_size=8).sample(0, 1)
+
+
+class TestCopyCorpus:
+    def test_structure(self):
+        corpus = CopyCorpus(vocab_size=16, pattern_len=5)
+        ids = corpus.sample(batch=3)
+        assert ids.shape == (11, 3)
+        np.testing.assert_array_equal(ids[:5], ids[6:])
+        assert np.all(ids[5] == 15)  # delimiter row
+
+    def test_pattern_avoids_delimiter(self):
+        corpus = CopyCorpus(vocab_size=8, pattern_len=64)
+        ids = corpus.sample(batch=8)
+        assert np.all(ids[:64] < 7)
+
+    def test_copy_positions(self):
+        corpus = CopyCorpus(vocab_size=8, pattern_len=4)
+        lo, hi = corpus.copy_positions()
+        assert (lo, hi) == (5, 9)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ConfigError):
+            CopyCorpus(vocab_size=2, pattern_len=4)
+        with pytest.raises(ConfigError):
+            CopyCorpus(vocab_size=8, pattern_len=0)

@@ -1,0 +1,134 @@
+"""Tests for the pointwise/normalization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ShapeError
+from repro.transformer import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 7))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+    def test_stability_with_large_values(self):
+        x = np.array([[1000.0, 1000.0, -1000.0]])
+        out = F.softmax(x)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[0, :2], 0.5, atol=1e-12)
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(3, 4))
+        out = F.softmax(x, axis=0)
+        np.testing.assert_allclose(out.sum(axis=0), 1.0)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            (4, 9),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    def test_probability_simplex(self, x):
+        out = F.softmax(x)
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_var(self, rng):
+        h = 64
+        x = rng.normal(3.0, 5.0, size=(4, 2, h))
+        out = F.layer_norm(x, np.ones(h), np.zeros(h))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self, rng):
+        h = 8
+        x = rng.normal(size=(3, h))
+        out = F.layer_norm(x, 2.0 * np.ones(h), 3.0 * np.ones(h))
+        base = F.layer_norm(x, np.ones(h), np.zeros(h))
+        np.testing.assert_allclose(out, 2.0 * base + 3.0)
+
+    def test_shape_mismatch_raises(self, rng):
+        x = rng.normal(size=(3, 8))
+        with pytest.raises(ShapeError):
+            F.layer_norm(x, np.ones(4), np.zeros(8))
+
+
+class TestActivations:
+    def test_gelu_fixed_points(self):
+        assert F.gelu(np.array([0.0]))[0] == 0.0
+        assert F.gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-4)
+        assert F.gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_silu_fixed_points(self):
+        assert F.silu(np.array([0.0]))[0] == 0.0
+        assert F.silu(np.array([20.0]))[0] == pytest.approx(20.0, rel=1e-6)
+
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            F.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_registry_complete(self):
+        assert set(F.ACTIVATIONS) == {"gelu", "silu", "relu"}
+
+
+class TestCausalMask:
+    def test_lower_triangle_passes(self):
+        mask = F.causal_mask(4)
+        assert mask[2, 1] == 0.0
+        assert mask[2, 2] == 0.0
+
+    def test_upper_triangle_blocked(self):
+        mask = F.causal_mask(4)
+        assert mask[1, 2] == -np.inf
+        assert mask[0, 3] == -np.inf
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ShapeError):
+            F.causal_mask(0)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_v(self, rng):
+        v = 32
+        logits = np.zeros((10, v))
+        targets = rng.integers(0, v, size=10)
+        assert F.cross_entropy(logits, targets) == pytest.approx(np.log(v))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((4, 8), -100.0)
+        targets = np.array([1, 3, 5, 7])
+        logits[np.arange(4), targets] = 100.0
+        assert F.cross_entropy(logits, targets) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(np.zeros((4, 8)), np.zeros(5, dtype=int))
+
+
+class TestEmbeddingLookup:
+    def test_gathers_rows(self, rng):
+        table = rng.normal(size=(10, 4))
+        ids = np.array([[1, 3], [5, 7]])
+        out = F.embedding_lookup(table, ids)
+        np.testing.assert_array_equal(out[0, 1], table[3])
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self, rng):
+        table = rng.normal(size=(10, 4))
+        with pytest.raises(ShapeError):
+            F.embedding_lookup(table, np.array([10]))
+        with pytest.raises(ShapeError):
+            F.embedding_lookup(table, np.array([-1]))

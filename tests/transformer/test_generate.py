@@ -1,0 +1,96 @@
+"""Tests for autoregressive generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer.data import MarkovCorpus
+from repro.transformer.generate import generate, perplexity
+from repro.transformer.model import DecoderModel
+from repro.transformer.optim import Adam, parameter_registry, train
+
+
+def make_model(**kw):
+    defaults = dict(
+        vocab_size=32,
+        max_seq=24,
+        hidden_size=24,
+        num_heads=4,
+        num_layers=1,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kw)
+    return DecoderModel(**defaults)
+
+
+class TestGenerate:
+    def test_extends_prompt(self, rng):
+        model = make_model()
+        prompt = rng.integers(0, 32, size=(4, 2))
+        out = generate(model, prompt, new_tokens=6)
+        assert out.shape == (10, 2)
+        np.testing.assert_array_equal(out[:4], prompt)
+
+    def test_tokens_in_vocab(self, rng):
+        model = make_model()
+        out = generate(model, rng.integers(0, 32, size=(4, 3)), new_tokens=8)
+        assert out.min() >= 0 and out.max() < 32
+
+    def test_greedy_deterministic(self, rng):
+        model = make_model()
+        prompt = rng.integers(0, 32, size=(4, 1))
+        a = generate(model, prompt, new_tokens=5)
+        b = generate(model, prompt, new_tokens=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampling_seeded_reproducible(self, rng):
+        model = make_model()
+        prompt = rng.integers(0, 32, size=(4, 1))
+        a = generate(model, prompt, 5, temperature=1.0, rng=np.random.default_rng(7))
+        b = generate(model, prompt, 5, temperature=1.0, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_stops_at_positional_table(self, rng):
+        model = make_model(max_seq=8)
+        out = generate(model, rng.integers(0, 32, size=(6, 1)), new_tokens=10)
+        assert out.shape[0] == 8  # capped, not crashed
+
+    def test_invalid_args_raise(self, rng):
+        model = make_model()
+        with pytest.raises(ShapeError):
+            generate(model, rng.integers(0, 32, size=(4,)), 2)
+        with pytest.raises(ConfigError):
+            generate(model, rng.integers(0, 32, size=(4, 1)), 0)
+        with pytest.raises(ConfigError):
+            generate(model, rng.integers(0, 32, size=(4, 1)), 2, temperature=-1)
+
+
+class TestLearnedGeneration:
+    def test_trained_model_tracks_chain_statistics(self):
+        """After training on a peaky Markov chain, greedy generation
+        should mostly follow the chain's argmax transitions."""
+        corpus = MarkovCorpus(vocab_size=16, concentration=0.02, seed=1)
+        model = make_model(vocab_size=16, hidden_size=32, num_layers=2, max_seq=32)
+        opt = Adam(parameter_registry(model), lr=3e-3, clip=1.0)
+        train(model, corpus.batches(24, 16, steps=50), opt)
+
+        prompt = corpus.sample(4, 1)
+        out = generate(model, prompt, new_tokens=16)
+        argmax_next = corpus.transitions.argmax(axis=1)
+        hits = sum(
+            1
+            for t in range(4, out.shape[0] - 1)
+            if out[t + 1, 0] == argmax_next[out[t, 0]]
+        )
+        total = out.shape[0] - 5
+        assert hits / total > 0.5, f"only {hits}/{total} argmax transitions"
+
+    def test_perplexity_drops_with_training(self):
+        corpus = MarkovCorpus(vocab_size=16, concentration=0.05, seed=2)
+        model = make_model(vocab_size=16, hidden_size=32, num_layers=2, max_seq=32)
+        eval_batch = corpus.sample(24, 8)
+        before = perplexity(model, eval_batch)
+        opt = Adam(parameter_registry(model), lr=3e-3, clip=1.0)
+        train(model, corpus.batches(24, 16, steps=30), opt)
+        after = perplexity(model, eval_batch)
+        assert after < 0.6 * before

@@ -1,0 +1,199 @@
+"""Tests for grouped-query attention (the Llama-2-70B extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TransformerConfig, get_model
+from repro.core.gemms import layer_gemms
+from repro.errors import ConfigError
+from repro.transformer.attention import MultiHeadAttention
+from repro.transformer.model import DecoderModel
+from repro.transformer.trace import OpTrace
+
+
+class TestConstruction:
+    def test_kv_equal_heads_is_classic(self, rng):
+        classic = MultiHeadAttention(32, 4, np.random.default_rng(0))
+        gqa = MultiHeadAttention(32, 4, np.random.default_rng(0), num_kv_heads=4)
+        assert gqa.w_qkv[0].shape == classic.w_qkv[0].shape
+        assert gqa.param_count() == classic.param_count()
+
+    def test_kv_shrinks_qkv_weight(self, rng):
+        gqa = MultiHeadAttention(32, 4, rng, num_kv_heads=2)
+        # Q: 32 cols, K and V: 2*8=16 cols each.
+        assert gqa.w_qkv[0].shape == (32, 32 + 2 * 16)
+
+    def test_mqa_single_kv_head(self, rng):
+        mqa = MultiHeadAttention(32, 4, rng, num_kv_heads=1)
+        assert mqa.w_qkv[0].shape == (32, 32 + 2 * 8)
+
+    def test_heads_not_divisible_raises(self, rng):
+        with pytest.raises(ConfigError, match="num_kv_heads"):
+            MultiHeadAttention(32, 4, rng, num_kv_heads=3)
+
+    def test_kv_not_divisible_by_tp_raises(self, rng):
+        with pytest.raises(ConfigError, match="tp_degree"):
+            MultiHeadAttention(64, 8, rng, num_kv_heads=2, tp_degree=4)
+
+
+class TestForward:
+    def test_output_shape_and_causality(self, rng):
+        att = MultiHeadAttention(32, 4, rng, num_kv_heads=2)
+        x = rng.normal(size=(8, 1, 32))
+        base = att.forward(x, OpTrace())
+        assert base.shape == x.shape
+        x2 = x.copy()
+        x2[6] += 5.0
+        out = att.forward(x2, OpTrace())
+        np.testing.assert_allclose(out[:6], base[:6], rtol=1e-10)
+
+    def test_traced_shapes(self, rng):
+        s, b, h, a, kv = 8, 2, 32, 4, 2
+        att = MultiHeadAttention(h, a, rng, num_kv_heads=kv)
+        trace = OpTrace()
+        att.forward(rng.normal(size=(s, b, h)), trace)
+        shapes = {r.module: r.shape_tuple() for r in trace}
+        d = h // a
+        # QKV narrows; the BMMs keep the classic b*a batch.
+        assert shapes["qkv_transform"] == (1, s * b, h, h + 2 * kv * d)
+        assert shapes["attention_score"] == (b * a, s, d, s)
+        assert shapes["attention_over_value"] == (b * a, s, s, d)
+
+    def test_gqa_equals_mha_with_replicated_kv(self, rng):
+        """GQA with K/V heads copied from an MHA whose KV heads are
+        identical within each group must produce identical outputs."""
+        s, b, h, a, kv = 8, 2, 32, 4, 2
+        d = h // a
+        gqa = MultiHeadAttention(h, a, np.random.default_rng(0), num_kv_heads=kv)
+        mha = MultiHeadAttention(h, a, np.random.default_rng(1))
+        # Build MHA's K and V weights by replicating each GQA kv head
+        # across its query group; copy Q and projection verbatim.
+        wg = gqa.w_qkv[0]
+        q_w = wg[:, : a * d]
+        k_w = wg[:, a * d : a * d + kv * d].reshape(h, kv, d)
+        v_w = wg[:, a * d + kv * d :].reshape(h, kv, d)
+        group = a // kv
+        k_full = np.repeat(k_w, group, axis=1).reshape(h, a * d)
+        v_full = np.repeat(v_w, group, axis=1).reshape(h, a * d)
+        mha.w_qkv[0] = np.concatenate([q_w, k_full, v_full], axis=1)
+        mha.b_qkv[0] = np.zeros(3 * h)
+        mha.w_proj[0] = gqa.w_proj[0]
+        mha.b_proj = gqa.b_proj
+        x = rng.normal(size=(s, b, h))
+        np.testing.assert_allclose(
+            gqa.forward(x, OpTrace()), mha.forward(x, OpTrace()), rtol=1e-10
+        )
+
+    def test_full_model_with_gqa_runs(self, rng):
+        model = DecoderModel(
+            vocab_size=64,
+            max_seq=8,
+            hidden_size=32,
+            num_heads=4,
+            num_layers=2,
+            num_kv_heads=2,
+            rng=rng,
+        )
+        ids = rng.integers(0, 64, size=(8, 2))
+        assert np.isfinite(model.loss(ids))
+
+
+class TestAnalyticMapping:
+    def test_config_kv_properties(self):
+        cfg = TransformerConfig(
+            name="x", hidden_size=64, num_heads=8, num_layers=1, num_kv_heads=2
+        )
+        assert cfg.kv_heads == 2
+        assert cfg.kv_dim == 16
+        default = TransformerConfig(name="y", hidden_size=64, num_heads=8, num_layers=1)
+        assert default.kv_heads == 8
+        assert default.kv_dim == 64
+
+    def test_invalid_kv_rejected(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig(
+                name="x", hidden_size=64, num_heads=8, num_layers=1, num_kv_heads=3
+            )
+
+    def test_layer_gemms_narrow_qkv(self):
+        cfg = TransformerConfig(
+            name="x",
+            hidden_size=64,
+            num_heads=8,
+            num_layers=1,
+            vocab_size=128,
+            seq_len=16,
+            microbatch=2,
+            num_kv_heads=2,
+        )
+        ops = {op.module: op for op in layer_gemms(cfg)}
+        assert ops["qkv_transform"].n == 64 + 2 * 16
+        assert ops["attention_score"].batch == 2 * 8  # full query heads
+
+    def test_mapping_matches_traced_model(self, rng):
+        cfg = TransformerConfig(
+            name="x",
+            hidden_size=32,
+            num_heads=4,
+            num_layers=1,
+            vocab_size=64,
+            seq_len=8,
+            microbatch=2,
+            num_kv_heads=2,
+        )
+        model = DecoderModel(
+            vocab_size=64,
+            max_seq=8,
+            hidden_size=32,
+            num_heads=4,
+            num_layers=1,
+            num_kv_heads=2,
+            rng=rng,
+        )
+        trace = OpTrace()
+        model.forward(rng.integers(0, 64, size=(8, 2)), trace)
+        want = {(op.module, op.shape_tuple()) for op in layer_gemms(cfg)}
+        got = {
+            (r.module, r.shape_tuple()) for r in trace if r.module != "logit"
+        }
+        assert want == got
+
+    def test_param_count_matches_arrays(self, rng):
+        cfg = TransformerConfig(
+            name="x",
+            hidden_size=32,
+            num_heads=4,
+            num_layers=2,
+            vocab_size=64,
+            seq_len=8,
+            num_kv_heads=2,
+        )
+        model = DecoderModel(
+            vocab_size=64,
+            max_seq=8,
+            hidden_size=32,
+            num_heads=4,
+            num_layers=2,
+            num_kv_heads=2,
+            rng=rng,
+        )
+        assert cfg.param_count() == model.param_count(include_final_norm=False)
+
+
+class TestLlama70B:
+    def test_registered_with_gqa(self):
+        cfg = get_model("llama2-70b")
+        assert cfg.kv_heads == 8
+        assert cfg.head_dim == 128
+        # ~69B parameters with GQA (would be ~79B with full MHA).
+        assert cfg.param_count() == pytest.approx(69e9, rel=0.02)
+
+    def test_gqa_shrinks_kv_cache_latency(self):
+        from repro.inference.latency import InferenceModel
+
+        model = InferenceModel("A100-80GB")
+        gqa = get_model("llama2-70b", microbatch=1)
+        mha = gqa.with_overrides(num_kv_heads=64)
+        gqa_step = model.decode_step(gqa, context_len=4096)
+        mha_step = model.decode_step(mha, context_len=4096)
+        assert gqa_step.kv_cache_s == pytest.approx(mha_step.kv_cache_s / 8, rel=0.01)

@@ -1,0 +1,108 @@
+"""Tests for the classic and SwiGLU MLP blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer.mlp import MLP, SwiGLUMLP
+from repro.transformer.trace import OpTrace
+
+
+class TestClassicMLP:
+    def test_default_intermediate_is_4h(self, rng):
+        mlp = MLP(32, rng)
+        assert mlp.d_ff == 128
+
+    def test_param_count(self, rng):
+        h, d = 32, 128
+        mlp = MLP(h, rng)
+        assert mlp.param_count() == 2 * h * d + d + h
+
+    def test_forward_shape(self, rng):
+        mlp = MLP(32, rng)
+        x = rng.normal(size=(8, 2, 32))
+        assert mlp.forward(x, OpTrace()).shape == x.shape
+
+    def test_traced_shapes(self, rng):
+        s, b, h = 8, 2, 32
+        mlp = MLP(h, rng)
+        trace = OpTrace()
+        mlp.forward(rng.normal(size=(s, b, h)), trace)
+        shapes = {r.module: r.shape_tuple() for r in trace}
+        assert shapes["mlp_h_to_4h"] == (1, s * b, h, 4 * h)
+        assert shapes["mlp_4h_to_h"] == (1, s * b, 4 * h, h)
+
+    def test_custom_intermediate(self, rng):
+        mlp = MLP(32, rng, intermediate_size=96)
+        assert mlp.d_ff == 96
+
+    def test_bad_activation_raises(self, rng):
+        with pytest.raises(ConfigError):
+            MLP(32, rng, activation="swish2")
+
+    def test_tp_indivisible_raises(self, rng):
+        with pytest.raises(ConfigError):
+            MLP(32, rng, intermediate_size=100, tp_degree=3)
+
+    def test_bad_input_raises(self, rng):
+        mlp = MLP(32, rng)
+        with pytest.raises(ShapeError):
+            mlp.forward(rng.normal(size=(8, 2, 16)), OpTrace())
+
+    def test_tp_equivalence(self, rng):
+        h = 32
+        one = MLP(h, np.random.default_rng(3), tp_degree=1)
+        two = MLP(h, np.random.default_rng(3), tp_degree=2)
+        shard = one.d_ff // 2
+        for i in range(2):
+            two.w1[i] = one.w1[0][:, i * shard : (i + 1) * shard]
+            two.b1[i] = one.b1[0][i * shard : (i + 1) * shard]
+            two.w2[i] = one.w2[0][i * shard : (i + 1) * shard]
+        two.b2 = one.b2
+        x = rng.normal(size=(4, 2, h))
+        np.testing.assert_allclose(
+            one.forward(x, OpTrace()), two.forward(x, OpTrace()), rtol=1e-10
+        )
+
+
+class TestSwiGLU:
+    def test_default_intermediate_is_8h_over_3(self, rng):
+        mlp = SwiGLUMLP(48, rng)
+        assert mlp.d_ff == 128  # round(8*48/3)
+
+    def test_param_count_three_matrices(self, rng):
+        h, d = 32, 96
+        mlp = SwiGLUMLP(h, rng, intermediate_size=d)
+        assert mlp.param_count() == 3 * h * d
+        assert mlp.n_matrices == 3
+
+    def test_traced_shapes(self, rng):
+        s, b, h, d = 8, 2, 32, 96
+        mlp = SwiGLUMLP(h, rng, intermediate_size=d)
+        trace = OpTrace()
+        mlp.forward(rng.normal(size=(s, b, h)), trace)
+        shapes = {r.module: r.shape_tuple() for r in trace}
+        assert shapes["mlp_gate"] == (1, s * b, h, d)
+        assert shapes["mlp_up"] == (1, s * b, h, d)
+        assert shapes["mlp_down"] == (1, s * b, d, h)
+
+    def test_forward_shape(self, rng):
+        mlp = SwiGLUMLP(32, rng, intermediate_size=64)
+        x = rng.normal(size=(4, 3, 32))
+        assert mlp.forward(x, OpTrace()).shape == x.shape
+
+    def test_gating_nonlinearity(self, rng):
+        # SwiGLU is not linear: f(2x) != 2 f(x).
+        mlp = SwiGLUMLP(16, rng, intermediate_size=32)
+        x = rng.normal(size=(2, 1, 16))
+        out1 = mlp.forward(x, OpTrace())
+        out2 = mlp.forward(2 * x, OpTrace())
+        assert not np.allclose(out2, 2 * out1)
+
+    def test_parameter_parity_with_classic(self, rng):
+        # The 8h/3 sizing exists to keep SwiGLU's 3 matrices at the
+        # same parameter count as the classic 2 x 4h matrices.
+        h = 48
+        classic = MLP(h, rng).param_count()
+        swiglu = SwiGLUMLP(h, rng).param_count()
+        assert swiglu == pytest.approx(classic, rel=0.02)

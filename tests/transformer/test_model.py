@@ -1,0 +1,123 @@
+"""Tests for the full decoder model: the formula ground-truth checks."""
+
+import numpy as np
+import pytest
+
+from repro.core import formulas
+from repro.errors import ShapeError
+from repro.transformer.model import DecoderModel
+from repro.transformer.trace import OpTrace
+
+
+def make_model(rng=None, v=128, s=16, h=32, a=4, L=2, **kw):
+    return DecoderModel(
+        vocab_size=v,
+        max_seq=s,
+        hidden_size=h,
+        num_heads=a,
+        num_layers=L,
+        rng=rng or np.random.default_rng(0),
+        **kw,
+    )
+
+
+class TestParamFormula:
+    """The paper's P = 12h^2 L + 13hL + (v+s)h, validated against the
+    actual number of weight-array elements."""
+
+    @pytest.mark.parametrize("h,a,L,v,s", [(32, 4, 2, 128, 16), (64, 8, 3, 256, 32)])
+    def test_exact_match(self, h, a, L, v, s):
+        model = make_model(v=v, s=s, h=h, a=a, L=L)
+        expected = formulas.param_count(h, L, v, s)
+        # The formula omits only the final layer norm's 2h scalars.
+        assert model.param_count(include_final_norm=False) == expected
+        assert model.param_count(include_final_norm=True) == expected + 2 * h
+
+    def test_untied_head_adds_hv(self):
+        tied = make_model(tie_embeddings=True)
+        untied = make_model(tie_embeddings=False)
+        assert untied.param_count() - tied.param_count() == 32 * 128
+
+    def test_rotary_drops_position_table(self):
+        learned = make_model().param_count()
+        rotary = make_model(positional="rotary").param_count()
+        assert learned - rotary == 16 * 32  # s*h
+
+
+class TestForward:
+    def test_logits_shape(self, rng):
+        model = make_model()
+        ids = rng.integers(0, 128, size=(16, 3))
+        logits = model.forward(ids, OpTrace())
+        assert logits.shape == (16, 3, 128)
+
+    def test_loss_near_log_v_at_init(self, rng):
+        model = make_model()
+        ids = rng.integers(0, 128, size=(16, 4))
+        loss = model.loss(ids)
+        assert loss == pytest.approx(np.log(128), rel=0.05)
+
+    def test_sequence_exceeding_table_raises(self, rng):
+        model = make_model(s=16)
+        with pytest.raises(ShapeError):
+            model.forward(rng.integers(0, 128, size=(17, 1)))
+
+    def test_loss_needs_two_tokens(self, rng):
+        model = make_model()
+        with pytest.raises(ShapeError):
+            model.loss(rng.integers(0, 128, size=(1, 1)))
+
+    def test_bad_token_ids_shape_raises(self, rng):
+        model = make_model()
+        with pytest.raises(ShapeError):
+            model.forward(rng.integers(0, 128, size=(16,)))
+
+
+class TestFlopsFormula:
+    """The paper's 24bsh^2 + 4bs^2h per layer, validated against the
+    traced matmul FLOPs of the real forward pass."""
+
+    def test_traced_flops_match_formula(self, rng):
+        v, s, h, a, L, b = 128, 16, 32, 4, 2, 3
+        model = make_model(v=v, s=s, h=h, a=a, L=L)
+        trace = OpTrace()
+        model.forward(rng.integers(0, v, size=(s, b)), trace)
+        expected = formulas.forward_flops_model(b=b, s=s, h=h, L=L, v=v)
+        assert trace.flops() == expected
+
+    def test_per_layer_formula_consistency(self):
+        b, s, h = 3, 16, 32
+        assert formulas.forward_flops_per_layer(b, s, h) == (
+            24 * b * s * h * h + 4 * b * s * s * h
+        )
+
+    def test_swiglu_flops_match_general_formula(self, rng):
+        v, s, h, a, L, b, d = 128, 16, 32, 4, 2, 2, 96
+        model = make_model(
+            v=v, s=s, h=h, a=a, L=L, mlp_kind="swiglu", intermediate_size=d
+        )
+        trace = OpTrace()
+        model.forward(rng.integers(0, v, size=(s, b)), trace)
+        expected = formulas.forward_flops_model(
+            b=b, s=s, h=h, L=L, v=v, d_ff=d, mlp_matrices=3
+        )
+        assert trace.flops() == expected
+
+
+class TestArchitectureVariants:
+    def test_parallel_layers_forward(self, rng):
+        model = make_model(parallel_layers=True)
+        ids = rng.integers(0, 128, size=(16, 2))
+        assert model.forward(ids).shape == (16, 2, 128)
+
+    def test_rotary_model_runs(self, rng):
+        model = make_model(positional="rotary", h=32, a=4)
+        ids = rng.integers(0, 128, size=(16, 2))
+        assert np.isfinite(model.loss(ids))
+
+    def test_tp_model_matches_trace_count(self, rng):
+        model = make_model(tp_degree=2)
+        trace = OpTrace()
+        model.forward(rng.integers(0, 128, size=(16, 2)), trace)
+        qkv = [r for r in trace if r.module == "qkv_transform"]
+        assert len(qkv) == 2 * 2  # t shards x L layers

@@ -1,0 +1,102 @@
+"""Tests for positional embedding variants (Sec VI-C2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.transformer import positional as pos
+
+
+class TestLearned:
+    def test_shape(self, rng):
+        table = pos.learned_positions(16, 32, rng)
+        assert table.shape == (16, 32)
+
+    def test_nonpositive_raises(self, rng):
+        with pytest.raises(ShapeError):
+            pos.learned_positions(0, 32, rng)
+
+
+class TestRotary:
+    def test_frequencies_shape_and_range(self):
+        freqs = pos.rotary_frequencies(64)
+        assert freqs.shape == (32,)
+        assert freqs[0] == 1.0
+        assert np.all(np.diff(freqs) < 0)
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(ShapeError):
+            pos.rotary_frequencies(7)
+
+    def test_rotation_preserves_pair_norms(self, rng):
+        x = rng.normal(size=(3, 8, 16))
+        out = pos.apply_rotary(x, np.arange(8))
+        norm_in = x[..., 0::2] ** 2 + x[..., 1::2] ** 2
+        norm_out = out[..., 0::2] ** 2 + out[..., 1::2] ** 2
+        np.testing.assert_allclose(norm_in, norm_out, rtol=1e-10)
+
+    def test_position_zero_is_identity(self, rng):
+        x = rng.normal(size=(2, 1, 8))
+        out = pos.apply_rotary(x, np.array([0]))
+        np.testing.assert_allclose(out, x)
+
+    def test_relative_property(self, rng):
+        # Rotary's defining property: <q_m, k_n> depends only on m - n.
+        d = 16
+        q = rng.normal(size=(1, 1, d))
+        k = rng.normal(size=(1, 1, d))
+
+        def dot_at(m, n):
+            qm = pos.apply_rotary(q, np.array([m]))[0, 0]
+            kn = pos.apply_rotary(k, np.array([n]))[0, 0]
+            return float(qm @ kn)
+
+        assert dot_at(5, 3) == pytest.approx(dot_at(12, 10), rel=1e-9)
+        assert dot_at(7, 0) == pytest.approx(dot_at(17, 10), rel=1e-9)
+
+    def test_positions_shape_mismatch_raises(self, rng):
+        x = rng.normal(size=(2, 8, 16))
+        with pytest.raises(ShapeError):
+            pos.apply_rotary(x, np.arange(9))
+
+
+class TestAlibi:
+    def test_slopes_power_of_two_heads(self):
+        slopes = pos.alibi_slopes(8)
+        assert slopes.shape == (8,)
+        # Geometric: ratio constant.
+        ratios = slopes[1:] / slopes[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+        assert np.all(slopes > 0) and np.all(slopes < 1)
+
+    def test_slopes_non_power_of_two(self):
+        slopes = pos.alibi_slopes(12)
+        assert slopes.shape == (12,)
+        assert np.all(slopes > 0)
+
+    def test_slopes_nonpositive_raises(self):
+        with pytest.raises(ShapeError):
+            pos.alibi_slopes(0)
+
+    def test_bias_shape_and_sign(self):
+        bias = pos.alibi_bias(4, 8)
+        assert bias.shape == (4, 8, 8)
+        # Diagonal zero, past negative, future clamped to zero (masked
+        # separately by causal mask).
+        assert np.all(np.diagonal(bias, axis1=1, axis2=2) == 0)
+        assert bias[0, 5, 2] < 0
+        assert bias[0, 2, 5] == 0
+
+    def test_bias_linear_in_distance(self):
+        bias = pos.alibi_bias(1, 16)[0]
+        assert bias[10, 7] == pytest.approx(bias[10, 8] * 3 / 2)
+
+
+class TestValidateKind:
+    @pytest.mark.parametrize("kind", ["learned", "rotary", "alibi", "none", " Rotary "])
+    def test_accepts_known(self, kind):
+        assert pos.validate_kind(kind) in pos.POSITIONAL_KINDS
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            pos.validate_kind("sinusoidal-ish")

@@ -1,0 +1,98 @@
+"""Tests for the matmul operation tracer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.transformer.trace import MatmulRecord, NullTrace, OpTrace
+
+
+class TestMatmulRecord:
+    def test_flops(self):
+        rec = MatmulRecord(module="x", m=4, k=8, n=16, batch=3)
+        assert rec.flops == 2 * 3 * 4 * 8 * 16
+
+    def test_is_bmm(self):
+        assert MatmulRecord("x", 1, 1, 1, batch=2).is_bmm
+        assert not MatmulRecord("x", 1, 1, 1).is_bmm
+
+    def test_shape_tuple(self):
+        assert MatmulRecord("x", 4, 8, 16, 2).shape_tuple() == (2, 4, 8, 16)
+
+
+class TestOpTrace:
+    def test_matmul_computes_and_records(self, rng):
+        trace = OpTrace()
+        x = rng.normal(size=(4, 8))
+        w = rng.normal(size=(8, 16))
+        out = trace.matmul("fc", x, w)
+        np.testing.assert_allclose(out, x @ w)
+        assert len(trace) == 1
+        assert trace.records[0] == MatmulRecord("fc", 4, 8, 16)
+
+    def test_bmm_computes_and_records(self, rng):
+        trace = OpTrace()
+        a = rng.normal(size=(3, 4, 8))
+        b = rng.normal(size=(3, 8, 16))
+        out = trace.bmm("attn", a, b)
+        np.testing.assert_allclose(out, np.matmul(a, b))
+        assert trace.records[0] == MatmulRecord("attn", 4, 8, 16, batch=3)
+
+    def test_matmul_rejects_3d(self, rng):
+        trace = OpTrace()
+        with pytest.raises(ShapeError):
+            trace.matmul("x", rng.normal(size=(2, 3, 4)), rng.normal(size=(4, 5)))
+
+    def test_matmul_rejects_mismatched_inner(self, rng):
+        trace = OpTrace()
+        with pytest.raises(ShapeError):
+            trace.matmul("x", rng.normal(size=(2, 3)), rng.normal(size=(4, 5)))
+
+    def test_bmm_rejects_mismatched_batch(self, rng):
+        trace = OpTrace()
+        with pytest.raises(ShapeError):
+            trace.bmm("x", rng.normal(size=(2, 3, 4)), rng.normal(size=(3, 4, 5)))
+
+    def test_flops_accumulate(self, rng):
+        trace = OpTrace()
+        trace.matmul("a", rng.normal(size=(2, 3)), rng.normal(size=(3, 4)))
+        trace.matmul("b", rng.normal(size=(4, 5)), rng.normal(size=(5, 6)))
+        assert trace.flops() == 2 * 2 * 3 * 4 + 2 * 4 * 5 * 6
+
+    def test_by_module_groups_in_order(self, rng):
+        trace = OpTrace()
+        for name in ("a", "b", "a"):
+            trace.matmul(name, rng.normal(size=(2, 3)), rng.normal(size=(3, 4)))
+        groups = trace.by_module()
+        assert list(groups) == ["a", "b"]
+        assert len(groups["a"]) == 2
+
+    def test_modules_first_appearance_order(self, rng):
+        trace = OpTrace()
+        for name in ("qkv", "score", "qkv"):
+            trace.matmul(name, rng.normal(size=(2, 3)), rng.normal(size=(3, 4)))
+        assert trace.modules() == ["qkv", "score"]
+
+    def test_clear(self, rng):
+        trace = OpTrace()
+        trace.matmul("a", rng.normal(size=(2, 3)), rng.normal(size=(3, 4)))
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_summary_contains_percentages(self, rng):
+        trace = OpTrace()
+        trace.matmul("alpha", rng.normal(size=(2, 3)), rng.normal(size=(3, 4)))
+        text = trace.summary()
+        assert "alpha" in text and "%" in text
+
+
+class TestNullTrace:
+    def test_computes_without_recording(self, rng):
+        trace = NullTrace()
+        x = rng.normal(size=(4, 8))
+        w = rng.normal(size=(8, 16))
+        np.testing.assert_allclose(trace.matmul("fc", x, w), x @ w)
+        a = rng.normal(size=(2, 4, 8))
+        b = rng.normal(size=(2, 8, 4))
+        np.testing.assert_allclose(trace.bmm("bm", a, b), np.matmul(a, b))
+        assert len(trace) == 0

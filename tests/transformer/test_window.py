@@ -1,0 +1,140 @@
+"""Tests for sliding-window attention (the Mistral-style variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TransformerConfig, get_model
+from repro.errors import ConfigError, ShapeError
+from repro.inference.latency import InferenceModel
+from repro.transformer import functional as F
+from repro.transformer.attention import MultiHeadAttention
+from repro.transformer.flash import FlashAttentionModel, sum_attended_pairs
+from repro.transformer.trace import OpTrace
+
+
+class TestMask:
+    def test_window_blocks_distant_past(self):
+        mask = F.causal_mask(6, window=2)
+        assert mask[5, 4] == 0.0 and mask[5, 5] == 0.0
+        assert mask[5, 3] == -np.inf
+        assert mask[1, 2] == -np.inf  # causal part intact
+
+    def test_window_geq_s_is_plain_causal(self):
+        np.testing.assert_array_equal(
+            F.causal_mask(8, window=8), F.causal_mask(8)
+        )
+        np.testing.assert_array_equal(
+            F.causal_mask(8, window=100), F.causal_mask(8)
+        )
+
+    def test_window_one_is_self_only(self):
+        mask = F.causal_mask(4, window=1)
+        finite = np.isfinite(mask)
+        np.testing.assert_array_equal(finite, np.eye(4, dtype=bool))
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ShapeError):
+            F.causal_mask(4, window=0)
+
+
+class TestAttention:
+    def test_distant_token_has_no_influence(self, rng):
+        att = MultiHeadAttention(32, 4, rng, attention_window=2)
+        x = rng.normal(size=(8, 1, 32))
+        base = att.forward(x, OpTrace())
+        x2 = x.copy()
+        x2[0] += 10.0  # outside every later token's window of 2
+        out = att.forward(x2, OpTrace())
+        # Positions 2+ never see token 0 (window 2 = self + previous).
+        np.testing.assert_allclose(out[2:], base[2:], rtol=1e-10)
+        assert not np.allclose(out[:2], base[:2])
+
+    def test_window_geq_s_matches_full(self, rng):
+        full = MultiHeadAttention(32, 4, np.random.default_rng(0))
+        windowed = MultiHeadAttention(
+            32, 4, np.random.default_rng(0), attention_window=64
+        )
+        x = rng.normal(size=(8, 2, 32))
+        np.testing.assert_allclose(
+            full.forward(x, OpTrace()), windowed.forward(x, OpTrace())
+        )
+
+    def test_gemm_shapes_unchanged(self, rng):
+        # The naive path masks post-GEMM, so Table II shapes hold.
+        plain, windowed = OpTrace(), OpTrace()
+        MultiHeadAttention(32, 4, rng).forward(rng.normal(size=(8, 2, 32)), plain)
+        MultiHeadAttention(32, 4, rng, attention_window=3).forward(
+            rng.normal(size=(8, 2, 32)), windowed
+        )
+        assert [r.shape_tuple() for r in plain] == [
+            r.shape_tuple() for r in windowed
+        ]
+
+    def test_invalid_window_raises(self, rng):
+        with pytest.raises(ConfigError):
+            MultiHeadAttention(32, 4, rng, attention_window=-1)
+
+
+class TestPairCount:
+    def test_full_causal(self):
+        assert sum_attended_pairs(8, 8) == 36  # 8*9/2
+
+    def test_windowed(self):
+        # s=8, w=3: 1+2+3+3+3+3+3+3 = 21.
+        assert sum_attended_pairs(8, 3) == 21
+
+    def test_window_capped_at_s(self):
+        assert sum_attended_pairs(8, 100) == sum_attended_pairs(8, 8)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ShapeError):
+            sum_attended_pairs(0, 4)
+
+
+class TestFlashWindow:
+    def test_window_reduces_flops(self):
+        model = FlashAttentionModel("A100")
+        full = model.evaluate(8, 8192, 128)
+        windowed = model.evaluate(8, 8192, 128, window=1024)
+        assert windowed.flops < full.flops
+        assert windowed.latency_s < full.latency_s
+
+    def test_window_flops_exact(self):
+        model = FlashAttentionModel("A100")
+        perf = model.evaluate(2, 16, 4, window=4)
+        assert perf.flops == 4 * 2 * sum_attended_pairs(16, 4) * 4
+
+    def test_invalid_window_raises(self):
+        model = FlashAttentionModel("A100")
+        with pytest.raises(ShapeError):
+            model.evaluate(1, 16, 4, window=0)
+
+
+class TestConfigAndInference:
+    def test_mistral_preset(self):
+        cfg = get_model("mistral-7b")
+        assert cfg.attention_window == 4096
+        assert cfg.kv_heads == 8
+        assert cfg.d_ff == 14336
+        assert cfg.param_count() == pytest.approx(7.2e9, rel=0.03)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig(
+                name="x",
+                hidden_size=64,
+                num_heads=4,
+                num_layers=1,
+                attention_window=0,
+            )
+
+    def test_window_caps_decode_kv_cost(self):
+        model = InferenceModel("A100-80GB")
+        windowed = get_model("mistral-7b", microbatch=1)
+        unwindowed = windowed.with_overrides(attention_window=None)
+        # Beyond the window, the windowed model's KV cost plateaus.
+        w_short = model.decode_step(windowed, 4096).kv_cache_s
+        w_long = model.decode_step(windowed, 32768).kv_cache_s
+        u_long = model.decode_step(unwindowed, 32768).kv_cache_s
+        assert w_long == pytest.approx(w_short)
+        assert w_long < u_long / 7
