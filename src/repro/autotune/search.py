@@ -18,7 +18,13 @@ from repro.errors import ConfigError
 
 @dataclass(frozen=True)
 class SearchResult:
-    """One evaluated candidate value."""
+    """One evaluated candidate value.
+
+    ``rank`` uses competition ranking: equal-latency candidates share
+    the rank of the first of them, so a tie for best is reported as
+    rank 0 (and percentile 1.0) for *every* tied value rather than
+    depending on the arbitrary sort position within the tie.
+    """
 
     value: int
     latency_s: float
@@ -38,38 +44,61 @@ class SearchResult:
 
 
 def search_dimension(
-    latency_fn: Callable[[int], float],
+    latency_fn: Optional[Callable[[int], float]],
     lo: int,
     hi: int,
     step: int = 1,
     must_include: Sequence[int] = (),
     constraint: Optional[Callable[[int], bool]] = None,
+    batch_latency_fn: Optional[Callable[[Sequence[int]], Sequence[float]]] = None,
 ) -> List[SearchResult]:
-    """Evaluate ``latency_fn`` over [lo, hi] and rank ascending latency.
+    """Evaluate candidates over [lo, hi] and rank ascending latency.
 
     ``must_include`` values are evaluated even if off the step grid
-    (e.g. a published model's actual choice).  ``constraint`` filters
-    candidates (e.g. divisibility by the tensor-parallel degree).
+    (e.g. a published model's actual choice); duplicates of on-grid
+    values are collapsed before evaluation so no candidate is scored
+    (or ranked) twice.  ``constraint`` filters candidates (e.g.
+    divisibility by the tensor-parallel degree).
+
+    ``batch_latency_fn``, when given, is called once with the full
+    candidate list and must return one latency per candidate — the hook
+    the vectorized engine plugs into; ``latency_fn`` may then be None.
     """
     if lo <= 0 or hi < lo:
         raise ConfigError(f"invalid range [{lo}, {hi}]")
     if step <= 0:
         raise ConfigError(f"step must be positive, got {step}")
+    if latency_fn is None and batch_latency_fn is None:
+        raise ConfigError("need latency_fn or batch_latency_fn")
+    # A set dedupes must_include values that already sit on the grid
+    # (and duplicates within must_include itself).
     values = set(range(lo, hi + 1, step))
-    values.update(v for v in must_include if lo <= v <= hi)
+    values.update(int(v) for v in must_include if lo <= v <= hi)
     if constraint is not None:
         values = {v for v in values if constraint(v)}
     if not values:
         raise ConfigError("no candidates satisfy the constraint")
+    candidates = sorted(values)
 
-    scored = sorted(
-        ((latency_fn(v), v) for v in sorted(values)), key=lambda t: (t[0], t[1])
-    )
+    if batch_latency_fn is not None:
+        latencies = [float(lat) for lat in batch_latency_fn(candidates)]
+        if len(latencies) != len(candidates):
+            raise ConfigError(
+                f"batch_latency_fn returned {len(latencies)} latencies "
+                f"for {len(candidates)} candidates"
+            )
+    else:
+        latencies = [latency_fn(v) for v in candidates]
+
+    scored = sorted(zip(latencies, candidates), key=lambda t: (t[0], t[1]))
     total = len(scored)
-    return [
-        SearchResult(value=v, latency_s=lat, rank=i, total=total)
-        for i, (lat, v) in enumerate(scored)
-    ]
+    results = []
+    rank = 0
+    for i, (lat, v) in enumerate(scored):
+        if lat != scored[rank][0]:
+            rank = i  # new latency group starts; ties keep the old rank
+        results.append(SearchResult(value=v, latency_s=lat, rank=rank, total=total))
+    return results
 
 
 def result_for(results: Sequence[SearchResult], value: int) -> SearchResult:

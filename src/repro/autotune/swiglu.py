@@ -16,7 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.autotune.search import SearchResult, search_dimension
+from repro.engine import default_engine, shape_array
 from repro.errors import ConfigError
 from repro.gpu.alignment import largest_pow2_divisor
 from repro.gpu.gemm_model import GemmModel
@@ -84,7 +87,6 @@ def swiglu_intermediate_search(
     # alignment classes (an odd origin would make every point odd).
     lo -= lo % step
     hi = int(nominal * (1 + window))
-    model = GemmModel(gpu, dtype)
     include = list(must_include or [])
     if h in LLAMA2_CHOICES and lo <= LLAMA2_CHOICES[h] <= hi:
         include.append(LLAMA2_CHOICES[h])
@@ -92,20 +94,32 @@ def swiglu_intermediate_search(
     # Rank by per-FLOP latency (inverse throughput): candidates differ
     # in width and therefore in useful work, so raw latency would bias
     # the ranking toward the narrowest sizes rather than the
-    # "high-performance GEMMs" the paper asks for.
-    def per_flop_latency(d: int) -> float:
-        flops = 2 * mlp_matrices_flops(h, d, tokens)
-        return mlp_block_latency(h, d, tokens, model, tp_degree) / flops
+    # "high-performance GEMMs" the paper asks for.  The whole candidate
+    # range is evaluated in two engine batches (up and down GEMMs);
+    # per-candidate block latencies are kept for the result records.
+    block_latency: dict = {}
+
+    def batch_per_flop(values: "List[int]") -> "np.ndarray":
+        engine = default_engine()
+        vals = np.asarray(values, dtype=np.int64)
+        shards = vals // tp_degree
+        up = engine.latency(shape_array(tokens, shards, h), gpu, dtype)
+        down = engine.latency(shape_array(tokens, h, shards), gpu, dtype)
+        lat = 2 * up + down
+        block_latency.update(zip(values, lat.tolist()))
+        flops = 2 * (3 * tokens * h * vals)
+        return lat / flops
 
     results = search_dimension(
-        per_flop_latency,
+        None,
         lo,
         hi,
         step=step,
         must_include=include,
         constraint=lambda d: d % tp_degree == 0,
+        batch_latency_fn=batch_per_flop,
     )
-    return [_to_candidate(res, h, tokens, model, tp_degree) for res in results]
+    return [_to_candidate(res, h, block_latency[res.value]) for res in results]
 
 
 def mlp_matrices_flops(h: int, d_ff: int, tokens: int) -> int:
@@ -113,12 +127,10 @@ def mlp_matrices_flops(h: int, d_ff: int, tokens: int) -> int:
     return 3 * tokens * h * d_ff
 
 
-def _to_candidate(
-    res: SearchResult, h: int, tokens: int, model: GemmModel, tp_degree: int
-) -> SwiGLUCandidate:
+def _to_candidate(res: SearchResult, h: int, latency_s: float) -> SwiGLUCandidate:
     return SwiGLUCandidate(
         d_ff=res.value,
-        latency_s=mlp_block_latency(h, res.value, tokens, model, tp_degree),
+        latency_s=latency_s,
         percentile=res.percentile,
         pow2=largest_pow2_divisor(res.value),
         coefficient=res.value / h,

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import default_engine, shape_array
 from repro.errors import ConfigError
-from repro.gpu.gemm_model import GemmModel
 from repro.gpu.specs import GPUSpec
 from repro.types import DType
 
@@ -58,10 +58,10 @@ def vocab_padding_gain(
 ) -> VocabPaddingGain:
     """Model the logit-GEMM latency before/after padding ``v``."""
     padded = pad_vocab(v, multiple)
-    model = GemmModel(gpu, dtype)
+    latency = default_engine().latency(shape_array(tokens, [v, padded], h), gpu, dtype)
     return VocabPaddingGain(
         original_v=v,
         padded_v=padded,
-        original_s=model.latency(tokens, v, h),
-        padded_s=model.latency(tokens, padded, h),
+        original_s=float(latency[0]),
+        padded_s=float(latency[1]),
     )

@@ -7,6 +7,7 @@ Verbs::
     repro advise   <model> [--gpu A100]       propose faster shapes
     repro figure   <id> [--csv] [--check]     regenerate a paper figure/table
     repro figures                             list all experiment ids
+    repro bench    [--quick] [--parallel N]   engine parity + cold/warm timings
     repro list-models / list-gpus             show registries
 
 Run as ``python -m repro.cli`` or via the ``repro`` console script.
@@ -92,6 +93,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--dir", required=True, help="output directory")
     p.add_argument("--ids", nargs="*", default=None, help="subset of ids")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the shape-evaluation engine (parity + cold/warm cache)",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        help="JSON output path, or '-' to skip writing (default BENCH_engine.json)",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="smaller parity grid (CI smoke mode)"
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="also time a warm run_all across N workers",
+    )
+    p.add_argument("--ids", nargs="*", default=None, help="subset of experiment ids")
 
     p = sub.add_parser(
         "calibrate",
@@ -283,6 +304,17 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import render_bench, run_bench, write_bench
+
+    record = run_bench(ids=args.ids, parallel=args.parallel, quick=args.quick)
+    print(render_bench(record))
+    if args.output != "-":
+        write_bench(record, args.output)
+        print(f"wrote {args.output}")
+    return 0 if record["passed"] else 1
+
+
 def cmd_list_gpus(_args: argparse.Namespace) -> int:
     for spec in list_gpus():
         print(
@@ -305,6 +337,7 @@ _COMMANDS = {
     "gemm": cmd_gemm,
     "whatif": cmd_whatif,
     "export": cmd_export,
+    "bench": cmd_bench,
     "calibrate": cmd_calibrate,
 }
 

@@ -1,0 +1,43 @@
+"""Vectorized + memoized shape-evaluation engine.
+
+Public surface:
+
+- :func:`evaluate_batch` / :func:`shape_array` / :class:`BatchResult` —
+  batched evaluation of ``(batch, m, n, k)`` shape arrays, bit-for-bit
+  equal to the scalar :class:`repro.gpu.gemm_model.GemmModel`.
+- :class:`ShapeEngine` / :func:`default_engine` — the cached front door
+  (in-memory LRU + optional on-disk store).
+- :func:`verify_against_scalar` — the standing parity oracle.
+- :mod:`repro.engine.cache` — cache primitives and the global scalar
+  memo that :class:`GemmModel` consults.
+
+Import order below is cycle-sensitive: ``repro.gpu.gemm_model`` imports
+:mod:`repro.engine.cache`, so ``cache`` must be importable before the
+modules here that (lazily) reach back into ``repro.gpu``.
+"""
+
+from repro.engine import cache
+from repro.engine.vectorized import BatchResult, evaluate_batch, shape_array
+from repro.engine.core import (
+    DISK_CACHE_ENV,
+    ParityReport,
+    ShapeEngine,
+    default_engine,
+    random_shapes,
+    reset_default_engine,
+    verify_against_scalar,
+)
+
+__all__ = [
+    "BatchResult",
+    "DISK_CACHE_ENV",
+    "ParityReport",
+    "ShapeEngine",
+    "cache",
+    "default_engine",
+    "evaluate_batch",
+    "random_shapes",
+    "reset_default_engine",
+    "shape_array",
+    "verify_against_scalar",
+]

@@ -1,0 +1,263 @@
+"""Two-level memoization for shape evaluation.
+
+The analytic GEMM model is a *pure* function of (shape, GPU spec, dtype,
+tile policy, model constants), which makes every evaluation cacheable.
+This module provides the two cache levels the engine composes:
+
+- :class:`LRUCache` — a thread-safe in-memory LRU used both for whole
+  :class:`~repro.engine.vectorized.BatchResult` objects and (via the
+  module-global :func:`scalar_memo`) for individual
+  :class:`~repro.gpu.gemm_model.GemmPerf` evaluations, so repeated
+  figure regeneration and overlapping autotune grids never recompute.
+- :class:`DiskCache` — an optional on-disk ``.npz`` store keyed by a
+  SHA-256 digest of ``(shapes, gpu, dtype, model-version)``, surviving
+  process restarts.
+
+Keys always embed :func:`model_version`, which folds in the calibration-
+mutable alignment constants (``repro.gpu.alignment._EFF_AT_MIN`` /
+``_EFF_ODD``): bumping :data:`MODEL_VERSION` or re-fitting the
+efficiency floor invalidates every cached entry, so a stale model can
+never serve old numbers.  This module deliberately imports nothing from
+``repro.gpu`` at module scope (the GEMM model imports *us*).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Version of the analytic model the caches key on.  Bump whenever the
+#: latency/throughput math changes in a way that affects results.
+MODEL_VERSION = "1"
+
+
+def model_version() -> str:
+    """Full cache-key version string: code version + live constants.
+
+    Includes the alignment-efficiency constants because calibration
+    (:mod:`repro.calibration.fit`) mutates them while searching — cached
+    entries from one constant setting must not serve another.
+    """
+    from repro.gpu import alignment  # deferred: gpu imports this module
+
+    return f"{MODEL_VERSION}:{alignment._EFF_AT_MIN!r}:{alignment._EFF_ODD!r}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return CacheStats(
+            hits=self.hits - earlier.hits, misses=self.misses - earlier.misses
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({100 * self.hit_rate:.0f}% hit rate)"
+        )
+
+
+class LRUCache:
+    """Thread-safe least-recently-used mapping with bounded size."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any) -> Optional[Any]:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class DiskCache:
+    """On-disk ``.npz`` store for batch-evaluation results.
+
+    One file per entry, named by the key digest.  Each file holds the
+    result arrays plus a JSON metadata blob (the full key, so collisions
+    are detected rather than silently served).
+    """
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.npz"
+
+    def get(self, digest: str, key_repr: str) -> Optional[Dict[str, Any]]:
+        """Load arrays + meta for a digest, or None on miss/mismatch."""
+        import numpy as np
+
+        path = self._path(digest)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                payload = {name: npz[name] for name in npz.files}
+            meta = json.loads(str(payload.pop("__meta__")))
+        except (OSError, ValueError, KeyError):
+            self.stats.misses += 1
+            return None
+        if meta.get("key") != key_repr:
+            # Digest collision or stale format: treat as a miss.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        payload["__meta__"] = meta
+        return payload
+
+    def put(self, digest: str, key_repr: str, arrays: Dict[str, Any], meta: Dict[str, Any]) -> None:
+        import numpy as np
+
+        meta = dict(meta)
+        meta["key"] = key_repr
+        path = self._path(digest)
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(tmp, __meta__=np.array(json.dumps(meta)), **arrays)
+        tmp.replace(path)
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.npz"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletes
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.npz"))
+
+
+# -- key construction -----------------------------------------------------------
+
+
+def spec_key(spec: Any) -> Tuple[Any, ...]:
+    """Hashable fingerprint of a GPUSpec (its dict fields flattened).
+
+    ``GPUSpec`` is frozen but holds per-dtype throughput dicts, so it is
+    not hashable itself; this flattens every field deterministically.
+    """
+    out = []
+    for f in dataclasses.fields(spec):
+        value = getattr(spec, f.name)
+        if isinstance(value, dict):
+            value = tuple(
+                sorted((getattr(k, "name", k), v) for k, v in value.items())
+            )
+        out.append(value)
+    return tuple(out)
+
+
+def tile_policy_key(tile: Any, candidates: Any) -> Tuple[Any, ...]:
+    """Hashable fingerprint of a (fixed-tile, candidate-pool) policy."""
+
+    def one(t: Any) -> Tuple[Any, ...]:
+        return (t.m, t.n, t.k_stage, t.threads, t.peak_fraction)
+
+    if tile is not None:
+        return ("tile", one(tile))
+    if candidates is not None:
+        return ("candidates", tuple(one(t) for t in candidates))
+    return ("auto",)
+
+
+def digest_key(key: Any) -> str:
+    """Stable SHA-256 digest of an arbitrary (repr-able) cache key."""
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+def shapes_digest(shapes: Any) -> str:
+    """SHA-256 digest of a canonical int64 (N, 4) shape array."""
+    import numpy as np
+
+    arr = np.ascontiguousarray(np.asarray(shapes, dtype=np.int64))
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+# -- the global scalar memo ------------------------------------------------------
+
+#: Shared LRU for scalar ``GemmModel.evaluate`` calls.  Sized to hold the
+#: full figure registry's distinct shapes many times over; one entry is a
+#: small frozen dataclass, so memory cost is a few hundred bytes each.
+_SCALAR_MEMO = LRUCache(maxsize=262144)
+_SCALAR_ENABLED = True
+
+
+def scalar_memo() -> LRUCache:
+    """The process-wide scalar evaluation cache."""
+    return _SCALAR_MEMO
+
+
+def scalar_memo_enabled() -> bool:
+    return _SCALAR_ENABLED
+
+
+def configure(enabled: Optional[bool] = None, maxsize: Optional[int] = None) -> None:
+    """Adjust the global scalar memo (used by tests and benchmarks)."""
+    global _SCALAR_ENABLED, _SCALAR_MEMO
+    if enabled is not None:
+        _SCALAR_ENABLED = bool(enabled)
+    if maxsize is not None and maxsize != _SCALAR_MEMO.maxsize:
+        fresh = LRUCache(maxsize=maxsize)
+        fresh.stats = _SCALAR_MEMO.stats
+        _SCALAR_MEMO = fresh
+
+
+def clear_scalar_memo() -> None:
+    _SCALAR_MEMO.clear()
+
+
+def scalar_memo_stats() -> CacheStats:
+    return _SCALAR_MEMO.stats

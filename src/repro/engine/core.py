@@ -1,0 +1,266 @@
+"""The shape-evaluation engine: vectorized evaluation behind caches.
+
+:class:`ShapeEngine` is the front door the hot callers (figure sweeps,
+autotune searches, the planner) use: it evaluates whole arrays of
+``(batch, m, n, k)`` shapes through
+:func:`~repro.engine.vectorized.evaluate_batch`, memoizes each batch in
+an in-memory LRU, and optionally persists results to an on-disk ``.npz``
+store so repeated figure regeneration across processes never recomputes.
+
+Cache keys are ``(shapes-digest, gpu-spec fingerprint, dtype, tile
+policy, bw-efficiency, model-version)``; the model version folds in the
+calibration-mutable alignment constants (see
+:func:`repro.engine.cache.model_version`), so bumping
+:data:`~repro.engine.cache.MODEL_VERSION` or re-fitting constants
+invalidates every entry.
+
+:func:`verify_against_scalar` is the standing oracle check: it compares
+the engine against the scalar :class:`~repro.gpu.gemm_model.GemmModel`
+for exact equality over a randomized grid — CI runs it via
+``repro bench --quick``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine import cache as _cache
+from repro.engine.vectorized import (
+    _BW_EFFICIENCY,
+    BatchResult,
+    evaluate_batch,
+    shape_array,
+)
+from repro.gpu.specs import get_gpu
+from repro.gpu.tiles import TileConfig
+from repro.types import DType
+
+#: Environment variable naming a directory for the default engine's
+#: on-disk cache.  Unset (the default) keeps the default engine
+#: memory-only.
+DISK_CACHE_ENV = "REPRO_ENGINE_CACHE_DIR"
+
+
+class ShapeEngine:
+    """Vectorized, memoized evaluator for batches of GEMM shapes.
+
+    Parameters
+    ----------
+    memory_entries:
+        Max distinct batch results held in the in-memory LRU.
+    disk_dir:
+        Optional directory for the persistent second-level store.
+    """
+
+    def __init__(
+        self,
+        memory_entries: int = 256,
+        disk_dir: "str | os.PathLike | None" = None,
+    ) -> None:
+        self._mem = _cache.LRUCache(maxsize=memory_entries)
+        self._disk = _cache.DiskCache(disk_dir) if disk_dir is not None else None
+        self._lock = threading.Lock()
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _key(self, shapes, gpu, dtype, tile, candidates, bw_efficiency):
+        spec = get_gpu(gpu)
+        dtype = DType.parse(dtype)
+        return (
+            _cache.shapes_digest(shapes),
+            _cache.spec_key(spec),
+            dtype.name,
+            _cache.tile_policy_key(tile, candidates),
+            bw_efficiency,
+            _cache.model_version(),
+        )
+
+    # -- public API ---------------------------------------------------------
+
+    def evaluate(
+        self,
+        shapes,
+        gpu,
+        dtype: "str | DType" = DType.FP16,
+        tile: Optional[TileConfig] = None,
+        candidates: Optional[Sequence[TileConfig]] = None,
+        bw_efficiency: float = _BW_EFFICIENCY,
+    ) -> BatchResult:
+        """Evaluate a batch of shapes, consulting both cache levels."""
+        key = self._key(shapes, gpu, dtype, tile, candidates, bw_efficiency)
+        hit = self._mem.get(key)
+        if hit is not None:
+            return hit
+        digest = _cache.digest_key(key)
+        if self._disk is not None:
+            stored = self._disk.get(digest, repr(key))
+            if stored is not None:
+                meta = stored.pop("__meta__")
+                result = BatchResult.from_arrays(stored, meta)
+                self._mem.put(key, result)
+                return result
+        result = evaluate_batch(
+            shapes,
+            gpu,
+            dtype,
+            tile=tile,
+            candidates=candidates,
+            bw_efficiency=bw_efficiency,
+        )
+        self._mem.put(key, result)
+        if self._disk is not None:
+            self._disk.put(digest, repr(key), result.to_arrays(), result.meta())
+        return result
+
+    def latency(self, shapes, gpu, dtype: "str | DType" = DType.FP16, **kw) -> np.ndarray:
+        """Latencies (seconds) for a batch of shapes."""
+        return self.evaluate(shapes, gpu, dtype, **kw).latency_s
+
+    def tflops(self, shapes, gpu, dtype: "str | DType" = DType.FP16, **kw) -> np.ndarray:
+        """Useful-FLOPs throughput (TFLOP/s) for a batch of shapes."""
+        return self.evaluate(shapes, gpu, dtype, **kw).tflops
+
+    # -- stats / maintenance ------------------------------------------------
+
+    @property
+    def memory_stats(self) -> _cache.CacheStats:
+        return self._mem.stats
+
+    @property
+    def disk_stats(self) -> Optional[_cache.CacheStats]:
+        return self._disk.stats if self._disk is not None else None
+
+    def clear(self, disk: bool = False) -> None:
+        self._mem.clear()
+        if disk and self._disk is not None:
+            self._disk.clear()
+
+    def describe(self) -> str:
+        parts = [f"memory: {self.memory_stats.describe()} ({len(self._mem)} entries)"]
+        if self._disk is not None:
+            parts.append(f"disk: {self._disk.stats.describe()} ({len(self._disk)} files)")
+        return "; ".join(parts)
+
+
+_DEFAULT_ENGINE: Optional[ShapeEngine] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_engine() -> ShapeEngine:
+    """Process-wide shared engine (hot callers pool their caches here).
+
+    Honours ``REPRO_ENGINE_CACHE_DIR`` for an optional disk store.
+    """
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = ShapeEngine(disk_dir=os.environ.get(DISK_CACHE_ENV))
+        return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Drop the shared engine (tests; env-var changes)."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        _DEFAULT_ENGINE = None
+
+
+# -- oracle verification ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Outcome of a vectorized-vs-scalar verification sweep."""
+
+    points: int
+    mismatches: int
+    combos: Tuple[Tuple[str, str], ...]
+
+    @property
+    def passed(self) -> bool:
+        return self.mismatches == 0
+
+    def describe(self) -> str:
+        status = "OK" if self.passed else "MISMATCH"
+        combos = ", ".join(f"{g}/{d}" for g, d in self.combos)
+        return (
+            f"parity {status}: {self.points} points, "
+            f"{self.mismatches} mismatches ({combos})"
+        )
+
+
+def random_shapes(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A randomized (n, 4) grid spanning the model's interesting regimes.
+
+    Mixes square compute-bound GEMMs, skinny decode-like GEMMs, and
+    attention-style batched shapes, with dimensions that hit every
+    power-of-two alignment bucket.
+    """
+    b = np.where(rng.random(n) < 0.5, 1, rng.integers(2, 257, n))
+    m = rng.integers(1, 8193, n)
+    k = rng.integers(1, 8193, n)
+    nn = rng.integers(1, 8193, n)
+    # Force a share of aligned / semi-aligned dims so both branches of
+    # the efficiency curve are exercised.
+    snap = rng.random(n) < 0.5
+    step = 2 ** rng.integers(1, 8, n)
+    m = np.where(snap, np.maximum(step, (m // step) * step), m)
+    nn = np.where(snap, np.maximum(step, (nn // step) * step), nn)
+    k = np.where(snap, np.maximum(step, (k // step) * step), k)
+    return shape_array(m, nn, k, b)
+
+
+def verify_against_scalar(
+    points: int = 200,
+    gpus: Sequence[str] = ("A100", "V100", "H100", "MI250X"),
+    dtypes: Sequence[str] = ("fp16", "fp32"),
+    seed: int = 0,
+    pinned_tile: bool = True,
+) -> ParityReport:
+    """Exact-equality check of the engine against the scalar model.
+
+    Compares latency, TFLOP/s, selected tile, and bound for ``points``
+    random shapes on every (gpu, dtype) combo; any bitwise difference
+    counts as a mismatch.
+    """
+    from repro.errors import GPUModelError
+    from repro.gpu.gemm_model import GemmModel  # deferred: import cycle
+    from repro.gpu.occupancy import blocks_per_sm
+    from repro.gpu.tiles import default_tile
+
+    rng = np.random.default_rng(seed)
+    mismatches = 0
+    total = 0
+    combos: List[Tuple[str, str]] = []
+    for gpu in gpus:
+        for dtype in dtypes:
+            combos.append((gpu, dtype))
+            shapes = random_shapes(rng, points)
+            configs = [(None, GemmModel(gpu, dtype))]
+            if pinned_tile:
+                tile = default_tile()
+                spec = get_gpu(gpu)
+                try:
+                    blocks_per_sm(spec, tile.m, tile.n, tile.k_stage, tile.threads, DType.parse(dtype))
+                except GPUModelError:
+                    pass  # tile infeasible here; both paths raise identically
+                else:
+                    configs.append((tile, GemmModel(gpu, dtype, tile=tile)))
+            for tile, scalar in configs:
+                batch = evaluate_batch(shapes, gpu, dtype, tile=tile)
+                for i, (bb, mm, nn, kk) in enumerate(shapes):
+                    perf = scalar.evaluate(int(mm), int(nn), int(kk), int(bb))
+                    total += 1
+                    if (
+                        perf.latency_s != float(batch.latency_s[i])
+                        or perf.tflops != float(batch.tflops[i])
+                        or perf.tile != batch.tile(i)
+                        or perf.bound != str(batch.bound[i])
+                    ):
+                        mismatches += 1
+    return ParityReport(points=total, mismatches=mismatches, combos=tuple(combos))

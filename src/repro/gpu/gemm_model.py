@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.engine import cache as engine_cache
 from repro.errors import GPUModelError, ShapeError
 from repro.gpu import waves as wv
 from repro.gpu.alignment import (
@@ -137,6 +138,15 @@ class GemmModel:
         if not (0.0 < bw_efficiency <= 1.0):
             raise ShapeError(f"bw_efficiency must be in (0,1]: {bw_efficiency}")
         self.bw_efficiency = bw_efficiency
+        # Evaluation is a pure function of (shape, spec, dtype, tile
+        # policy, bw efficiency, model constants); this prefix plus the
+        # live model version keys the global scalar memo.
+        self._memo_prefix = (
+            engine_cache.spec_key(self.spec),
+            self.dtype.name,
+            engine_cache.tile_policy_key(self.fixed_tile, self.candidates),
+            self.bw_efficiency,
+        )
 
     # -- internals -----------------------------------------------------------
 
@@ -189,7 +199,24 @@ class GemmModel:
         A batch is executed as one kernel whose grid is the union of the
         per-problem tile grids (how cuBLAS strided-batched GEMM works),
         so wave quantization acts on the *total* block count.
+
+        Results are memoized in the process-wide scalar cache
+        (:func:`repro.engine.cache.scalar_memo`); the key embeds the
+        live model version, so calibration runs that mutate the
+        alignment constants never see stale entries.
         """
+        if not engine_cache.scalar_memo_enabled():
+            return self._evaluate_uncached(m, n, k, batch)
+        key = (self._memo_prefix, engine_cache.model_version(), m, n, k, batch)
+        memo = engine_cache.scalar_memo()
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        perf = self._evaluate_uncached(m, n, k, batch)
+        memo.put(key, perf)
+        return perf
+
+    def _evaluate_uncached(self, m: int, n: int, k: int, batch: int = 1) -> GemmPerf:
         if min(m, n, k, batch) <= 0:
             raise ShapeError(f"GEMM dims must be positive: {(batch, m, n, k)}")
         spec, dtype = self.spec, self.dtype

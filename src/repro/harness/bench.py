@@ -1,0 +1,192 @@
+"""Engine benchmark: parity gate plus cold/warm cache timings.
+
+Backs the ``repro bench`` CLI verb.  One invocation:
+
+1. verifies the vectorized engine against the scalar oracle on a
+   randomized grid (any bitwise mismatch fails the benchmark),
+2. times a **cold** ``run_all`` of the experiment registry (all shape
+   caches cleared first),
+3. times a **warm** ``run_all`` (caches left hot from the cold run),
+   optionally across a worker pool,
+
+and emits a JSON record (``BENCH_engine.json``) so successive PRs have
+a perf trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import List, Optional, Sequence
+
+from repro.engine import cache as engine_cache
+from repro.engine import default_engine, verify_against_scalar
+from repro.harness.runner import ExperimentReport, run_all
+
+#: Parity-grid sizes: full mode satisfies the ≥500-point acceptance bar
+#: per (gpu, dtype) combo family; quick mode is the CI smoke setting.
+_FULL_POINTS = 200
+_QUICK_POINTS = 40
+
+
+def _clear_shape_caches() -> None:
+    engine_cache.clear_scalar_memo()
+    default_engine().clear()
+
+
+def _report_record(cold: ExperimentReport, warm: ExperimentReport) -> dict:
+    return {
+        "id": cold.id,
+        "passed": bool(cold.passed and warm.passed),
+        "cold_ms": round(cold.wall_time_s * 1e3, 3),
+        "warm_ms": round(warm.wall_time_s * 1e3, 3),
+        "cold_cache_hits": cold.cache_hits,
+        "cold_cache_misses": cold.cache_misses,
+        "warm_cache_hits": warm.cache_hits,
+        "warm_cache_misses": warm.cache_misses,
+    }
+
+
+def _scalar_reference_s(ids: Optional[Sequence[str]]) -> float:
+    """Time a serial ``run_all`` through the pre-engine scalar path.
+
+    Temporarily routes every engine batch call through one-shape-at-a-
+    time uncached scalar evaluation (and disables the scalar memo), so
+    this measures what regenerating the registry cost before the
+    vectorized engine existed — the committed record carries its own
+    serial baseline.
+    """
+    import numpy as np
+
+    from repro.engine.core import ShapeEngine
+    from repro.gpu.gemm_model import GemmModel
+
+    def scalar_perfs(shapes, gpu, dtype, tile, candidates):
+        model = GemmModel(gpu, dtype, tile=tile, candidates=candidates)
+        return [
+            model.evaluate(int(m), int(n), int(k), int(b))
+            for b, m, n, k in np.asarray(shapes, dtype=np.int64).reshape(-1, 4)
+        ]
+
+    def scalar_latency(self, shapes, gpu, dtype="fp16", tile=None, candidates=None, **kw):
+        return np.array(
+            [p.latency_s for p in scalar_perfs(shapes, gpu, dtype, tile, candidates)]
+        )
+
+    def scalar_tflops(self, shapes, gpu, dtype="fp16", tile=None, candidates=None, **kw):
+        return np.array(
+            [p.tflops for p in scalar_perfs(shapes, gpu, dtype, tile, candidates)]
+        )
+
+    orig_latency, orig_tflops = ShapeEngine.latency, ShapeEngine.tflops
+    engine_cache.configure(enabled=False)
+    ShapeEngine.latency, ShapeEngine.tflops = scalar_latency, scalar_tflops
+    try:
+        t0 = time.perf_counter()
+        run_all(ids)
+        return time.perf_counter() - t0
+    finally:
+        ShapeEngine.latency, ShapeEngine.tflops = orig_latency, orig_tflops
+        engine_cache.configure(enabled=True)
+
+
+def run_bench(
+    ids: Optional[Sequence[str]] = None,
+    parallel: int = 1,
+    quick: bool = False,
+    gpus: Sequence[str] = ("A100", "V100", "H100", "MI250X"),
+    dtypes: Sequence[str] = ("fp16", "fp32"),
+) -> dict:
+    """Run the full engine benchmark; returns the JSON-able record."""
+    points = _QUICK_POINTS if quick else _FULL_POINTS
+    parity = verify_against_scalar(points=points, gpus=gpus, dtypes=dtypes)
+
+    _clear_shape_caches()
+    t0 = time.perf_counter()
+    cold_reports = run_all(ids)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_reports = run_all(ids)
+    warm_s = time.perf_counter() - t0
+
+    scalar_ref_s = _scalar_reference_s(ids)
+
+    record: dict = {
+        "benchmark": "repro bench",
+        "model_version": engine_cache.model_version(),
+        "parity": {
+            "points": parity.points,
+            "mismatches": parity.mismatches,
+            "passed": parity.passed,
+            "combos": [list(c) for c in parity.combos],
+        },
+        "experiments": [
+            _report_record(c, w) for c, w in zip(cold_reports, warm_reports)
+        ],
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        "scalar_reference_s": round(scalar_ref_s, 4),
+        "warm_vs_scalar_speedup": round(scalar_ref_s / warm_s, 2)
+        if warm_s > 0
+        else None,
+        "checks_passed": sum(1 for r in warm_reports if r.passed),
+        "checks_total": len(warm_reports),
+        "scalar_memo": {
+            "entries": len(engine_cache.scalar_memo()),
+            "stats": engine_cache.scalar_memo_stats().describe(),
+        },
+        "engine_memory": default_engine().describe(),
+    }
+
+    if parallel > 1:
+        t0 = time.perf_counter()
+        par_reports = run_all(ids, parallel=parallel)
+        par_s = time.perf_counter() - t0
+        record["parallel"] = {
+            "workers": parallel,
+            "warm_wall_s": round(par_s, 4),
+            "matches_serial": [r.id for r in par_reports]
+            == [r.id for r in warm_reports]
+            and [r.passed for r in par_reports] == [r.passed for r in warm_reports],
+        }
+
+    record["passed"] = bool(
+        parity.passed
+        and record["checks_passed"] == record["checks_total"]
+        and record.get("parallel", {}).get("matches_serial", True)
+    )
+    return record
+
+
+def render_bench(record: dict) -> str:
+    """Human summary of a benchmark record."""
+    parity = record["parity"]
+    lines: List[str] = [
+        f"parity: {'OK' if parity['passed'] else 'MISMATCH'} "
+        f"({parity['points']} points, {parity['mismatches']} mismatches)",
+        f"cold run: {record['cold_s'] * 1e3:.0f} ms   "
+        f"warm run: {record['warm_s'] * 1e3:.0f} ms   "
+        f"speedup: {record['warm_speedup']}x",
+        f"scalar (pre-engine) reference: {record['scalar_reference_s'] * 1e3:.0f} ms "
+        f"-> warm is {record['warm_vs_scalar_speedup']}x faster",
+        f"checks: {record['checks_passed']}/{record['checks_total']} pass",
+        f"scalar memo: {record['scalar_memo']['stats']} "
+        f"({record['scalar_memo']['entries']} entries)",
+        f"engine: {record['engine_memory']}",
+    ]
+    if "parallel" in record:
+        par = record["parallel"]
+        lines.append(
+            f"parallel x{par['workers']}: {par['warm_wall_s'] * 1e3:.0f} ms "
+            f"(matches serial: {par['matches_serial']})"
+        )
+    lines.append("benchmark: " + ("PASS" if record["passed"] else "FAIL"))
+    return "\n".join(lines)
+
+
+def write_bench(record: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,15 +1,19 @@
 """Kernel-level experiments: the paper's Figs 5, 6, 7, 8, 9, 14, 21-47.
 
 These sweep raw GEMM/BMM shapes through the GPU substrate, reproducing
-the plots of Sec V and the attention-BMM appendix family.
+the plots of Sec V and the attention-BMM appendix family.  All sweeps
+evaluate through the vectorized engine (:mod:`repro.engine`) — one
+batched call per series instead of a Python loop of scalar model calls —
+which is bit-identical to the scalar path and hits the shared cache on
+regeneration.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Sequence
 
+from repro.engine import default_engine, shape_array
 from repro.gpu.bmm_model import BmmModel, BmmShape
-from repro.gpu.gemm_model import GemmModel
 from repro.gpu.tiles import default_tile
 from repro.harness import sweep
 from repro.harness.compare import (
@@ -46,13 +50,15 @@ def run_fig5() -> ResultTable:
         "lets the model pick (PyTorch-like).",
     )
     sizes = sweep.arange_steps(1024, 9216, 256)
-    v100 = GemmModel("V100")
-    a100_fixed = GemmModel("A100", tile=default_tile())
-    a100_auto = GemmModel("A100")
-    for n in sizes:
-        table.add("v100-auto", n, v100.tflops(n, n, n))
-        table.add("a100-fixed", n, a100_fixed.tflops(n, n, n))
-        table.add("a100-auto", n, a100_auto.tflops(n, n, n))
+    engine = default_engine()
+    square = shape_array(sizes, sizes, sizes)
+    v100 = engine.tflops(square, "V100")
+    a100_fixed = engine.tflops(square, "A100", tile=default_tile())
+    a100_auto = engine.tflops(square, "A100")
+    for i, n in enumerate(sizes):
+        table.add("v100-auto", n, float(v100[i]))
+        table.add("a100-fixed", n, float(a100_fixed[i]))
+        table.add("a100-auto", n, float(a100_auto[i]))
     return table
 
 
@@ -84,12 +90,15 @@ def run_fig6() -> ResultTable:
         notes="batch x (size, k) x (k, size) — the attention-score "
         "shape family at s=size, k=head dim.",
     )
-    model = BmmModel("A100")
-    for batch in (16, 64, 128, 256):
-        for size in (256, 512, 1024, 2048, 4096):
-            for k in (64, 128):
-                shape = BmmShape(batch=batch, m=size, k=k, n=size)
-                table.add(batch, size, k, model.tflops(shape))
+    combos = [
+        BmmShape(batch=batch, m=size, k=k, n=size)
+        for batch in (16, 64, 128, 256)
+        for size in (256, 512, 1024, 2048, 4096)
+        for k in (64, 128)
+    ]
+    tflops = default_engine().tflops(sweep.bmm_shape_array(combos), "A100")
+    for shape, tf in zip(combos, tflops):
+        table.add(shape.batch, shape.m, shape.k, float(tf))
     return table
 
 
@@ -118,7 +127,6 @@ def _attention_sweep(
     """
     if max_hidden is None:
         max_hidden = max(16384, heads * 8 * 24)
-    model = BmmModel(gpu)
     shape_fn = (
         BmmModel.attention_score_shape if kind == "score" else BmmModel.attention_over_value_shape
     )
@@ -127,9 +135,13 @@ def _attention_sweep(
         ["hidden", "head_dim", "pow2", "tflops"],
         notes="series key: largest power of two dividing h/a, capped at 64",
     )
-    for h in sweep.hidden_sweep_for_heads(heads, min_head_dim=8, max_hidden=max_hidden, points=60):
-        shape = shape_fn(_B, _S, h, heads)
-        table.add(h, h // heads, sweep.pow2_bucket(h // heads), model.tflops(shape))
+    hiddens = sweep.hidden_sweep_for_heads(
+        heads, min_head_dim=8, max_hidden=max_hidden, points=60
+    )
+    shapes = [shape_fn(_B, _S, h, heads) for h in hiddens]
+    tflops = default_engine().tflops(sweep.bmm_shape_array(shapes), gpu)
+    for h, tf in zip(hiddens, tflops):
+        table.add(h, h // heads, sweep.pow2_bucket(h // heads), float(tf))
     return table
 
 
@@ -183,7 +195,6 @@ def _fixed_head_dim_sweep(kind: str, gpu: str = "A100") -> ResultTable:
     # not re-tune the tile per batch count, and letting our oracle
     # selector re-optimize at every point would hide the very wave
     # cliffs this figure exists to show.
-    model = BmmModel(gpu, tile=default_tile())
     shape_fn = (
         BmmModel.attention_score_shape if kind == "score" else BmmModel.attention_over_value_shape
     )
@@ -193,9 +204,13 @@ def _fixed_head_dim_sweep(kind: str, gpu: str = "A100") -> ResultTable:
         notes="h = 64a as a sweeps; sawtooth period differs per a "
         "(wave quantization).",
     )
-    for h, a in sweep.head_dim_preserving_sweep(64, max_hidden=12288):
-        shape = shape_fn(_B, _S, h, a)
-        table.add(h, a, model.tflops(shape))
+    points = sweep.head_dim_preserving_sweep(64, max_hidden=12288)
+    shapes = [shape_fn(_B, _S, h, a) for h, a in points]
+    tflops = default_engine().tflops(
+        sweep.bmm_shape_array(shapes), gpu, tile=default_tile()
+    )
+    for (h, a), tf in zip(points, tflops):
+        table.add(h, a, float(tf))
     return table
 
 
@@ -235,13 +250,16 @@ def run_fig14() -> ResultTable:
         "Fig 14: GEMM dimension-ordering invariance",
         ["ordering", "n", "tflops"],
     )
-    model = GemmModel("A100")
-    for n in (512, 1024, 2048, 4096):
-        flat = model.tflops(8192, 3 * n, n)
-        # Both 3-D layouts flatten the leading two dims into m=8192.
-        table.add("(2048,4,n)", n, flat)
-        table.add("(4,2048,n)", n, flat)
-        table.add("(8192,n)", n, model.tflops(8192, 3 * n, n))
+    ns = (512, 1024, 2048, 4096)
+    tflops = default_engine().tflops(
+        shape_array(8192, [3 * n for n in ns], list(ns)), "A100"
+    )
+    for n, flat in zip(ns, tflops):
+        # Both 3-D layouts flatten the leading two dims into m=8192, so
+        # all three orderings are the same (8192, n) x (n, 3n) GEMM.
+        table.add("(2048,4,n)", n, float(flat))
+        table.add("(4,2048,n)", n, float(flat))
+        table.add("(8192,n)", n, float(flat))
     return table
 
 

@@ -1,16 +1,28 @@
 """Programmatic runner over the experiment registry.
 
 ``run_experiment`` executes one experiment and its qualitative check;
-``run_all`` sweeps the registry and summarizes — this is what generates
+``run_all`` sweeps the registry — serially or across a
+``concurrent.futures`` pool — and summarizes.  This is what generates
 the paper-vs-measured records in EXPERIMENTS.md and backs the
-``repro figure`` CLI verb.
+``repro figure`` / ``repro bench`` CLI verbs.
+
+Each report carries its wall time and the shape-evaluation cache
+activity it caused (hits/misses of the global scalar memo,
+:func:`repro.engine.cache.scalar_memo_stats`), so regressions in the
+hot path show up directly in the rendered reports.  With a thread pool
+the cache counters are process-wide, so concurrent experiments'
+attributions overlap; totals remain exact.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.engine import cache as engine_cache
+from repro.errors import ExperimentError
 from repro.harness.compare import CheckResult
 from repro.harness.figures import get_experiment, list_experiments
 from repro.harness.results import ResultTable
@@ -18,17 +30,25 @@ from repro.harness.results import ResultTable
 
 @dataclass
 class ExperimentReport:
-    """An experiment's table plus its check outcome."""
+    """An experiment's table plus its check outcome and run stats."""
 
     id: str
     title: str
     paper_ref: str
     table: ResultTable
     check: CheckResult
+    wall_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def passed(self) -> bool:
         return self.check.passed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def render(self, max_rows: Optional[int] = 30) -> str:
         status = "PASS" if self.passed else "FAIL"
@@ -39,6 +59,8 @@ class ExperimentReport:
             str(self.table) if max_rows is None else _truncate(self.table, max_rows),
             "",
             f"check: {self.check.details}",
+            f"wall time: {self.wall_time_s * 1e3:.1f} ms, "
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses",
         ]
         return "\n".join(lines)
 
@@ -57,22 +79,63 @@ def _truncate(table: ResultTable, max_rows: int) -> str:
 def run_experiment(exp_id: str) -> ExperimentReport:
     """Run one experiment by id, including its qualitative check."""
     exp = get_experiment(exp_id)
+    before = engine_cache.scalar_memo_stats().snapshot()
+    start = time.perf_counter()
     table = exp.run()
     check = exp.check(table)
+    elapsed = time.perf_counter() - start
+    used = engine_cache.scalar_memo_stats().delta(before)
     return ExperimentReport(
         id=exp.id,
         title=exp.title,
         paper_ref=exp.paper_ref,
         table=table,
         check=check,
+        wall_time_s=elapsed,
+        cache_hits=used.hits,
+        cache_misses=used.misses,
     )
 
 
-def run_all(ids: Optional[Sequence[str]] = None) -> List[ExperimentReport]:
-    """Run a set of experiments (default: every top-level one)."""
+_EXECUTORS = {
+    "thread": ThreadPoolExecutor,
+    "process": ProcessPoolExecutor,
+}
+
+
+def run_all(
+    ids: Optional[Sequence[str]] = None,
+    parallel: int = 1,
+    executor: str = "thread",
+) -> List[ExperimentReport]:
+    """Run a set of experiments (default: every top-level one).
+
+    Parameters
+    ----------
+    parallel:
+        Number of concurrent workers; ``1`` (default) runs serially in
+        this thread.
+    executor:
+        ``"thread"`` (shares the in-process shape caches — the fast,
+        default choice since experiments are NumPy-bound) or
+        ``"process"`` (full isolation; each worker warms its own cache).
+
+    Report order always matches ``ids`` regardless of completion order.
+    """
     if ids is None:
         ids = [e.id for e in list_experiments()]
-    return [run_experiment(i) for i in ids]
+    if parallel < 1:
+        raise ExperimentError(f"parallel must be >= 1, got {parallel}")
+    if parallel == 1:
+        return [run_experiment(i) for i in ids]
+    try:
+        pool_cls = _EXECUTORS[executor]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown executor {executor!r}; expected one of {sorted(_EXECUTORS)}"
+        ) from None
+    with pool_cls(max_workers=parallel) as pool:
+        return list(pool.map(run_experiment, ids))
 
 
 def to_markdown_report(
@@ -84,18 +147,24 @@ def to_markdown_report(
     regenerated table (truncated), and the qualitative check detail.
     """
     passed = sum(1 for r in reports if r.passed)
+    total_s = sum(r.wall_time_s for r in reports)
     lines = [
         "# Reproduction report",
         "",
         f"{passed}/{len(reports)} experiments reproduce the paper's "
         "qualitative shape.",
+        f"Total experiment wall time: {total_s:.2f} s.",
         "",
-        "| id | paper ref | status | title |",
-        "|---|---|---|---|",
+        "| id | paper ref | status | wall time | cache hit rate | title |",
+        "|---|---|---|---|---|---|",
     ]
     for rep in reports:
         status = "✅" if rep.passed else "❌"
-        lines.append(f"| `{rep.id}` | {rep.paper_ref} | {status} | {rep.title} |")
+        lines.append(
+            f"| `{rep.id}` | {rep.paper_ref} | {status} "
+            f"| {rep.wall_time_s * 1e3:.0f} ms "
+            f"| {100 * rep.cache_hit_rate:.0f}% | {rep.title} |"
+        )
     lines.append("")
     for rep in reports:
         status = "PASS" if rep.passed else "FAIL"
@@ -110,11 +179,20 @@ def to_markdown_report(
 
 
 def summary(reports: Sequence[ExperimentReport]) -> str:
-    """One line per experiment plus a pass count."""
+    """One line per experiment plus pass/time/cache totals."""
     lines = []
     for rep in reports:
         status = "PASS" if rep.passed else "FAIL"
-        lines.append(f"{status}  {rep.id:<12} {rep.paper_ref:<22} {rep.title}")
+        lines.append(
+            f"{status}  {rep.id:<12} {rep.paper_ref:<22} "
+            f"{rep.wall_time_s * 1e3:7.1f} ms  {rep.title}"
+        )
     passed = sum(1 for r in reports if r.passed)
-    lines.append(f"\n{passed}/{len(reports)} experiments reproduce the paper's shape")
+    total_s = sum(r.wall_time_s for r in reports)
+    hits = sum(r.cache_hits for r in reports)
+    misses = sum(r.cache_misses for r in reports)
+    lines.append(
+        f"\n{passed}/{len(reports)} experiments reproduce the paper's shape "
+        f"({total_s:.2f} s; shape cache {hits} hits / {misses} misses)"
+    )
     return "\n".join(lines)

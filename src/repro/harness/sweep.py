@@ -66,6 +66,24 @@ def head_dim_preserving_sweep(
     return out
 
 
+def bmm_shape_array(shapes: Sequence) -> "object":
+    """(N, 4) engine shape array from a sequence of BmmShape-like objects.
+
+    The bridge between the figure sweeps (which think in
+    :class:`~repro.gpu.bmm_model.BmmShape`) and the vectorized engine
+    (which thinks in ``[batch, m, n, k]`` rows).  Row order follows the
+    input order, so table rows stay aligned with engine outputs.
+    """
+    from repro.engine import shape_array
+
+    return shape_array(
+        [s.m for s in shapes],
+        [s.n for s in shapes],
+        [s.k for s in shapes],
+        [s.batch for s in shapes],
+    )
+
+
 def pow2_bucket(value: int, cap: int = 64) -> int:
     """Largest power of two dividing ``value``, capped (series key of
     Figs 7/21-47)."""

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.core.config import TransformerConfig
 from repro.core.formulas import kv_cache_bytes  # noqa: F401  (re-exported convenience)
+from repro.engine import cache as engine_cache
 from repro.errors import ParallelismError
 from repro.parallelism.pipeline import PipelinePlan
 from repro.parallelism.tensor_parallel import TensorParallelLayer, validate_tp_feasible
@@ -62,6 +63,19 @@ class ParallelPlanner:
         self.dtype = DType.parse(dtype)
         self.num_microbatches = num_microbatches
         self.tp_model = TensorParallelLayer(self.topology, self.dtype)
+        # plan() re-evaluates the same (cfg, t) layer cost for every
+        # pipeline/data split of the same tensor degree; memoize it.
+        # TransformerConfig is frozen/hashable, and the model version
+        # guards against calibration mutating the alignment constants.
+        self._layer_cost_memo: dict = {}
+
+    def _layer_cost(self, cfg: TransformerConfig, t: int):
+        key = (cfg, t, engine_cache.model_version())
+        cost = self._layer_cost_memo.get(key)
+        if cost is None:
+            cost = self.tp_model.layer_cost(cfg, t)
+            self._layer_cost_memo[key] = cost
+        return cost
 
     # -- memory ----------------------------------------------------------------
 
@@ -88,7 +102,7 @@ class ParallelPlanner:
             raise ParallelismError(
                 f"{p} pipeline stages exceed {cfg.num_layers} layers"
             )
-        layer = self.tp_model.layer_cost(cfg, t)
+        layer = self._layer_cost(cfg, t)
         boundary_bytes = (
             cfg.microbatch * cfg.seq_len * cfg.hidden_size * self.dtype.bytes
         )

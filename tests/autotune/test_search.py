@@ -49,13 +49,53 @@ class TestSearch:
         results = search_dimension(lambda v: 1.0, 1, 5)
         assert [r.value for r in results] == [1, 2, 3, 4, 5]
 
+    def test_equal_latencies_share_rank_and_percentile(self):
+        results = search_dimension(lambda v: 1.0, 1, 5)
+        assert [r.rank for r in results] == [0] * 5
+        assert all(r.percentile == 1.0 for r in results)
+
+    def test_tie_groups_use_competition_ranking(self):
+        # parabola around 100: 99 and 101 tie, as do 98 and 102, etc.
+        results = search_dimension(parabola(), 98, 102)
+        by_value = {r.value: r for r in results}
+        assert by_value[99].rank == by_value[101].rank == 1
+        assert by_value[99].percentile == by_value[101].percentile
+        assert by_value[98].rank == by_value[102].rank == 3
+        assert by_value[100].rank == 0
+
+    def test_must_include_on_grid_not_duplicated(self):
+        results = search_dimension(parabola(), 80, 120, step=10, must_include=[100, 100])
+        assert [r.value for r in results if r.value == 100] == [100]
+        assert len(results) == 5
+
+    def test_batch_latency_fn(self):
+        seen = {}
+
+        def batch(values):
+            seen["values"] = list(values)
+            return [parabola()(v) for v in values]
+
+        results = search_dimension(None, 80, 120, step=10, batch_latency_fn=batch)
+        assert seen["values"] == [80, 90, 100, 110, 120]
+        assert results[0].value == 100
+
+    def test_batch_latency_fn_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            search_dimension(None, 80, 120, step=10, batch_latency_fn=lambda vs: [1.0])
+
+    def test_no_latency_fn_raises(self):
+        with pytest.raises(ConfigError):
+            search_dimension(None, 80, 120)
+
 
 class TestSearchResult:
     def test_percentile(self):
-        results = search_dimension(parabola(), 96, 104)
+        # Asymmetric range so the worst candidate (105) is untied.
+        results = search_dimension(parabola(), 96, 105)
         best = results[0]
         worst = results[-1]
         assert best.percentile == 1.0
+        assert worst.value == 105
         assert worst.percentile == 0.0
         assert best.is_top_decile
 

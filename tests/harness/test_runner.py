@@ -40,3 +40,30 @@ class TestRunAll:
         text = summary(reports)
         assert "2/2 experiments" in text
         assert "PASS" in text
+
+    def test_report_carries_run_stats(self):
+        (rep,) = run_all(["fig5"])
+        assert rep.wall_time_s > 0
+        assert rep.cache_hits + rep.cache_misses >= 0
+        assert 0.0 <= rep.cache_hit_rate <= 1.0
+        assert "wall time:" in rep.render()
+
+
+class TestRunAllParallel:
+    IDS = ["fig14", "fig5", "table2", "fig20"]
+
+    def test_matches_serial(self):
+        serial = run_all(self.IDS)
+        parallel = run_all(self.IDS, parallel=3)
+        assert [r.id for r in parallel] == [r.id for r in serial]
+        assert [r.passed for r in parallel] == [r.passed for r in serial]
+        for s, p in zip(serial, parallel):
+            assert str(s.table) == str(p.table)
+
+    def test_invalid_parallel_raises(self):
+        with pytest.raises(ExperimentError):
+            run_all(["fig14"], parallel=0)
+
+    def test_unknown_executor_raises(self):
+        with pytest.raises(ExperimentError):
+            run_all(["fig14"], parallel=2, executor="fiber")

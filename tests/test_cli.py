@@ -125,6 +125,33 @@ class TestReport:
         assert "# Reproduction report" in path.read_text()
 
 
+class TestBench:
+    def test_quick_bench_writes_record(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bench.json"
+        assert (
+            main(
+                ["bench", "--quick", "--parallel", "2",
+                 "--ids", "fig14", "fig5", "--output", str(path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parity: OK" in out
+        assert "benchmark: PASS" in out
+        record = json.loads(path.read_text())
+        assert record["passed"]
+        assert record["parity"]["mismatches"] == 0
+        assert record["checks_passed"] == record["checks_total"] == 2
+        assert record["parallel"]["matches_serial"]
+        assert {e["id"] for e in record["experiments"]} == {"fig14", "fig5"}
+
+    def test_dash_output_skips_file(self, capsys):
+        assert main(["bench", "--quick", "--ids", "fig14", "--output", "-"]) == 0
+        assert "wrote" not in capsys.readouterr().out
+
+
 class TestCalibrate:
     def _write_csv(self, tmp_path, bw=0.70):
         from repro.gpu.gemm_model import GemmModel
