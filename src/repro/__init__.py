@@ -23,6 +23,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every experiment.
 """
 
+from repro.analysis import LintDiagnostic, LintReport, SelfLinter, ShapeLinter
 from repro.core.advisor import Proposal, ShapeAdvisor
 from repro.core.config import TransformerConfig, get_model, list_models, register_model
 from repro.core.latency import LatencyBreakdown, LayerLatencyModel
@@ -99,6 +100,11 @@ __all__ = [
     "Severity",
     "ShapeAdvisor",
     "Proposal",
+    # lint (repro.analysis)
+    "ShapeLinter",
+    "SelfLinter",
+    "LintReport",
+    "LintDiagnostic",
     # inference
     "InferenceModel",
     # common types

@@ -1,0 +1,52 @@
+"""Static analysis: the co-design shape linter and the self-lint pass.
+
+Two prongs over one diagnostics currency (see
+:mod:`repro.analysis.diagnostics`):
+
+- :class:`ShapeLinter` checks a :class:`~repro.core.config.
+  TransformerConfig` against the paper's sizing rules, with fix-its
+  quantified through the memoized engine (``repro lint <config>``).
+- :class:`SelfLinter` checks the ``repro`` source tree itself for
+  engine-misuse and cache-correctness hazards (``repro lint --self``).
+"""
+
+from repro.analysis.diagnostics import (
+    FixIt,
+    LintDiagnostic,
+    LintReport,
+    Location,
+    Severity,
+)
+from repro.analysis.config_io import config_from_dict, load_targets
+from repro.analysis.fixit import (
+    GemmShape,
+    RankedCandidate,
+    best_candidate,
+    modeled_latency,
+    nearest_multiple,
+    neighborhood_multiples,
+    rank_candidates,
+    strictly_better,
+)
+from repro.analysis.selflint import SelfLinter
+from repro.analysis.shape_rules import ShapeLinter
+
+__all__ = [
+    "FixIt",
+    "GemmShape",
+    "LintDiagnostic",
+    "LintReport",
+    "Location",
+    "RankedCandidate",
+    "SelfLinter",
+    "Severity",
+    "ShapeLinter",
+    "best_candidate",
+    "config_from_dict",
+    "load_targets",
+    "modeled_latency",
+    "nearest_multiple",
+    "neighborhood_multiples",
+    "rank_candidates",
+    "strictly_better",
+]

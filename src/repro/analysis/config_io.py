@@ -1,0 +1,62 @@
+"""Resolving ``repro lint`` targets to configurations.
+
+A lint target is either a registered model preset name
+(``repro lint gpt3-2.7b``) or a path to a JSON file whose keys are
+:class:`~repro.core.config.TransformerConfig` field names
+(``repro lint examples/configs/gpt3-2.7b-t4.json``).  A JSON file may
+hold one config object or a list of them (an experiment grid).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.core.config import TransformerConfig, get_model
+from repro.errors import ConfigError
+
+_FIELDS = {f.name for f in dataclasses.fields(TransformerConfig)}
+
+
+def config_from_dict(data: Dict[str, Any]) -> TransformerConfig:
+    """Build a config from a JSON object, rejecting unknown keys."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"config entry must be an object, got {type(data).__name__}")
+    unknown = sorted(set(data) - _FIELDS)
+    if unknown:
+        raise ConfigError(
+            f"unknown config field(s): {', '.join(unknown)} "
+            f"(valid: {', '.join(sorted(_FIELDS))})"
+        )
+    if "base" in data:
+        raise ConfigError("'base' is not a config field")
+    base = dict(data)
+    base.setdefault("name", "from-json")
+    try:
+        return TransformerConfig(**base)
+    except TypeError as exc:
+        raise ConfigError(f"invalid config: {exc}") from exc
+
+
+def load_targets(target: str) -> List[TransformerConfig]:
+    """Resolve a CLI lint target to one or more configurations.
+
+    Tries a registered preset name first; otherwise reads the path as a
+    JSON config file (single object or list).
+    """
+    path = Path(target)
+    if not target.endswith(".json") and not path.exists():
+        # get_model raises ConfigError with the known-model list.
+        return [get_model(target)]
+    if not path.exists():
+        raise ConfigError(f"config file not found: {target}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"malformed JSON in {target}: {exc}") from exc
+    entries = data if isinstance(data, list) else [data]
+    if not entries:
+        raise ConfigError(f"{target} holds an empty config list")
+    return [config_from_dict(e) for e in entries]

@@ -1,0 +1,596 @@
+"""The co-design shape linter (prong 1).
+
+Statically checks a :class:`~repro.core.config.TransformerConfig`
+against the paper's sizing rules *under its tensor-parallel degree*:
+every per-GPU GEMM dimension the config induces — ``h/t``, ``h/a``,
+``d_ff/t``, ``v/t`` — should be divisible by 64 for full Tensor Core
+utilization (Sec VI-B, VII-A/B), and the microbatch should not sit
+just past a tile/wave-quantization cliff (Sec III-B).
+
+Unlike :class:`repro.core.rules.RuleEngine` (which reports the paper's
+recommendations qualitatively), every fix-it here is *quantified*: the
+rule proposes the nearest compliant value and batch-evaluates the whole
+candidate neighborhood through the memoized engine
+(:mod:`repro.analysis.fixit`), so suggestions carry modeled
+before/after latencies and the neighborhood ranking is by modeled
+latency, not divisibility alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    FixIt,
+    LintDiagnostic,
+    LintReport,
+    Location,
+    Severity,
+)
+from repro.analysis.fixit import (
+    GemmShape,
+    modeled_latency,
+    neighborhood_multiples,
+    rank_candidates,
+    strictly_better,
+)
+from repro.core.config import TransformerConfig
+from repro.core.rules import POW2_TARGET
+from repro.engine import default_engine, shape_array
+from repro.gpu.alignment import largest_pow2_divisor
+from repro.gpu.specs import GPUSpec, get_gpu
+
+#: Head dims worth proposing: small enough for attention kernels, large
+#: enough that per-head GEMMs are not overhead-dominated.
+_HEAD_DIM_RANGE = (8, 256)
+
+#: Wave efficiency below which the microbatch rule flags cliff proximity.
+_WAVE_EFF_THRESHOLD = 0.90
+
+#: Minimum modeled gain before a microbatch fix-it is worth suggesting.
+_MICROBATCH_MIN_GAIN = 0.02
+
+ShapeRuleFn = Callable[["ShapeLinter", TransformerConfig], List[LintDiagnostic]]
+
+
+def _loc(cfg: TransformerConfig, field: str) -> Location:
+    return Location(config_path=f"{cfg.name}.{field}")
+
+
+class ShapeLinter:
+    """Applies the quantified co-design rules on one target GPU."""
+
+    def __init__(self, gpu: "str | GPUSpec" = "A100", dtype: str = "fp16") -> None:
+        self.spec = get_gpu(gpu)
+        self.dtype = dtype
+
+    # -- entry points -------------------------------------------------------
+
+    def lint(
+        self, cfg: TransformerConfig, pipeline_stages: int = 1
+    ) -> LintReport:
+        """Run every shape rule against one configuration."""
+        report = LintReport(target=f"{cfg.describe()} on {self.spec.name}")
+        report.extend(self.diagnose(cfg, pipeline_stages))
+        return report
+
+    def diagnose(
+        self, cfg: TransformerConfig, pipeline_stages: int = 1
+    ) -> List[LintDiagnostic]:
+        out: List[LintDiagnostic] = []
+        out += self.rule_vocab(cfg)
+        out += self.rule_head_alignment(cfg)
+        out += self.rule_hidden_tp(cfg)
+        out += self.rule_dff_alignment(cfg)
+        out += self.rule_heads_tp(cfg)
+        out += self.rule_microbatch_wave(cfg)
+        out += self.rule_layers_pipeline(cfg, pipeline_stages)
+        return out
+
+    def lint_grid(
+        self, configs: Sequence[TransformerConfig], pipeline_stages: int = 1
+    ) -> LintReport:
+        """Lint an experiment grid; diagnostics keep per-config paths."""
+        report = LintReport(
+            target=f"grid of {len(configs)} configs on {self.spec.name}"
+        )
+        for cfg in configs:
+            report.extend(self.diagnose(cfg, pipeline_stages))
+        return report
+
+    # -- rules --------------------------------------------------------------
+
+    def rule_vocab(self, cfg: TransformerConfig) -> List[LintDiagnostic]:
+        """``v`` must be divisible by 64*t so each rank's logit shard is
+        64-aligned (Sec VI-B rule 1, Fig 20; vocab-parallel sharding
+        additionally needs ``t | v``)."""
+        v, t, h = cfg.vocab_size, cfg.tp_degree, cfg.hidden_size
+        tokens = cfg.tokens_per_microbatch
+        align = POW2_TARGET * t
+        if v % align == 0:
+            return [
+                LintDiagnostic(
+                    "shape/vocab-divisible",
+                    Severity.OK,
+                    f"v = {v} is a multiple of {align} (64*t); the logit "
+                    "shard is fully Tensor-Core aligned",
+                    _loc(cfg, "vocab_size"),
+                    paper_ref="Sec VI-B",
+                )
+            ]
+
+        # Modeled per-rank logit GEMM: (b*s, h) x (h, ceil(v/t)).
+        shard_before = -(-v // t)
+        before_s = modeled_latency(
+            [(tokens, shard_before, h, 1)], self.spec.name, self.dtype
+        )
+        candidates = neighborhood_multiples(v, align, span=4, up_only=True)
+        ranked = rank_candidates(
+            candidates,
+            lambda vc: [(tokens, vc // t, h, 1)],
+            self.spec.name,
+            self.dtype,
+        )
+        best = ranked[0]
+        ragged = f" and not divisible by t={t} (ragged shard)" if v % t else ""
+        message = (
+            f"v = {v} is not a multiple of {align} (64*t){ragged}; the "
+            f"logit GEMM ({tokens}, {h}) x ({h}, ~{shard_before}) per rank "
+            "loses Tensor Core efficiency"
+        )
+        fixit: Optional[FixIt] = None
+        speedup = strictly_better(before_s, best.latency_s)
+        if speedup is not None:
+            waste = best.value - v
+            fixit = FixIt(
+                field="vocab_size",
+                current=v,
+                suggested=best.value,
+                latency_before_s=before_s,
+                latency_after_s=best.latency_s,
+                note=(
+                    f"padding waste: {waste} unused tokens "
+                    f"(~{waste * h / 1e6:.1f}M embedding params)"
+                ),
+            )
+        return [
+            LintDiagnostic(
+                "shape/vocab-divisible",
+                Severity.WARNING,
+                message,
+                _loc(cfg, "vocab_size"),
+                fixit=fixit,
+                paper_ref="Sec VI-B",
+            )
+        ]
+
+    def _attention_shapes(
+        self, cfg: TransformerConfig, a: int
+    ) -> List[GemmShape]:
+        """The two BMMs whose shapes depend on the head count."""
+        d = cfg.hidden_size // a
+        s = cfg.seq_len
+        heads = cfg.microbatch * a // cfg.tp_degree
+        return [(s, s, d, heads), (s, d, s, heads)]
+
+    def _compliant_head_counts(
+        self, cfg: TransformerConfig, align: int
+    ) -> List[int]:
+        h, t, b = cfg.hidden_size, cfg.tp_degree, cfg.microbatch
+        lo, hi = _HEAD_DIM_RANGE
+        out = []
+        for a in range(max(1, t), h + 1):
+            if h % a or a % t or (b * a) % t:
+                continue
+            d = h // a
+            if d < lo or d > hi or d % align:
+                continue
+            out.append(a)
+        return out
+
+    def rule_head_alignment(self, cfg: TransformerConfig) -> List[LintDiagnostic]:
+        """``h/a`` should be divisible by a power of two, ideally 64
+        (Sec VI-B rule 3, Figs 7/21-47)."""
+        d = cfg.head_dim
+        p = largest_pow2_divisor(d)
+        if p >= POW2_TARGET:
+            return [
+                LintDiagnostic(
+                    "shape/head-alignment",
+                    Severity.OK,
+                    f"h/a = {d} is a multiple of {POW2_TARGET}",
+                    _loc(cfg, "num_heads"),
+                    paper_ref="Sec VI-B",
+                )
+            ]
+        severity = Severity.ERROR if p < 8 else Severity.WARNING
+        detail = (
+            "below the 8-element MMA fragment granularity"
+            if p < 8
+            else f"Tensor Core efficiency improves up to divisibility by {POW2_TARGET}"
+        )
+        message = f"h/a = {d} is divisible only by {p}; {detail}"
+
+        # Nearest compliant head count, with the whole neighborhood
+        # batch-ranked by modeled attention-BMM latency.
+        candidates = self._compliant_head_counts(cfg, POW2_TARGET)
+        if not candidates:
+            candidates = self._compliant_head_counts(cfg, 8)
+        fixit: Optional[FixIt] = None
+        if candidates:
+            ranked = rank_candidates(
+                candidates,
+                lambda a: self._attention_shapes(cfg, a),
+                self.spec.name,
+                self.dtype,
+            )
+            latency_of = {c.value: c.latency_s for c in ranked}
+            # Propose the *nearest* compliant head count (the smallest
+            # change to the published architecture); break distance ties
+            # by modeled latency.
+            suggested = min(
+                candidates,
+                key=lambda a: (abs(a - cfg.num_heads), latency_of[a]),
+            )
+            before_s = modeled_latency(
+                self._attention_shapes(cfg, cfg.num_heads),
+                self.spec.name,
+                self.dtype,
+            )
+            speedup = strictly_better(before_s, latency_of[suggested])
+            if speedup is not None:
+                note = f"h/a becomes {cfg.hidden_size // suggested}; params unchanged"
+                fastest = ranked[0]
+                if fastest.value != suggested:
+                    note += (
+                        f"; a={fastest.value} models even faster "
+                        f"({fastest.latency_s * 1e6:.0f} us) but is a "
+                        "larger change in attention parallelism"
+                    )
+                fixit = FixIt(
+                    field="num_heads",
+                    current=cfg.num_heads,
+                    suggested=suggested,
+                    latency_before_s=before_s,
+                    latency_after_s=latency_of[suggested],
+                    note=note,
+                )
+        return [
+            LintDiagnostic(
+                "shape/head-alignment",
+                severity,
+                message,
+                _loc(cfg, "num_heads"),
+                fixit=fixit,
+                paper_ref="Sec VI-B",
+            )
+        ]
+
+    def _hidden_shapes(self, cfg: TransformerConfig, h: int) -> List[GemmShape]:
+        """The dense layer GEMMs whose shapes scale with ``h`` (d_ff held)."""
+        tokens = cfg.tokens_per_microbatch
+        t = cfg.tp_degree
+        d_ff = cfg.d_ff
+        return [
+            (tokens, 3 * h // t, h, 1),
+            (tokens, h, h // t, 1),
+            (tokens, d_ff // t, h, 1),
+            (tokens, h, d_ff // t, 1),
+        ]
+
+    def rule_hidden_tp(self, cfg: TransformerConfig) -> List[LintDiagnostic]:
+        """``h/t`` should be divisible by 64 (Sec VII-A: Summit's t=6
+        costs h=2560 its power-of-two factor)."""
+        h, t = cfg.hidden_size, cfg.tp_degree
+        loc = _loc(cfg, "hidden_size")
+        if h % t:
+            return [
+                LintDiagnostic(
+                    "shape/hidden-tp-alignment",
+                    Severity.ERROR,
+                    f"h = {h} is not divisible by t = {t}; tensor-parallel "
+                    "sharding of the hidden dimension is infeasible",
+                    loc,
+                    fixit=FixIt(
+                        field="tp_degree",
+                        current=t,
+                        suggested=max(
+                            (x for x in range(1, t + 1) if h % x == 0)
+                        ),
+                        note="largest feasible t <= current; or choose h divisible by t",
+                    ),
+                    paper_ref="Sec VII-A",
+                )
+            ]
+        shard = h // t
+        p = largest_pow2_divisor(shard)
+        if p >= POW2_TARGET:
+            return [
+                LintDiagnostic(
+                    "shape/hidden-tp-alignment",
+                    Severity.OK,
+                    f"h/t = {shard} is a multiple of {POW2_TARGET}",
+                    loc,
+                    paper_ref="Sec VII-A",
+                )
+            ]
+        severity = Severity.ERROR if p < 8 else Severity.WARNING
+        align = POW2_TARGET * t
+        candidates = [
+            hc
+            for hc in neighborhood_multiples(h, align, span=2)
+            if hc % cfg.num_heads == 0
+        ] or neighborhood_multiples(h, align, span=2)
+        ranked = rank_candidates(
+            candidates,
+            lambda hc: self._hidden_shapes(cfg, hc),
+            self.spec.name,
+            self.dtype,
+        )
+        latency_of = {c.value: c.latency_s for c in ranked}
+        suggested = min(candidates, key=lambda hc: (abs(hc - h), latency_of[hc]))
+        before_s = modeled_latency(
+            self._hidden_shapes(cfg, h), self.spec.name, self.dtype
+        )
+        speedup = strictly_better(before_s, latency_of[suggested])
+        fixit = None
+        if speedup is not None:
+            fixit = FixIt(
+                field="hidden_size",
+                current=h,
+                suggested=suggested,
+                latency_before_s=before_s,
+                latency_after_s=latency_of[suggested],
+                note="changes the parameter count; retune L or d_ff to compensate",
+            )
+        return [
+            LintDiagnostic(
+                "shape/hidden-tp-alignment",
+                severity,
+                f"h/t = {shard} is divisible only by {p}; per-rank GEMMs "
+                f"lose Tensor Core efficiency (target {POW2_TARGET})",
+                loc,
+                fixit=fixit,
+                paper_ref="Sec VII-A",
+            )
+        ]
+
+    def _mlp_shapes(self, cfg: TransformerConfig, d_ff: int) -> List[GemmShape]:
+        tokens = cfg.tokens_per_microbatch
+        h, t = cfg.hidden_size, cfg.tp_degree
+        shard = d_ff // t
+        up_count = cfg.mlp_matrices - 1
+        return [(tokens, shard, h, 1)] * up_count + [(tokens, h, shard, 1)]
+
+    def rule_dff_alignment(self, cfg: TransformerConfig) -> List[LintDiagnostic]:
+        """``d_ff/t`` should be divisible by 64 (Sec VII-B: SwiGLU's
+        8h/3 rounding; Llama-2's 11008 = 2^8 * 43 is the model fix)."""
+        d_ff, t = cfg.d_ff, cfg.tp_degree
+        loc = _loc(cfg, "intermediate_size")
+        if d_ff % t:
+            return [
+                LintDiagnostic(
+                    "shape/dff-alignment",
+                    Severity.ERROR,
+                    f"d_ff = {d_ff} is not divisible by t = {t}; MLP "
+                    "sharding is infeasible",
+                    loc,
+                    paper_ref="Sec VII-B",
+                )
+            ]
+        shard = d_ff // t
+        p = largest_pow2_divisor(shard)
+        if p >= POW2_TARGET:
+            return [
+                LintDiagnostic(
+                    "shape/dff-alignment",
+                    Severity.OK,
+                    f"d_ff/t = {shard} is a multiple of {POW2_TARGET}",
+                    loc,
+                    paper_ref="Sec VII-B",
+                )
+            ]
+        severity = Severity.WARNING if p < 8 else Severity.INFO
+        candidates = neighborhood_multiples(d_ff, POW2_TARGET * t, span=4)
+        ranked = rank_candidates(
+            candidates,
+            lambda dc: self._mlp_shapes(cfg, dc),
+            self.spec.name,
+            self.dtype,
+        )
+        # Candidates differ in width and therefore useful work; rank by
+        # latency per unit width so narrow sizes get no free win.
+        per_width = sorted(ranked, key=lambda c: (c.latency_s / c.value, c.value))
+        latency_of = {c.value: c.latency_s for c in ranked}
+        suggested = min(
+            candidates, key=lambda dc: (abs(dc - d_ff), latency_of[dc])
+        )
+        before_s = modeled_latency(
+            self._mlp_shapes(cfg, d_ff), self.spec.name, self.dtype
+        )
+        speedup = strictly_better(before_s, latency_of[suggested])
+        fixit = None
+        if speedup is not None:
+            note = f"MLP width changes by {suggested - d_ff:+d} columns"
+            if per_width[0].value != suggested:
+                note += f"; best latency/width in range: {per_width[0].value}"
+            fixit = FixIt(
+                field="intermediate_size",
+                current=d_ff,
+                suggested=suggested,
+                latency_before_s=before_s,
+                latency_after_s=latency_of[suggested],
+                note=note,
+            )
+        return [
+            LintDiagnostic(
+                "shape/dff-alignment",
+                severity,
+                f"d_ff/t = {shard} is divisible only by {p}; MLP GEMMs "
+                f"lose Tensor Core efficiency (target {POW2_TARGET})",
+                loc,
+                fixit=fixit,
+                paper_ref="Sec VII-B",
+            )
+        ]
+
+    def rule_heads_tp(self, cfg: TransformerConfig) -> List[LintDiagnostic]:
+        """``a`` (and hence ``(b*a)/t``) must shard evenly over ``t``
+        (Sec VI-B rule 4)."""
+        a, b, t = cfg.num_heads, cfg.microbatch, cfg.tp_degree
+        if a % t == 0 and (b * a) % t == 0:
+            return [
+                LintDiagnostic(
+                    "shape/heads-tp-divisible",
+                    Severity.OK,
+                    f"a = {a} shards evenly over t = {t} "
+                    f"((b*a)/t = {b * a // t})",
+                    _loc(cfg, "num_heads"),
+                    paper_ref="Sec VI-B",
+                )
+            ]
+        nearest = None
+        for delta in range(1, cfg.hidden_size):
+            for cand in (a - delta, a + delta):
+                if (
+                    0 < cand
+                    and cfg.hidden_size % cand == 0
+                    and cand % t == 0
+                ):
+                    nearest = cand
+                    break
+            if nearest is not None:
+                break
+        fixit = None
+        if nearest is not None:
+            fixit = FixIt(
+                field="num_heads",
+                current=a,
+                suggested=nearest,
+                note=f"nearest head count dividing h with t | a",
+            )
+        return [
+            LintDiagnostic(
+                "shape/heads-tp-divisible",
+                Severity.ERROR,
+                f"a = {a} does not shard over t = {t}: the attention BMM "
+                f"batch (b*a = {b * a}) cannot split evenly across ranks",
+                _loc(cfg, "num_heads"),
+                fixit=fixit,
+                paper_ref="Sec VI-B",
+            )
+        ]
+
+    def _dense_layer_shapes(
+        self, cfg: TransformerConfig, b: int
+    ) -> List[GemmShape]:
+        tokens = b * cfg.seq_len
+        h, t, d_ff = cfg.hidden_size, cfg.tp_degree, cfg.d_ff
+        qkv_cols = h + 2 * cfg.kv_dim
+        shapes = [
+            (tokens, qkv_cols // t, h, 1),
+            (tokens, h, h // t, 1),
+            (tokens, d_ff // t, h, 1),
+            (tokens, h, d_ff // t, 1),
+        ]
+        if cfg.mlp_kind == "swiglu":
+            shapes.insert(3, (tokens, d_ff // t, h, 1))
+        return shapes
+
+    def rule_microbatch_wave(self, cfg: TransformerConfig) -> List[LintDiagnostic]:
+        """Flag microbatches sitting just past a wave-quantization cliff
+        on the widest layer GEMM (Sec III-B; the Figs 8/9 sawtooth)."""
+        tokens = cfg.tokens_per_microbatch
+        h, t = cfg.hidden_size, cfg.tp_degree
+        widest = shape_array(tokens, cfg.d_ff // t, h, 1)
+        result = default_engine().evaluate(widest, self.spec.name, self.dtype)
+        wave_eff = float(result.wave_eff[0])
+        loc = _loc(cfg, "microbatch")
+        if wave_eff >= _WAVE_EFF_THRESHOLD:
+            return [
+                LintDiagnostic(
+                    "shape/microbatch-wave",
+                    Severity.OK,
+                    f"b = {cfg.microbatch}: the widest layer GEMM runs at "
+                    f"{100 * wave_eff:.0f}% wave efficiency "
+                    f"({int(result.waves[0])} waves on {self.spec.num_sms} SMs)",
+                    loc,
+                    paper_ref="Sec III-B",
+                )
+            ]
+        b = cfg.microbatch
+        candidates = sorted({bc for bc in range(max(1, b - 2), b + 3)})
+        ranked = rank_candidates(
+            candidates,
+            lambda bc: self._dense_layer_shapes(cfg, bc),
+            self.spec.name,
+            self.dtype,
+        )
+        per_token = {c.value: c.latency_s / c.value for c in ranked}
+        suggested = min(candidates, key=lambda bc: (per_token[bc], abs(bc - b)))
+        fixit = None
+        speedup = strictly_better(
+            per_token[b], per_token[suggested], _MICROBATCH_MIN_GAIN
+        )
+        if suggested != b and speedup is not None:
+            fixit = FixIt(
+                field="microbatch",
+                current=b,
+                suggested=suggested,
+                latency_before_s=per_token[b],
+                latency_after_s=per_token[suggested],
+                note="latencies are per microbatch row (per-token comparison)",
+            )
+        tile = result.tile(0)
+        return [
+            LintDiagnostic(
+                "shape/microbatch-wave",
+                Severity.INFO,
+                f"b = {b}: the widest layer GEMM ({tokens} x {cfg.d_ff // t}) "
+                f"has a partial tail wave ({100 * wave_eff:.0f}% wave "
+                f"efficiency, tile {tile.name}, {self.spec.num_sms} SMs); "
+                "nearby microbatches may cost the same time",
+                loc,
+                fixit=fixit,
+                paper_ref="Sec III-B",
+            )
+        ]
+
+    def rule_layers_pipeline(
+        self, cfg: TransformerConfig, pipeline_stages: int = 1
+    ) -> List[LintDiagnostic]:
+        """``L`` should divide evenly into pipeline stages (Sec VI-B rule 6)."""
+        if pipeline_stages <= 1:
+            return []
+        L = cfg.num_layers
+        loc = _loc(cfg, "num_layers")
+        if L % pipeline_stages == 0:
+            return [
+                LintDiagnostic(
+                    "shape/layers-pipeline",
+                    Severity.OK,
+                    f"L = {L} divides evenly into {pipeline_stages} stages",
+                    loc,
+                    paper_ref="Sec VI-B",
+                )
+            ]
+        up = -(-L // pipeline_stages) * pipeline_stages
+        down = (L // pipeline_stages) * pipeline_stages
+        suggested = up if (L - down) > (up - L) or down == 0 else down
+        return [
+            LintDiagnostic(
+                "shape/layers-pipeline",
+                Severity.WARNING,
+                f"L = {L} is not divisible by {pipeline_stages} pipeline "
+                "stages; the pipeline runs at the slowest (deepest) "
+                "stage's rate",
+                loc,
+                fixit=FixIt(
+                    field="num_layers",
+                    current=L,
+                    suggested=suggested,
+                    note="changes depth and parameter count",
+                ),
+                paper_ref="Sec VI-B",
+            )
+        ]

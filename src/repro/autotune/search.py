@@ -64,12 +64,35 @@ def search_dimension(
     candidate list and must return one latency per candidate — the hook
     the vectorized engine plugs into; ``latency_fn`` may then be None.
     """
+    for name, bound in (("lo", lo), ("hi", hi), ("step", step)):
+        if isinstance(bound, bool) or not isinstance(bound, int):
+            raise ConfigError(
+                f"{name} must be an int, got {type(bound).__name__}"
+            )
     if lo <= 0 or hi < lo:
         raise ConfigError(f"invalid range [{lo}, {hi}]")
     if step <= 0:
         raise ConfigError(f"step must be positive, got {step}")
     if latency_fn is None and batch_latency_fn is None:
         raise ConfigError("need latency_fn or batch_latency_fn")
+    if latency_fn is not None and not callable(latency_fn):
+        raise ConfigError(
+            f"latency_fn must be callable, got {type(latency_fn).__name__}"
+        )
+    if batch_latency_fn is not None and not callable(batch_latency_fn):
+        raise ConfigError(
+            "batch_latency_fn must be callable, got "
+            f"{type(batch_latency_fn).__name__}"
+        )
+    if constraint is not None and not callable(constraint):
+        raise ConfigError(
+            f"constraint must be callable, got {type(constraint).__name__}"
+        )
+    for v in must_include:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise ConfigError(
+                f"must_include values must be ints, got {v!r}"
+            )
     # A set dedupes must_include values that already sit on the grid
     # (and duplicates within must_include itself).
     values = set(range(lo, hi + 1, step))

@@ -32,7 +32,12 @@ LLAMA2_CHOICES = {4096: 11008, 8192: 28672}
 
 @dataclass(frozen=True)
 class SwiGLUCandidate:
-    """One intermediate size with its block latency and alignment."""
+    """One intermediate size with its block latency and alignment.
+
+    ``coefficient`` is d_ff expressed as a multiple of h (SwiGLU's
+    nominal 8/3); ``percentile`` is the fraction of the candidate range
+    this latency beats (0..1).
+    """
 
     d_ff: int
     latency_s: float

@@ -16,9 +16,11 @@ from typing import Tuple
 class Anchor:
     """One quantitative claim from the paper.
 
-    ``lo``/``hi`` bound the acceptable *reproduced* value; the paper's
-    own number sits inside the band but reproduction succeeds when the
-    shape-level mechanism is right even if the absolute value differs.
+    ``lo``/``hi`` bound the acceptable *reproduced* value;
+    ``paper_value`` (same unit as the claim itself — a ratio, percent,
+    or TFLOP/s) sits inside the band, but reproduction succeeds when
+    the shape-level mechanism is right even if the absolute value
+    differs.
     """
 
     key: str

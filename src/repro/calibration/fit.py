@@ -23,9 +23,9 @@ from typing import List, Sequence
 import numpy as np
 from scipy import optimize
 
+from repro.engine import default_engine, shape_array
 from repro.errors import CalibrationError
 from repro.gpu import alignment
-from repro.gpu.gemm_model import GemmModel
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.types import DType
 
@@ -47,7 +47,12 @@ class MeasuredGemm:
 
 @dataclass(frozen=True)
 class CalibrationResult:
-    """Fitted constant plus goodness of fit."""
+    """Fitted constant plus goodness of fit.
+
+    ``value`` is the fitted constant itself (a dimensionless fraction
+    for both knobs); ``rms_rel_error`` is the root-mean-square relative
+    latency error at that value.
+    """
 
     name: str
     value: float
@@ -55,9 +60,31 @@ class CalibrationResult:
     samples: int
 
 
-def _rel_errors(model: GemmModel, samples: Sequence[MeasuredGemm]) -> np.ndarray:
-    predicted = np.array(
-        [model.latency(s.m, s.n, s.k, s.batch) for s in samples]
+def _sample_shapes(samples: Sequence[MeasuredGemm]) -> np.ndarray:
+    return shape_array(
+        [s.m for s in samples],
+        [s.n for s in samples],
+        [s.k for s in samples],
+        [s.batch for s in samples],
+    )
+
+
+def _rel_errors(
+    samples: Sequence[MeasuredGemm],
+    spec: GPUSpec,
+    dtype: "str | DType",
+    bw_efficiency: "float | None" = None,
+) -> np.ndarray:
+    """Relative latency error of the model on each measurement.
+
+    Predictions go through the engine batch path: each candidate
+    constant the optimizer probes is one cached batch evaluation (the
+    cache key folds in ``bw_efficiency`` and the live alignment
+    constants, so probes never collide).
+    """
+    kwargs = {} if bw_efficiency is None else {"bw_efficiency": float(bw_efficiency)}
+    predicted = default_engine().latency(
+        _sample_shapes(samples), spec, dtype, **kwargs
     )
     measured = np.array([s.latency_s for s in samples])
     return (predicted - measured) / measured
@@ -75,8 +102,9 @@ def fit_bw_efficiency(
     spec = get_gpu(gpu)
 
     def loss(bw_eff: float) -> float:
-        model = GemmModel(spec, dtype, bw_efficiency=float(bw_eff))
-        return float(np.mean(_rel_errors(model, samples) ** 2))
+        return float(
+            np.mean(_rel_errors(samples, spec, dtype, bw_efficiency=bw_eff) ** 2)
+        )
 
     res = optimize.minimize_scalar(loss, bounds=bounds, method="bounded")
     if not res.success:  # pragma: no cover - bounded method always succeeds
@@ -109,8 +137,7 @@ def fit_efficiency_floor(
     def loss(floor: float) -> float:
         alignment._EFF_AT_MIN = float(floor)
         try:
-            model = GemmModel(spec, dtype)
-            return float(np.mean(_rel_errors(model, samples) ** 2))
+            return float(np.mean(_rel_errors(samples, spec, dtype) ** 2))
         finally:
             alignment._EFF_AT_MIN = original
 
@@ -138,7 +165,6 @@ def synthetic_samples(
     by the quickstart example as a stand-in for profiler output.
     """
     rng = np.random.default_rng(seed)
-    model = GemmModel(gpu, dtype)
     shapes = [
         (8192, 4096, 4096),
         (8192, 10240, 2560),
@@ -148,9 +174,16 @@ def synthetic_samples(
         (1024, 1024, 1024),
         (8192, 50304, 2560),
     ]
+    latencies = default_engine().latency(
+        shape_array([m for m, _, _ in shapes], [n for _, n, _ in shapes],
+                    [k for _, _, k in shapes]),
+        get_gpu(gpu),
+        dtype,
+    )
     out = []
-    for m, n, k in shapes:
-        latency = model.latency(m, n, k)
+    for (m, n, k), latency in zip(shapes, latencies):
         jitter = 1.0 + noise * float(rng.standard_normal())
-        out.append(MeasuredGemm(m=m, n=n, k=k, latency_s=latency * max(jitter, 0.1)))
+        out.append(
+            MeasuredGemm(m=m, n=n, k=k, latency_s=float(latency) * max(jitter, 0.1))
+        )
     return out

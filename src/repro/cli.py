@@ -8,6 +8,8 @@ Verbs::
     repro figure   <id> [--csv] [--check]     regenerate a paper figure/table
     repro figures                             list all experiment ids
     repro bench    [--quick] [--parallel N]   engine parity + cold/warm timings
+    repro lint     <model|config.json>        co-design shape linter
+    repro lint     --self [paths...]          AST self-lint of the codebase
     repro list-models / list-gpus             show registries
 
 Run as ``python -m repro.cli`` or via the ``repro`` console script.
@@ -113,6 +115,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time a warm run_all across N workers",
     )
     p.add_argument("--ids", nargs="*", default=None, help="subset of experiment ids")
+
+    p = sub.add_parser(
+        "lint",
+        help="lint a model shape against the paper's sizing rules, "
+        "or the codebase itself (--self)",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        help="model preset name or JSON config file (omit with --self)",
+    )
+    p.add_argument(
+        "--self",
+        dest="self_lint",
+        action="store_true",
+        help="run the AST self-lint pass instead of shape linting",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="with --self: files/directories to lint (default: the "
+        "installed repro package)",
+    )
+    _add_gpu(p)
+    p.add_argument("--pipeline-stages", type=int, default=1)
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    p.add_argument(
+        "--min-severity",
+        choices=("info", "warning", "error"),
+        default="info",
+        help="hide findings below this severity (default info)",
+    )
 
     p = sub.add_parser(
         "calibrate",
@@ -315,6 +354,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if record["passed"] else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, SelfLinter, ShapeLinter, load_targets
+    from repro.errors import ConfigError
+
+    min_severity = {
+        "info": Severity.INFO,
+        "warning": Severity.WARNING,
+        "error": Severity.ERROR,
+    }[args.min_severity]
+
+    if args.self_lint:
+        if args.target is not None:
+            # With --self the positional slot is a path, not a model.
+            args.paths = [args.target] + list(args.paths)
+        report = SelfLinter().lint(args.paths or None)
+    else:
+        if args.target is None:
+            raise ConfigError(
+                "lint needs a model preset or JSON config (or --self)"
+            )
+        if args.paths:
+            raise ConfigError(
+                "extra positional arguments are only valid with --self"
+            )
+        linter = ShapeLinter(args.gpu)
+        configs = load_targets(args.target)
+        if len(configs) == 1:
+            report = linter.lint(configs[0], pipeline_stages=args.pipeline_stages)
+        else:
+            report = linter.lint_grid(
+                configs, pipeline_stages=args.pipeline_stages
+            )
+
+    if args.format == "json":
+        print(report.to_json(min_severity))
+    else:
+        print(report.render_text(min_severity))
+    return report.exit_code
+
+
 def cmd_list_gpus(_args: argparse.Namespace) -> int:
     for spec in list_gpus():
         print(
@@ -339,6 +418,7 @@ _COMMANDS = {
     "export": cmd_export,
     "bench": cmd_bench,
     "calibrate": cmd_calibrate,
+    "lint": cmd_lint,
 }
 
 

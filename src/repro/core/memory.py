@@ -35,7 +35,11 @@ _FP16 = 2
 
 @dataclass(frozen=True)
 class MemoryBreakdown:
-    """Per-GPU memory decomposition in bytes."""
+    """Per-GPU memory decomposition.
+
+    ``weights_and_optimizer``, ``activations``, and ``kv_cache`` are
+    all bytes.
+    """
 
     weights_and_optimizer: float
     activations: float

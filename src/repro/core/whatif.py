@@ -31,7 +31,11 @@ from repro.types import DType
 
 @dataclass(frozen=True)
 class Sensitivity:
-    """Best achievable effect of one knob, with the move that gets it."""
+    """Best achievable effect of one knob, with the move that gets it.
+
+    ``speedup`` is the model-latency ratio baseline/best (> 1 means the
+    move helps).
+    """
 
     knob: str
     best_move: str

@@ -61,7 +61,11 @@ def _memory_parallelism(blocks: int, num_sms: int, wave_eff: float) -> float:
 
 @dataclass(frozen=True)
 class GemmPerf:
-    """Full performance report for one (batched) GEMM evaluation."""
+    """Full performance report for one (batched) GEMM evaluation.
+
+    ``tile_waste`` is the fraction of launched tile area outside the
+    problem (0 = perfect edge fit).
+    """
 
     m: int
     n: int

@@ -72,7 +72,10 @@ def attainable_tflops(
 
 @dataclass(frozen=True)
 class RooflinePoint:
-    """One kernel placed on the roofline."""
+    """One kernel placed on the roofline.
+
+    ``intensity`` is arithmetic intensity in FLOPs per DRAM byte.
+    """
 
     intensity: float
     attainable_tflops: float

@@ -38,6 +38,7 @@ class GPUSpec:
     #: Peak vector-unit (CUDA core / SIMD) TFLOP/s per dtype, used when a
     #: GEMM cannot be mapped onto the matrix engines at all.
     vector_tflops: Dict[DType, float]
+    #: Datasheet DRAM bandwidth in GB/s.
     mem_bw_gbs: float
     l2_bytes: int
     smem_per_sm_bytes: int

@@ -64,7 +64,7 @@ def _scalar_reference_s(ids: Optional[Sequence[str]]) -> float:
     def scalar_perfs(shapes, gpu, dtype, tile, candidates):
         model = GemmModel(gpu, dtype, tile=tile, candidates=candidates)
         return [
-            model.evaluate(int(m), int(n), int(k), int(b))
+            model.evaluate(int(m), int(n), int(k), int(b))  # lint: allow(scalar-eval-in-loop)
             for b, m, n, k in np.asarray(shapes, dtype=np.int64).reshape(-1, 4)
         ]
 

@@ -8,7 +8,7 @@ verifying the paper's qualitative claim about that artifact's shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.errors import ExperimentError
 from repro.harness.compare import CheckResult
@@ -28,6 +28,10 @@ class Experiment:
     run_fn: RunFn
     check_fn: Optional[CheckFn] = None
     description: str = ""
+    #: Model-preset names this experiment sweeps; the runner lints them
+    #: through :class:`repro.analysis.ShapeLinter` before running so
+    #: known-inefficient shapes are flagged before a long sweep starts.
+    lint_configs: Tuple[str, ...] = ()
 
     def run(self) -> ResultTable:
         """Execute the experiment and return its table."""

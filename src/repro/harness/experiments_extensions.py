@@ -26,7 +26,7 @@ from repro.core.latency import LayerLatencyModel
 from repro.core.formulas import forward_flops_per_layer
 from repro.core.gemms import layer_gemms
 from repro.core.training import TrainingStepModel
-from repro.gpu.gemm_model import GemmModel
+from repro.engine import default_engine, shape_array
 from repro.gpu.simulator import SMSimulator
 from repro.gpu.specs import get_gpu
 from repro.gpu.tiles import default_tile
@@ -48,22 +48,26 @@ _B, _S = 4, 2048
 
 def run_ablation_tile() -> ResultTable:
     """Auto tile selection vs pinned 128x256 on the Table II GEMM set."""
-    auto = GemmModel("A100")
-    pinned = GemmModel("A100", tile=default_tile())
     cfg = get_model("gpt3-2.7b")
     table = ResultTable(
         "Ablation: cuBLAS-like tile selection vs pinned 128x256",
         ["gemm", "auto_us", "pinned_us", "gain"],
         notes="gain = pinned / auto latency (>= 1 by construction)",
     )
-    for op in layer_gemms(cfg):
-        a = auto.evaluate(op.m, op.n, op.k, op.batch).latency_s
-        p = pinned.evaluate(op.m, op.n, op.k, op.batch).latency_s
-        table.add(op.module, a * 1e6, p * 1e6, p / a)
-    # Plus a skinny decode GEMM where selection matters most.
-    a = auto.latency(1, 10240, 2560)
-    p = pinned.latency(1, 10240, 2560)
-    table.add("decode_gemv", a * 1e6, p * 1e6, p / a)
+    # The Table II GEMM set plus a skinny decode GEMM where selection
+    # matters most, both policies through one engine batch each.
+    ops = list(layer_gemms(cfg))
+    names = [op.module for op in ops] + ["decode_gemv"]
+    shapes = shape_array(
+        [op.m for op in ops] + [1],
+        [op.n for op in ops] + [10240],
+        [op.k for op in ops] + [2560],
+        [op.batch for op in ops] + [1],
+    )
+    auto = default_engine().latency(shapes, "A100")
+    pinned = default_engine().latency(shapes, "A100", tile=default_tile())
+    for name, a, p in zip(names, auto, pinned):
+        table.add(name, float(a) * 1e6, float(p) * 1e6, float(p) / float(a))
     return table
 
 
@@ -125,16 +129,25 @@ def check_ablation_dtype(table: ResultTable) -> CheckResult:
 def run_ablation_backfill() -> ResultTable:
     """Discrete-event simulation vs analytic waves per transformer GEMM."""
     cfg = get_model("gpt3-2.7b")
-    gm = GemmModel("A100")
     table = ResultTable(
         "Ablation: DES simulator vs analytic wave model",
         ["gemm", "analytic_us", "simulated_us", "rel_diff"],
     )
-    for op in layer_gemms(cfg):
-        a = gm.evaluate(op.m, op.n, op.k, op.batch)
-        s = SMSimulator("A100", tile=a.tile).run(op.m, op.n, op.k, op.batch)
-        rel = abs(s.latency_s - a.latency_s) / a.latency_s
-        table.add(op.module, a.latency_s * 1e6, s.latency_s * 1e6, rel)
+    ops = list(layer_gemms(cfg))
+    batch = default_engine().evaluate(
+        shape_array(
+            [op.m for op in ops],
+            [op.n for op in ops],
+            [op.k for op in ops],
+            [op.batch for op in ops],
+        ),
+        "A100",
+    )
+    for i, op in enumerate(ops):
+        a_s = float(batch.latency_s[i])
+        s = SMSimulator("A100", tile=batch.tile(i)).run(op.m, op.n, op.k, op.batch)
+        rel = abs(s.latency_s - a_s) / a_s
+        table.add(op.module, a_s * 1e6, s.latency_s * 1e6, rel)
     return table
 
 

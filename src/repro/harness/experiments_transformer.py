@@ -22,7 +22,7 @@ from repro.core.breakdown import (
 from repro.core.config import TransformerConfig, get_model
 from repro.core.gemms import layer_gemms, logit_gemm
 from repro.core.latency import LayerLatencyModel
-from repro.gpu.gemm_model import GemmModel
+from repro.engine import default_engine, shape_array
 from repro.harness import sweep
 from repro.harness.compare import (
     CheckResult,
@@ -298,17 +298,19 @@ def check_rises(table: ResultTable) -> CheckResult:
 
 def run_fig20() -> ResultTable:
     """Logit GEMM throughput: coarse v sweep plus the 50257 zoom."""
-    model = GemmModel("A100")
     h = 2560
     table = ResultTable(
         "Fig 20: logit layer throughput vs vocabulary size",
         ["zoom", "vocab", "tflops"],
         notes="zoomed region brackets GPT-2's 50257 (padded: 50304)",
     )
-    for v in sweep.arange_steps(8192, 57344, 2048):
-        table.add("coarse", v, model.tflops(_B * _S, v, h))
-    for v in sweep.vocab_sweep(center=50257, span=64, step=1):
-        table.add("zoom", v, model.tflops(_B * _S, v, h))
+    coarse = list(sweep.arange_steps(8192, 57344, 2048))
+    zoom = list(sweep.vocab_sweep(center=50257, span=64, step=1))
+    tflops = default_engine().tflops(shape_array(_B * _S, coarse + zoom, h), "A100")
+    for v, t in zip(coarse, tflops[: len(coarse)]):
+        table.add("coarse", v, float(t))
+    for v, t in zip(zoom, tflops[len(coarse) :]):
+        table.add("zoom", v, float(t))
     return table
 
 

@@ -53,6 +53,7 @@ register(
         paper_ref="Fig 1 / Sec VI-B",
         run_fn=tfm.run_fig1,
         check_fn=tfm.check_fig1,
+        lint_configs=("gpt3-2.7b", "c1", "c2"),
     )
 )
 register(
@@ -143,6 +144,7 @@ register(
         paper_ref="Fig 13 / Sec VII-C",
         run_fn=cases.run_fig13,
         check_fn=cases.check_fig13,
+        lint_configs=("pythia-410m", "pythia-1.4b", "pythia-2.8b", "pythia-6.9b"),
     )
 )
 register(
@@ -304,6 +306,7 @@ register(
         paper_ref="Sec VI-B",
         run_fn=cases.run_case_gpt3,
         check_fn=cases.check_case_gpt3,
+        lint_configs=("gpt3-2.7b", "c1", "c2"),
     )
 )
 register(
@@ -381,6 +384,7 @@ register(
         paper_ref="extension (Sec I claim)",
         run_fn=ext.run_ext_training,
         check_fn=ext.check_ext_training,
+        lint_configs=("gpt3-2.7b", "c1", "c2"),
     )
 )
 register(

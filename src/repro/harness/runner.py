@@ -19,7 +19,10 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import LintReport
 
 from repro.engine import cache as engine_cache
 from repro.errors import ExperimentError
@@ -40,10 +43,23 @@ class ExperimentReport:
     wall_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Preflight shape-lint over the experiment's declared model
+    #: configs (``Experiment.lint_configs``); ``None`` when the
+    #: experiment declares none.
+    lint: Optional["LintReport"] = None
 
     @property
     def passed(self) -> bool:
         return self.check.passed
+
+    @property
+    def lint_warnings(self) -> int:
+        """Findings at WARNING or above in the preflight shape lint."""
+        from repro.core.rules import Severity
+
+        if self.lint is None:
+            return 0
+        return len(self.lint.findings(Severity.WARNING))
 
     @property
     def cache_hit_rate(self) -> float:
@@ -62,6 +78,11 @@ class ExperimentReport:
             f"wall time: {self.wall_time_s * 1e3:.1f} ms, "
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses",
         ]
+        if self.lint_warnings:
+            lines.append(
+                f"lint: {self.lint_warnings} shape warning(s) on this "
+                "experiment's configs — see 'repro lint <model>'"
+            )
         return "\n".join(lines)
 
 
@@ -76,9 +97,31 @@ def _truncate(table: ResultTable, max_rows: int) -> str:
     return "\n".join(kept)
 
 
+def preflight_lint(exp, gpu: str = "A100") -> Optional["LintReport"]:
+    """Shape-lint an experiment's declared configs before it runs.
+
+    Intentional negative cases (the paper's *inefficient* shapes, e.g.
+    ``c1`` or unpadded GPT-NeoX vocabularies) still lint with warnings;
+    the preflight only surfaces them, it never blocks the run.
+    """
+    if not exp.lint_configs:
+        return None
+    from repro.analysis import ShapeLinter
+    from repro.core.config import get_model
+
+    configs = [get_model(name) for name in exp.lint_configs]
+    return ShapeLinter(gpu).lint_grid(configs)
+
+
 def run_experiment(exp_id: str) -> ExperimentReport:
-    """Run one experiment by id, including its qualitative check."""
+    """Run one experiment by id, including its qualitative check.
+
+    Experiments that declare ``lint_configs`` get a preflight shape
+    lint whose report rides along on the
+    :attr:`ExperimentReport.lint` field.
+    """
     exp = get_experiment(exp_id)
+    lint = preflight_lint(exp)
     before = engine_cache.scalar_memo_stats().snapshot()
     start = time.perf_counter()
     table = exp.run()
@@ -94,6 +137,7 @@ def run_experiment(exp_id: str) -> ExperimentReport:
         wall_time_s=elapsed,
         cache_hits=used.hits,
         cache_misses=used.misses,
+        lint=lint,
     )
 
 

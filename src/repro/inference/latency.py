@@ -18,6 +18,7 @@ from repro.core.config import TransformerConfig
 from repro.core.formulas import kv_cache_bytes
 from repro.core.gemms import layer_gemms, logit_gemm
 from repro.core.latency import LayerLatencyModel
+from repro.engine import default_engine, shape_array
 from repro.errors import ConfigError
 from repro.gpu.gemm_model import GemmModel
 from repro.gpu.specs import GPUSpec, get_gpu
@@ -125,24 +126,31 @@ class InferenceModel:
         overhead_s = kernels * self.spec.kernel_overhead_s
 
         # Skinny per-token GEMMs: reuse the Table II mapping with b*s
-        # replaced by the decode row count (batch x 1 token).
+        # replaced by the decode row count (batch x 1 token), evaluated
+        # as one engine batch per decode step.
         decode_cfg = cfg.with_overrides(microbatch=batch, seq_len=1)
-        gemm_s = 0.0
+        shapes = []
         for op in layer_gemms(decode_cfg):
-            if op.module in ("attention_score", "attention_over_value"):
+            if op.module == "attention_score":
                 # Context-length attention: (1, d) x (d, ctx) per head.
-                perf = self.gemm_model.evaluate(
-                    1,
-                    context_len if op.module == "attention_score" else cfg.head_dim,
-                    op.k if op.module == "attention_score" else context_len,
-                    batch=op.batch,
-                )
+                shapes.append((1, context_len, op.k, op.batch))
+            elif op.module == "attention_over_value":
+                shapes.append((1, cfg.head_dim, context_len, op.batch))
             else:
-                perf = self.gemm_model.evaluate(op.m, op.n, op.k)
-            gemm_s += perf.latency_s
-        gemm_s *= cfg.num_layers
+                shapes.append((op.m, op.n, op.k, 1))
         logit = logit_gemm(decode_cfg)
-        gemm_s += self.gemm_model.evaluate(logit.m, logit.n, logit.k).latency_s
+        shapes.append((logit.m, logit.n, logit.k, 1))
+        latencies = default_engine().latency(
+            shape_array(
+                [s[0] for s in shapes],
+                [s[1] for s in shapes],
+                [s[2] for s in shapes],
+                [s[3] for s in shapes],
+            ),
+            self.spec,
+            self.dtype,
+        )
+        gemm_s = float(latencies[:-1].sum()) * cfg.num_layers + float(latencies[-1])
 
         return DecodePerf(
             weight_s=weight_s,

@@ -28,7 +28,11 @@ OpKind = Literal["fwd", "bwd"]
 
 @dataclass(frozen=True)
 class ScheduledOp:
-    """One executed micro-operation on the timeline."""
+    """One executed micro-operation on the timeline.
+
+    ``start`` and ``end`` are in units of one forward-pass time slot
+    (the simulator's clock), not seconds.
+    """
 
     stage: int
     microbatch: int
@@ -39,7 +43,11 @@ class ScheduledOp:
 
 @dataclass(frozen=True)
 class ScheduleResult:
-    """Outcome of simulating one pipeline schedule."""
+    """Outcome of simulating one pipeline schedule.
+
+    ``makespan``, ``fwd_time``, and ``bwd_time`` share the timeline's
+    forward-slot unit (``fwd_time = 1`` by convention).
+    """
 
     ops: List[ScheduledOp]
     makespan: float

@@ -1,0 +1,12 @@
+"""Self-lint fixture: nondeterminism inside cache-key construction."""
+
+import os
+import time
+
+
+def build_cache_key(shapes):
+    return (tuple(shapes), time.time())
+
+
+def model_version():
+    return os.environ.get("MODEL_VERSION", "v0")

@@ -1,0 +1,7 @@
+"""Self-lint fixture: a calibration constant the cache key never sees.
+
+Lives under a ``gpu/`` directory on purpose — the constant-guard rule
+only scans there.
+"""
+
+_EFF_UNGUARDED = 0.5

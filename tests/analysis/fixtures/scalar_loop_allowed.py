@@ -1,0 +1,11 @@
+"""Self-lint fixture: the same violation, pragma-suppressed."""
+
+from repro.gpu.gemm_model import GemmModel
+
+
+def deliberate_scalar_baseline(sizes):
+    model = GemmModel("A100")
+    out = []
+    for n in sizes:
+        out.append(model.evaluate(n, n, n))  # lint: allow(scalar-eval-in-loop)
+    return out

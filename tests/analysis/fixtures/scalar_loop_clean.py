@@ -1,0 +1,20 @@
+"""Self-lint fixture: scalar calls outside loops, batch calls inside."""
+
+from repro.engine import default_engine, shape_array
+from repro.gpu.gemm_model import GemmModel
+
+
+def single_point(n):
+    model = GemmModel("A100")
+    return model.evaluate(n, n, n)
+
+
+def batched_sweep(sizes):
+    shapes = shape_array(list(sizes), list(sizes), list(sizes))
+    return default_engine().latency(shapes, "A100")
+
+
+def rebound_name(sizes):
+    model = GemmModel("A100")
+    model = object()
+    return [model.evaluate(n, n, n) for n in sizes]  # not a GemmModel anymore

@@ -1,0 +1,29 @@
+"""Self-lint fixture: scalar GemmModel calls inside loops.
+
+Never imported at runtime — the self-linter parses it as text.
+"""
+
+from repro.gpu.gemm_model import GemmModel
+
+
+def slow_sweep(sizes):
+    model = GemmModel("A100")
+    out = []
+    for n in sizes:
+        out.append(model.evaluate(n, n, n))
+    return out
+
+
+def slow_comprehension(model: GemmModel, sizes):
+    return [model.latency(n, n, n) for n in sizes]
+
+
+class Sweeper:
+    def __init__(self):
+        self.model = GemmModel("A100")
+
+    def run(self, sizes):
+        total = 0.0
+        for n in sizes:
+            total += self.model.tflops(n, n, n)
+        return total

@@ -1,0 +1,36 @@
+"""Self-lint fixture: public dataclasses with missing unit docs."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class NoDocstring:
+    latency: float
+
+
+@dataclass
+class MissingUnits:
+    """Holds a measurement."""
+
+    latency: float
+    bandwidth: Optional[float] = None
+
+
+@dataclass
+class WellDocumented:
+    """Holds a measurement.
+
+    ``latency`` is in seconds.
+    """
+
+    latency: float
+    #: GB/s as measured.
+    bandwidth: float = 0.0
+    duration_s: float = 0.0
+    count: int = 0
+
+
+@dataclass
+class _PrivateUnchecked:
+    latency: float

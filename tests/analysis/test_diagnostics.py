@@ -1,0 +1,106 @@
+"""Tests for the shared lint diagnostics framework."""
+
+import json
+
+from repro.analysis import FixIt, LintDiagnostic, LintReport, Location, Severity
+
+
+def diag(rule="shape/x", sev=Severity.WARNING, fixit=None):
+    return LintDiagnostic(
+        rule, sev, "msg", Location(config_path="m.field"), fixit=fixit
+    )
+
+
+class TestLocation:
+    def test_config_path(self):
+        assert Location(config_path="m.vocab_size").describe() == "m.vocab_size"
+
+    def test_file_line_column(self):
+        loc = Location(file="a.py", line=3, column=7)
+        assert loc.describe() == "a.py:3:7"
+        assert Location(file="a.py", line=3).describe() == "a.py:3"
+        assert Location(file="a.py").describe() == "a.py"
+
+    def test_unknown(self):
+        assert Location().describe() == "<unknown>"
+
+    def test_to_dict_drops_none(self):
+        assert Location(file="a.py", line=2).to_dict() == {"file": "a.py", "line": 2}
+
+
+class TestFixIt:
+    def test_speedup(self):
+        fx = FixIt("f", 1, 2, latency_before_s=2e-3, latency_after_s=1e-3)
+        assert fx.speedup == 2.0
+
+    def test_speedup_none_without_latencies(self):
+        assert FixIt("f", 1, 2).speedup is None
+
+    def test_describe_quantified(self):
+        fx = FixIt(
+            "vocab_size", 50257, 50304,
+            latency_before_s=4e-3, latency_after_s=1e-3, note="pad",
+        )
+        text = fx.describe()
+        assert "set vocab_size = 50304 (from 50257)" in text
+        assert "4.00x" in text
+        assert "[pad]" in text
+
+    def test_describe_structural(self):
+        assert FixIt("t", 6, 4).describe() == "set t = 4 (from 6)"
+
+
+class TestLintReport:
+    def test_exit_code_contract(self):
+        assert LintReport("t").exit_code == 0
+        assert LintReport("t", [diag(sev=Severity.OK)]).exit_code == 0
+        assert LintReport("t", [diag(sev=Severity.INFO)]).exit_code == 0
+        assert LintReport("t", [diag(sev=Severity.WARNING)]).exit_code == 1
+        assert (
+            LintReport(
+                "t", [diag(sev=Severity.WARNING), diag(sev=Severity.ERROR)]
+            ).exit_code
+            == 2
+        )
+
+    def test_findings_sorted_worst_first(self):
+        rep = LintReport(
+            "t",
+            [
+                diag("shape/b", Severity.INFO),
+                diag("shape/a", Severity.ERROR),
+                diag("shape/c", Severity.WARNING),
+            ],
+        )
+        assert [d.rule_id for d in rep.findings()] == [
+            "shape/a", "shape/c", "shape/b",
+        ]
+
+    def test_findings_min_severity(self):
+        rep = LintReport(
+            "t", [diag(sev=Severity.INFO), diag(sev=Severity.WARNING)]
+        )
+        assert len(rep.findings(Severity.WARNING)) == 1
+
+    def test_ok_diagnostics_hidden_by_default(self):
+        rep = LintReport("t", [diag(sev=Severity.OK)])
+        assert rep.findings() == []
+        assert "clean" in rep.render_text()
+
+    def test_render_text(self):
+        rep = LintReport("target-name", [diag(sev=Severity.WARNING)])
+        text = rep.render_text()
+        assert text.startswith("lint: target-name")
+        assert "[WARNING] shape/x" in text
+        assert "result: 1 warning (exit 1)" in text
+
+    def test_to_json_round_trips(self):
+        fx = FixIt("f", 1, 2, latency_before_s=2e-3, latency_after_s=1e-3)
+        rep = LintReport("t", [diag(fixit=fx)])
+        payload = json.loads(rep.to_json())
+        assert payload["exit_code"] == 1
+        assert payload["worst"] == "WARNING"
+        assert payload["counts"]["WARNING"] == 1
+        [d] = payload["diagnostics"]
+        assert d["rule_id"] == "shape/x"
+        assert d["fixit"]["speedup"] == 2.0

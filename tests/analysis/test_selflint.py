@@ -1,0 +1,116 @@
+"""Tests for the AST self-lint pass (prong 2)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SelfLinter, Severity
+from repro.errors import ConfigError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_linter():
+    return SelfLinter(root=FIXTURES)
+
+
+def rule_ids(report):
+    return [d.rule_id for d in report.findings()]
+
+
+class TestScalarLoopRule:
+    def test_flags_all_three_binding_forms(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "scalar_loop_violation.py"])
+        hits = [
+            d for d in report.findings()
+            if d.rule_id == "self/scalar-eval-in-loop"
+        ]
+        # local binding in a for loop, annotated param in a
+        # comprehension, and self-attribute in a method loop
+        assert len(hits) == 3
+        assert report.exit_code != 0
+        assert all(d.severity == Severity.WARNING for d in hits)
+        assert all(d.location.line for d in hits)
+
+    def test_pragma_suppresses(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "scalar_loop_allowed.py"])
+        assert report.exit_code == 0
+
+    def test_clean_patterns_pass(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "scalar_loop_clean.py"])
+        assert "self/scalar-eval-in-loop" not in rule_ids(report)
+
+
+class TestNondetKeyRule:
+    def test_flags_time_and_environ_in_keyish_functions(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "cache_key_violation.py"])
+        hits = [
+            d for d in report.findings()
+            if d.rule_id == "self/nondeterministic-cache-key"
+        ]
+        assert len(hits) == 2
+        assert all(d.severity == Severity.ERROR for d in hits)
+        messages = " ".join(d.message for d in hits)
+        assert "time.time" in messages
+        assert "os.environ" in messages
+
+
+class TestConstantGuardRule:
+    def test_unreferenced_calibration_constant_is_error(self, fixture_linter):
+        # The fixture root has no engine/cache.py, so the constant
+        # cannot be folded into any cache key.
+        report = fixture_linter.lint(
+            [FIXTURES / "gpu" / "unguarded_constant.py"]
+        )
+        hits = [
+            d for d in report.findings()
+            if d.rule_id == "self/calibration-constant-guard"
+        ]
+        assert len(hits) == 1
+        assert hits[0].severity == Severity.ERROR
+        assert "_EFF_UNGUARDED" in hits[0].message
+
+
+class TestDataclassDocRule:
+    def test_flags_missing_docstring_and_units(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "undocumented_dataclass.py"])
+        hits = [
+            d for d in report.findings()
+            if d.rule_id == "self/dataclass-docstring"
+        ]
+        messages = " ".join(d.message for d in hits)
+        assert "NoDocstring" in messages
+        assert "MissingUnits" in messages
+        # documented/suffixed/commented fields and private classes pass
+        assert "WellDocumented" not in messages
+        assert "_PrivateUnchecked" not in messages
+
+
+class TestRepoIsClean:
+    def test_src_repro_self_lints_clean(self):
+        # The blocking CI gate: the shipped package must satisfy its
+        # own invariants.
+        report = SelfLinter().lint()
+        assert report.exit_code == 0, report.render_text()
+
+
+class TestInputHandling:
+    def test_bad_path_raises(self, fixture_linter):
+        with pytest.raises(ConfigError):
+            fixture_linter.lint([FIXTURES / "does_not_exist.txt"])
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SelfLinter(root=tmp_path / "nope")
+
+    def test_syntax_error_raises(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(ConfigError):
+            SelfLinter(root=tmp_path).lint()
+
+    def test_directory_path_recurses(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES])
+        assert "self/scalar-eval-in-loop" in rule_ids(report)
+        assert "self/calibration-constant-guard" in rule_ids(report)

@@ -87,6 +87,30 @@ class TestSearch:
         with pytest.raises(ConfigError):
             search_dimension(None, 80, 120)
 
+    def test_non_int_bounds_raise(self):
+        with pytest.raises(ConfigError, match="lo must be an int"):
+            search_dimension(parabola(), 80.0, 120)
+        with pytest.raises(ConfigError, match="hi must be an int"):
+            search_dimension(parabola(), 80, "120")
+        with pytest.raises(ConfigError, match="step must be an int"):
+            search_dimension(parabola(), 80, 120, step=1.5)
+        with pytest.raises(ConfigError, match="lo must be an int"):
+            search_dimension(parabola(), True, 120)
+
+    def test_non_callable_fns_raise(self):
+        with pytest.raises(ConfigError, match="latency_fn must be callable"):
+            search_dimension("not-a-fn", 80, 120)
+        with pytest.raises(ConfigError, match="batch_latency_fn must be callable"):
+            search_dimension(None, 80, 120, batch_latency_fn=[1.0])
+        with pytest.raises(ConfigError, match="constraint must be callable"):
+            search_dimension(parabola(), 80, 120, constraint=2)
+
+    def test_non_int_must_include_raises(self):
+        with pytest.raises(ConfigError, match="must_include values must be ints"):
+            search_dimension(parabola(), 80, 120, must_include=[100.5])
+        with pytest.raises(ConfigError, match="must_include values must be ints"):
+            search_dimension(parabola(), 80, 120, must_include=[True])
+
 
 class TestSearchResult:
     def test_percentile(self):

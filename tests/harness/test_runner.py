@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import Severity
 from repro.errors import ExperimentError
 from repro.harness.runner import run_all, run_experiment, summary
 
@@ -27,6 +28,34 @@ class TestRunExperiment:
     def test_unknown_raises(self):
         with pytest.raises(ExperimentError):
             run_experiment("fig999")
+
+
+class TestPreflightLint:
+    def test_experiment_without_configs_has_no_lint(self):
+        rep = run_experiment("fig14")
+        assert rep.lint is None
+        assert rep.lint_warnings == 0
+
+    def test_fig1_preflight_flags_inefficient_shapes(self):
+        # fig1 deliberately sweeps the paper's bad shapes (gpt3-2.7b
+        # h/a=80 and c1 h/a=40): the preflight must warn without
+        # blocking the run.
+        rep = run_experiment("fig1")
+        assert rep.passed
+        assert rep.lint is not None
+        assert rep.lint_warnings >= 2
+        assert "lint:" in rep.render()
+
+    def test_pythia_preflight_flags_only_2_8b(self):
+        # Most of the Pythia suite was sized by these rules; the one
+        # exception is pythia-2.8b, which copies GPT-3 2.7B's h/a=80.
+        rep = run_experiment("fig13")
+        assert rep.lint is not None
+        flagged = {
+            d.location.config_path
+            for d in rep.lint.findings(Severity.WARNING)
+        }
+        assert flagged == {"pythia-2.8b.num_heads"}
 
 
 class TestRunAll:

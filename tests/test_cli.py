@@ -183,6 +183,71 @@ class TestCalibrate:
         assert main(["calibrate", str(path)]) == 2
 
 
+class TestLint:
+    def test_clean_preset_exits_zero(self, capsys):
+        assert main(["lint", "c2"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warning_preset_exits_one(self, capsys):
+        assert main(["lint", "gpt-neo-2.7b"]) == 1
+        out = capsys.readouterr().out
+        assert "shape/vocab-divisible" in out
+        assert "fix: set vocab_size" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["lint", "gpt-neo-2.7b", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert any(
+            d["rule_id"] == "shape/vocab-divisible"
+            for d in payload["diagnostics"]
+        )
+
+    def test_json_config_file(self, tmp_path, capsys):
+        cfg = tmp_path / "model.json"
+        cfg.write_text(
+            '{"name": "bad", "hidden_size": 2560, "num_heads": 32,'
+            ' "num_layers": 32, "vocab_size": 50257, "tp_degree": 4}'
+        )
+        assert main(["lint", str(cfg)]) == 1
+        out = capsys.readouterr().out
+        assert "shape/head-alignment" in out
+        assert "shape/vocab-divisible" in out
+
+    def test_min_severity_filters(self, capsys):
+        assert main(["lint", "gpt-neo-2.7b", "--min-severity", "error"]) == 1
+        out = capsys.readouterr().out
+        assert "shape/vocab-divisible" not in out
+
+    def test_self_lint_repo_is_clean(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        assert "self-lint" in capsys.readouterr().out
+
+    def test_self_lint_fixture_fails(self, capsys):
+        from pathlib import Path
+
+        fixture = str(
+            Path(__file__).parent
+            / "analysis" / "fixtures" / "scalar_loop_violation.py"
+        )
+        assert main(["lint", "--self", fixture]) == 1
+        assert "self/scalar-eval-in-loop" in capsys.readouterr().out
+
+    def test_missing_target_errors(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_model_errors(self, capsys):
+        assert main(["lint", "no-such-model"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_extra_positionals_without_self_error(self, capsys):
+        assert main(["lint", "c2", "extra.py"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
