@@ -11,9 +11,13 @@ best performing sizes in its range" is a checkable statement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.resilience.faults import fault_site
+
+if TYPE_CHECKING:
+    from repro.resilience.checkpoint import SweepJournal
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,7 @@ def search_dimension(
     must_include: Sequence[int] = (),
     constraint: Optional[Callable[[int], bool]] = None,
     batch_latency_fn: Optional[Callable[[Sequence[int]], Sequence[float]]] = None,
+    journal: Optional["SweepJournal"] = None,
 ) -> List[SearchResult]:
     """Evaluate candidates over [lo, hi] and rank ascending latency.
 
@@ -60,9 +65,16 @@ def search_dimension(
     (or ranked) twice.  ``constraint`` filters candidates (e.g.
     divisibility by the tensor-parallel degree).
 
-    ``batch_latency_fn``, when given, is called once with the full
-    candidate list and must return one latency per candidate — the hook
-    the vectorized engine plugs into; ``latency_fn`` may then be None.
+    ``batch_latency_fn``, when given, is called with the candidate list
+    and must return one latency per candidate — the hook the vectorized
+    engine plugs into; ``latency_fn`` may then be None.
+
+    ``journal``, when given, checkpoints each candidate's latency as it
+    is evaluated (:class:`repro.resilience.checkpoint.SweepJournal`): a
+    killed search resumed with the same journal re-evaluates only the
+    candidates it has no record for (with ``batch_latency_fn`` the
+    remaining candidates are scored in one batch call over the missing
+    subset).
     """
     for name, bound in (("lo", lo), ("hi", hi), ("step", step)):
         if isinstance(bound, bool) or not isinstance(bound, int):
@@ -102,16 +114,37 @@ def search_dimension(
     if not values:
         raise ConfigError("no candidates satisfy the constraint")
     candidates = sorted(values)
+    fault_site("autotune.search", lo=lo, hi=hi, candidates=len(candidates))
+
+    known: Dict[int, float] = {}
+    if journal is not None:
+        for entry in journal.entries():
+            if entry.get("status") != "ok":
+                continue
+            try:
+                known[int(entry["id"])] = float(entry["payload"]["latency_s"])
+            except (KeyError, TypeError, ValueError):
+                continue  # foreign/torn record; re-evaluate that value
+    missing = [v for v in candidates if v not in known]
 
     if batch_latency_fn is not None:
-        latencies = [float(lat) for lat in batch_latency_fn(candidates)]
-        if len(latencies) != len(candidates):
+        fresh = [float(lat) for lat in batch_latency_fn(missing)] if missing else []
+        if len(fresh) != len(missing):
             raise ConfigError(
-                f"batch_latency_fn returned {len(latencies)} latencies "
-                f"for {len(candidates)} candidates"
+                f"batch_latency_fn returned {len(fresh)} latencies "
+                f"for {len(missing)} candidates"
             )
+        evaluated = dict(zip(missing, fresh))
     else:
-        latencies = [latency_fn(v) for v in candidates]
+        evaluated = {}
+        for v in missing:
+            evaluated[v] = float(latency_fn(v))
+            if journal is not None:
+                journal.record(str(v), "ok", payload={"latency_s": evaluated[v]})
+    if journal is not None and batch_latency_fn is not None:
+        for v in missing:
+            journal.record(str(v), "ok", payload={"latency_s": evaluated[v]})
+    latencies = [known[v] if v in known else evaluated[v] for v in candidates]
 
     scored = sorted(zip(latencies, candidates), key=lambda t: (t[0], t[1]))
     total = len(scored)

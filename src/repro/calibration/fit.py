@@ -18,7 +18,7 @@ minimizing mean squared relative latency error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import optimize
@@ -27,7 +27,11 @@ from repro.engine import default_engine, shape_array
 from repro.errors import CalibrationError
 from repro.gpu import alignment
 from repro.gpu.specs import GPUSpec, get_gpu
+from repro.resilience.faults import fault_site
 from repro.types import DType
+
+if TYPE_CHECKING:
+    from repro.resilience.checkpoint import SweepJournal
 
 
 @dataclass(frozen=True)
@@ -151,6 +155,61 @@ def fit_efficiency_floor(
         rms_rel_error=float(np.sqrt(res.fun)),
         samples=len(samples),
     )
+
+
+#: The named fits run_calibration performs, in order.
+_FITTERS = {
+    "bw_efficiency": fit_bw_efficiency,
+    "alignment_efficiency_floor": fit_efficiency_floor,
+}
+
+
+def run_calibration(
+    samples: Sequence[MeasuredGemm],
+    gpu: "str | GPUSpec" = "A100",
+    dtype: "str | DType" = DType.FP16,
+    journal: Optional["SweepJournal"] = None,
+) -> List[CalibrationResult]:
+    """Run every constant fit, checkpointing each completed fit.
+
+    Each fitter is one unit of work in the ``journal``
+    (:class:`repro.resilience.checkpoint.SweepJournal`): a calibration
+    run killed between fits and re-invoked with the same journal skips
+    the fits already recorded and reconstructs their
+    :class:`CalibrationResult` from the checkpoint payload.
+    """
+    results: List[CalibrationResult] = []
+    done: Dict[str, Dict] = {}
+    if journal is not None:
+        for entry in journal.entries():
+            if entry.get("status") == "ok" and entry.get("id") in _FITTERS:
+                done[entry["id"]] = entry.get("payload", {})
+    for name, fitter in _FITTERS.items():
+        if name in done:
+            payload = done[name]
+            results.append(
+                CalibrationResult(
+                    name=name,
+                    value=float(payload["value"]),
+                    rms_rel_error=float(payload["rms_rel_error"]),
+                    samples=int(payload["samples"]),
+                )
+            )
+            continue
+        fault_site("calibration.fit", fit=name, gpu=str(gpu))
+        result = fitter(samples, gpu=gpu, dtype=dtype)
+        if journal is not None:
+            journal.record(
+                name,
+                "ok",
+                payload={
+                    "value": result.value,
+                    "rms_rel_error": result.rms_rel_error,
+                    "samples": result.samples,
+                },
+            )
+        results.append(result)
+    return results
 
 
 def synthetic_samples(

@@ -7,6 +7,9 @@ Verbs::
     repro advise   <model> [--gpu A100]       propose faster shapes
     repro figure   <id> [--csv] [--check]     regenerate a paper figure/table
     repro figures                             list all experiment ids
+    repro run      [ids...] [--retries N] [--timeout S] [--journal P]
+                   [--resume] [--inject-faults plan.json]
+                                              fault-tolerant experiment sweep
     repro bench    [--quick] [--parallel N]   engine parity + cold/warm timings
     repro lint     <model|config.json>        co-design shape linter
     repro lint     --self [paths...]          AST self-lint of the codebase
@@ -97,8 +100,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ids", nargs="*", default=None, help="subset of ids")
 
     p = sub.add_parser(
+        "run",
+        help="fault-tolerant experiment sweep: failures are isolated per "
+        "experiment, retried with backoff, and checkpointed for --resume",
+    )
+    p.add_argument(
+        "ids", nargs="*", help="experiment ids (default: every top-level one)"
+    )
+    p.add_argument(
+        "--parallel", type=int, default=1, help="concurrent workers (default 1)"
+    )
+    p.add_argument(
+        "--executor",
+        choices=("thread", "process", "serial"),
+        default="thread",
+        help="worker pool tier; process degrades to thread then serial "
+        "on pool failure (default thread)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry attempts per experiment with exponential backoff "
+        "(default 0)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-attempt deadline in seconds (default: none)",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="checkpoint completed experiments to this JSONL journal",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already completed in --journal",
+    )
+    p.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="JSON fault plan for chaos runs (see examples/faults/)",
+    )
+
+    p = sub.add_parser(
         "bench",
         help="benchmark the shape-evaluation engine (parity + cold/warm cache)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry attempts per experiment in the benchmark sweeps (default 0)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-attempt experiment deadline in seconds (default: none)",
     )
     p.add_argument(
         "--output",
@@ -160,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("csv", help="measurement file, or '-' for stdin")
     _add_gpu(p)
     p.add_argument("--dtype", default="fp16")
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="checkpoint each completed fit to this JSONL journal",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip fits already completed in --journal",
+    )
     return parser
 
 
@@ -297,12 +374,12 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
-    from repro.calibration.fit import (
-        MeasuredGemm,
-        fit_bw_efficiency,
-        fit_efficiency_floor,
-    )
-    from repro.errors import CalibrationError
+    from repro.calibration.fit import MeasuredGemm, run_calibration
+    from repro.errors import CalibrationError, ConfigError
+    from repro.resilience import SweepJournal
+
+    if args.resume and not args.journal:
+        raise ConfigError("--resume requires --journal PATH")
 
     if args.csv == "-":
         lines = sys.stdin.read().splitlines()
@@ -328,9 +405,19 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
         samples.append(MeasuredGemm(m=m, n=n, k=k, latency_s=latency, batch=batch))
     print(f"loaded {len(samples)} measurements")
 
-    bw = fit_bw_efficiency(samples, gpu=args.gpu, dtype=args.dtype)
-    floor = fit_efficiency_floor(samples, gpu=args.gpu, dtype=args.dtype)
-    for res in (bw, floor):
+    journal = None
+    if args.journal:
+        journal = SweepJournal(
+            args.journal,
+            sweep_id=f"calibrate:{args.gpu}:{args.dtype}",
+            resume=args.resume,
+        )
+        if args.resume and journal.completed():
+            print(f"resuming: {journal.describe()}")
+    results = run_calibration(
+        samples, gpu=args.gpu, dtype=args.dtype, journal=journal
+    )
+    for res in results:
         print(
             f"{res.name:<28} = {res.value:.3f}  "
             f"(rms relative error {100 * res.rms_rel_error:.1f}% "
@@ -346,12 +433,76 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import render_bench, run_bench, write_bench
 
-    record = run_bench(ids=args.ids, parallel=args.parallel, quick=args.quick)
+    record = run_bench(
+        ids=args.ids,
+        parallel=args.parallel,
+        quick=args.quick,
+        retries=args.retries,
+        timeout_s=args.timeout,
+    )
     print(render_bench(record))
     if args.output != "-":
         write_bench(record, args.output)
         print(f"wrote {args.output}")
     return 0 if record["passed"] else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.harness.figures import list_experiments
+    from repro.harness.runner import (
+        run_all_resilient,
+        summary,
+        sweep_journal,
+        validate_ids,
+    )
+    from repro.resilience import FaultPlan, clear_plan, install_plan
+
+    if args.resume and not args.journal:
+        raise ConfigError("--resume requires --journal PATH")
+    ids = (
+        validate_ids(args.ids)
+        if args.ids
+        else [e.id for e in list_experiments()]
+    )
+    journal = None
+    if args.journal:
+        journal = sweep_journal(args.journal, ids, resume=args.resume)
+        if args.resume and journal.completed():
+            print(f"resuming: {journal.describe()}")
+
+    plan = None
+    if args.inject_faults:
+        plan = FaultPlan.load(args.inject_faults)
+        install_plan(plan)
+        print(
+            f"chaos mode: {len(plan.specs)} fault spec(s) from "
+            f"{args.inject_faults} (seed {plan.seed})"
+        )
+    try:
+        result = run_all_resilient(
+            ids,
+            parallel=args.parallel,
+            executor=args.executor,
+            retries=args.retries,
+            timeout_s=args.timeout,
+            journal=journal,
+        )
+    finally:
+        if plan is not None:
+            clear_plan()
+
+    print(summary(result.reports))
+    if result.skipped:
+        print(
+            f"resumed: {len(result.skipped)} experiment(s) restored from "
+            f"journal, {len(result.outcomes)} executed"
+        )
+    for from_tier, to_tier, reason in result.downgrades:
+        print(f"executor downgraded {from_tier} -> {to_tier}: {reason}")
+    if plan is not None:
+        print(f"chaos: {plan.fired()} injected fault(s) fired")
+    return 0 if result.passed else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -416,6 +567,7 @@ _COMMANDS = {
     "gemm": cmd_gemm,
     "whatif": cmd_whatif,
     "export": cmd_export,
+    "run": cmd_run,
     "bench": cmd_bench,
     "calibrate": cmd_calibrate,
     "lint": cmd_lint,

@@ -25,12 +25,21 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
+import logging
+import os
 import threading
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import CacheError
+from repro.resilience.faults import fault_site
+
+log = logging.getLogger("repro.engine.cache")
 
 #: Version of the analytic model the caches key on.  Bump whenever the
 #: latency/throughput math changes in a way that affects results.
@@ -51,10 +60,15 @@ def model_version() -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache level."""
+    """Hit/miss counters for one cache level.
+
+    ``quarantined`` counts corrupt disk entries renamed aside (each is
+    also a miss, so ``lookups`` stays hits + misses).
+    """
 
     hits: int = 0
     misses: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -65,19 +79,26 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(hits=self.hits, misses=self.misses)
+        return CacheStats(
+            hits=self.hits, misses=self.misses, quarantined=self.quarantined
+        )
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         """Counters accumulated since an earlier :meth:`snapshot`."""
         return CacheStats(
-            hits=self.hits - earlier.hits, misses=self.misses - earlier.misses
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            quarantined=self.quarantined - earlier.quarantined,
         )
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits / {self.misses} misses "
             f"({100 * self.hit_rate:.0f}% hit rate)"
         )
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
+        return text
 
 
 class LRUCache:
@@ -117,12 +138,35 @@ class LRUCache:
             self._data.clear()
 
 
+#: Per-process sequence for unique tmp-file names (combined with the
+#: pid, so concurrent writers of the same digest never share a tmp).
+_TMP_SEQ = itertools.count()
+
+#: Suffix quarantined entries are renamed to.  Deliberately not
+#: ``.npz``: ``clear()``/``__len__`` glob only live entries, and a
+#: quarantined file can never be re-read as a cache hit.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
 class DiskCache:
     """On-disk ``.npz`` store for batch-evaluation results.
 
     One file per entry, named by the key digest.  Each file holds the
     result arrays plus a JSON metadata blob (the full key, so collisions
     are detected rather than silently served).
+
+    Robustness contract:
+
+    - **Writes are atomic and crash-safe**: each writer serializes to a
+      unique per-(pid, sequence) tmp file, fsyncs it, then
+      ``os.replace``'s it into place — a crash mid-write can never
+      leave a torn live entry, and two processes writing the same
+      digest race only on which complete file wins.
+    - **Corrupt entries are quarantined**, not retried forever: an
+      unreadable file is renamed aside (``*.quarantined``), counted in
+      :attr:`CacheStats.quarantined`, and the lookup proceeds as a
+      miss, so one bad file costs one recompute instead of poisoning
+      every warm start.
     """
 
     def __init__(self, directory: "str | Path") -> None:
@@ -133,10 +177,28 @@ class DiskCache:
     def _path(self, digest: str) -> Path:
         return self.directory / f"{digest}.npz"
 
+    def _quarantine(self, path: Path) -> None:
+        """Rename a corrupt entry aside so it is never re-read."""
+        target = path.with_name(
+            f"{path.name}{QUARANTINE_SUFFIX}.{os.getpid()}-{next(_TMP_SEQ)}"
+        )
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing quarantine/delete
+            return
+        self.stats.quarantined += 1
+        log.warning("quarantined corrupt cache entry %s -> %s", path, target.name)
+
     def get(self, digest: str, key_repr: str) -> Optional[Dict[str, Any]]:
-        """Load arrays + meta for a digest, or None on miss/mismatch."""
+        """Load arrays + meta for a digest, or None on miss/mismatch.
+
+        A corrupt file is quarantined (renamed aside) and reported as a
+        miss; a key mismatch (digest collision or stale format) is a
+        plain miss.
+        """
         import numpy as np
 
+        fault_site("cache.disk_get", digest=digest, path=self._path(digest))
         path = self._path(digest)
         if not path.exists():
             self.stats.misses += 1
@@ -145,7 +207,12 @@ class DiskCache:
             with np.load(path, allow_pickle=False) as npz:
                 payload = {name: npz[name] for name in npz.files}
             meta = json.loads(str(payload.pop("__meta__")))
-        except (OSError, ValueError, KeyError):
+            if not isinstance(meta, dict):
+                raise ValueError(f"metadata is {type(meta).__name__}, not dict")
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # BadZipFile: a torn/truncated archive is the classic
+            # crash-during-legacy-write corruption.
+            self._quarantine(path)
             self.stats.misses += 1
             return None
         if meta.get("key") != key_repr:
@@ -157,14 +224,35 @@ class DiskCache:
         return payload
 
     def put(self, digest: str, key_repr: str, arrays: Dict[str, Any], meta: Dict[str, Any]) -> None:
+        """Atomically persist one entry (unique tmp + fsync + replace).
+
+        Raises :class:`~repro.errors.CacheError` when the entry cannot
+        be written (disk full, permissions); callers degrade to
+        memory-only caching.
+        """
         import numpy as np
 
         meta = dict(meta)
         meta["key"] = key_repr
         path = self._path(digest)
-        tmp = path.with_suffix(".tmp.npz")
-        np.savez(tmp, __meta__=np.array(json.dumps(meta)), **arrays)
-        tmp.replace(path)
+        tmp = path.with_name(
+            f"{digest}.{os.getpid()}-{next(_TMP_SEQ)}.tmp.npz"
+        )
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, __meta__=np.array(json.dumps(meta)), **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
+        # Chaos hook: a 'corrupt' fault here garbles the just-written
+        # entry, exercising the quarantine path on the next get.
+        fault_site("cache.disk_put", digest=digest, path=path)
 
     def clear(self) -> None:
         for path in self.directory.glob("*.npz"):
@@ -172,6 +260,10 @@ class DiskCache:
                 path.unlink()
             except OSError:  # pragma: no cover - racing deletes
                 pass
+
+    def quarantined_files(self) -> "list[Path]":
+        """Quarantined entries currently on disk (diagnostics/tests)."""
+        return sorted(self.directory.glob(f"*{QUARANTINE_SUFFIX}.*"))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.npz"))

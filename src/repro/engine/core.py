@@ -22,6 +22,7 @@ for exact equality over a randomized grid — CI runs it via
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 from dataclasses import dataclass
@@ -30,6 +31,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine import cache as _cache
+from repro.errors import CacheError
+from repro.resilience.faults import fault_site
 from repro.engine.vectorized import (
     _BW_EFFICIENCY,
     BatchResult,
@@ -44,6 +47,8 @@ from repro.types import DType
 #: on-disk cache.  Unset (the default) keeps the default engine
 #: memory-only.
 DISK_CACHE_ENV = "REPRO_ENGINE_CACHE_DIR"
+
+log = logging.getLogger("repro.engine")
 
 
 class ShapeEngine:
@@ -104,6 +109,7 @@ class ShapeEngine:
                 result = BatchResult.from_arrays(stored, meta)
                 self._mem.put(key, result)
                 return result
+        fault_site("engine.batch_eval", digest=digest, gpu=str(gpu))
         result = evaluate_batch(
             shapes,
             gpu,
@@ -114,7 +120,14 @@ class ShapeEngine:
         )
         self._mem.put(key, result)
         if self._disk is not None:
-            self._disk.put(digest, repr(key), result.to_arrays(), result.meta())
+            try:
+                self._disk.put(
+                    digest, repr(key), result.to_arrays(), result.meta()
+                )
+            except CacheError as exc:
+                # Degrade to memory-only for this entry: a cache-write
+                # failure must never fail an evaluation.
+                log.warning("disk cache write failed, serving from memory: %s", exc)
         return result
 
     def latency(self, shapes, gpu, dtype: "str | DType" = DType.FP16, **kw) -> np.ndarray:

@@ -2,9 +2,26 @@
 
 All exceptions raised intentionally by this library derive from
 :class:`ReproError`, so callers can catch one base class.  Each subclass
-corresponds to a distinct failure domain (configuration, GPU modeling,
-parallelism planning, harness execution) to make programmatic handling
-possible without string matching.
+corresponds to a distinct failure domain, so programmatic handling never
+needs string matching::
+
+    ReproError
+    +-- ConfigError          bad model/hardware configuration
+    +-- ShapeError           malformed GEMM/BMM shape
+    +-- GPUModelError        GPU performance model cannot evaluate
+    +-- ParallelismError     infeasible parallel decomposition
+    +-- ExperimentError      unknown/failed harness experiment
+    +-- CalibrationError     constant fitting failed
+    +-- CacheError           disk-cache entry unreadable/unwritable
+    +-- TaskTimeoutError     a resilient task exceeded its deadline
+    +-- FaultInjectionError  a deterministically injected fault fired
+    +-- CheckpointError      a sweep journal is unusable for resume
+
+The last four back the :mod:`repro.resilience` execution layer: a
+:class:`~repro.resilience.execute.TaskOutcome` carries the exception
+*type name* of whatever its task raised, so sweeps can distinguish an
+injected chaos fault (:class:`FaultInjectionError`) from a genuine
+model error without parsing messages.
 """
 
 from __future__ import annotations
@@ -51,3 +68,30 @@ class ExperimentError(ReproError):
 
 class CalibrationError(ReproError):
     """Calibration failed to fit model constants to the provided samples."""
+
+
+class CacheError(ReproError):
+    """A disk-cache entry could not be read or written.
+
+    Corrupt entries are *quarantined* (renamed aside) rather than raised
+    on the read path; this error surfaces write-side failures (disk
+    full, permissions) so callers can degrade to memory-only caching.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A task under :func:`repro.resilience.execute.execute_tasks`
+    exceeded its per-attempt deadline."""
+
+
+class FaultInjectionError(ReproError):
+    """Default exception raised by a fired fault-injection site.
+
+    Only ever raised when a :class:`repro.resilience.faults.FaultPlan`
+    is installed (chaos runs and tests); production code paths never
+    construct it themselves.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sweep journal cannot be used (wrong sweep id, unwritable path)."""

@@ -96,19 +96,30 @@ def run_bench(
     quick: bool = False,
     gpus: Sequence[str] = ("A100", "V100", "H100", "MI250X"),
     dtypes: Sequence[str] = ("fp16", "fp32"),
+    retries: int = 0,
+    timeout_s: Optional[float] = None,
 ) -> dict:
-    """Run the full engine benchmark; returns the JSON-able record."""
+    """Run the full engine benchmark; returns the JSON-able record.
+
+    ``retries`` / ``timeout_s`` flow through to every ``run_all`` the
+    benchmark performs (the resilient path), so long unattended bench
+    runs tolerate transient per-experiment failures; the record then
+    counts failure reports as failed checks rather than aborting.
+    """
     points = _QUICK_POINTS if quick else _FULL_POINTS
     parity = verify_against_scalar(points=points, gpus=gpus, dtypes=dtypes)
 
-    _clear_shape_caches()
-    t0 = time.perf_counter()
-    cold_reports = run_all(ids)
-    cold_s = time.perf_counter() - t0
+    def timed_run_all(run_parallel: int = 1):
+        t0 = time.perf_counter()
+        reports = run_all(
+            ids, parallel=run_parallel, retries=retries, timeout_s=timeout_s
+        )
+        return reports, time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    warm_reports = run_all(ids)
-    warm_s = time.perf_counter() - t0
+    _clear_shape_caches()
+    cold_reports, cold_s = timed_run_all()
+
+    warm_reports, warm_s = timed_run_all()
 
     scalar_ref_s = _scalar_reference_s(ids)
 
@@ -141,9 +152,7 @@ def run_bench(
     }
 
     if parallel > 1:
-        t0 = time.perf_counter()
-        par_reports = run_all(ids, parallel=parallel)
-        par_s = time.perf_counter() - t0
+        par_reports, par_s = timed_run_all(parallel)
         record["parallel"] = {
             "workers": parallel,
             "warm_wall_s": round(par_s, 4),

@@ -4,7 +4,7 @@
 ``run_all`` sweeps the registry — serially or across a
 ``concurrent.futures`` pool — and summarizes.  This is what generates
 the paper-vs-measured records in EXPERIMENTS.md and backs the
-``repro figure`` / ``repro bench`` CLI verbs.
+``repro figure`` / ``repro bench`` / ``repro run`` CLI verbs.
 
 Each report carries its wall time and the shape-evaluation cache
 activity it caused (hits/misses of the global scalar memo,
@@ -12,23 +12,35 @@ activity it caused (hits/misses of the global scalar memo,
 hot path show up directly in the rendered reports.  With a thread pool
 the cache counters are process-wide, so concurrent experiments'
 attributions overlap; totals remain exact.
+
+Sweeps can run **resiliently** (:func:`run_all_resilient`, or
+``run_all`` with any of ``retries`` / ``timeout_s`` / ``journal`` /
+``isolate``): one raising or hanging experiment no longer aborts the
+sweep — it yields a failure report carrying the exception type and
+retry count while every other experiment completes.  With a journal,
+completed experiments are checkpointed so a killed sweep resumes where
+it left off (``repro run --resume``).
 """
 
 from __future__ import annotations
 
+import difflib
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.analysis.diagnostics import LintReport
+    from repro.resilience.checkpoint import SweepJournal
 
 from repro.engine import cache as engine_cache
 from repro.errors import ExperimentError
 from repro.harness.compare import CheckResult
 from repro.harness.figures import get_experiment, list_experiments
 from repro.harness.results import ResultTable
+from repro.resilience.execute import RetryPolicy, TaskOutcome, execute_tasks
+from repro.resilience.faults import fault_site
 
 
 @dataclass
@@ -47,10 +59,23 @@ class ExperimentReport:
     #: configs (``Experiment.lint_configs``); ``None`` when the
     #: experiment declares none.
     lint: Optional["LintReport"] = None
+    #: Set on failure reports from a resilient sweep: the exception
+    #: message and class name the experiment task died with.
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    #: Executions under the retry policy (1 = first try succeeded).
+    attempts: int = 1
+    #: True when this report was restored from a resume journal rather
+    #: than re-executed (its table is a placeholder).
+    restored: bool = False
 
     @property
     def passed(self) -> bool:
         return self.check.passed
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
     @property
     def lint_warnings(self) -> int:
@@ -78,6 +103,11 @@ class ExperimentReport:
             f"wall time: {self.wall_time_s * 1e3:.1f} ms, "
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses",
         ]
+        if self.error is not None:
+            lines.append(
+                f"error: {self.error_type}: {self.error} "
+                f"({self.attempts} attempt(s))"
+            )
         if self.lint_warnings:
             lines.append(
                 f"lint: {self.lint_warnings} shape warning(s) on this "
@@ -121,6 +151,7 @@ def run_experiment(exp_id: str) -> ExperimentReport:
     :attr:`ExperimentReport.lint` field.
     """
     exp = get_experiment(exp_id)
+    fault_site("runner.experiment", id=exp.id)
     lint = preflight_lint(exp)
     before = engine_cache.scalar_memo_stats().snapshot()
     start = time.perf_counter()
@@ -141,16 +172,229 @@ def run_experiment(exp_id: str) -> ExperimentReport:
     )
 
 
+def validate_ids(ids: Sequence[str]) -> List[str]:
+    """Resolve all experiment ids up front, or raise one error naming
+    every unknown id with its closest valid matches.
+
+    Raising before any work starts (rather than deep inside a worker
+    pool, mid-sweep) turns a typo into an instant, actionable message
+    instead of a partially completed run.
+    """
+    known = [e.id for e in list_experiments(include_family_members=True)]
+    resolved: List[str] = []
+    problems: List[str] = []
+    for raw in ids:
+        canon = str(raw).strip().lower()
+        if canon in known:
+            resolved.append(canon)
+            continue
+        close = difflib.get_close_matches(canon, known, n=3, cutoff=0.5)
+        hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+        problems.append(f"{raw!r}{hint}")
+    if problems:
+        raise ExperimentError(
+            f"unknown experiment id(s): {'; '.join(problems)}. "
+            "See 'repro figures' for the registry."
+        )
+    return resolved
+
+
 _EXECUTORS = {
     "thread": ThreadPoolExecutor,
     "process": ProcessPoolExecutor,
 }
 
 
+@dataclass
+class SweepResult:
+    """Everything a resilient sweep produced.
+
+    ``reports`` is one per requested id, in request order (restored,
+    executed, and failure reports alike); ``outcomes`` covers only the
+    ids actually executed this run; ``skipped`` names the ids restored
+    from the resume journal; ``downgrades`` lists executor-tier
+    fallbacks as ``(from_tier, to_tier, reason)``.
+    """
+
+    reports: List[ExperimentReport] = field(default_factory=list)
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    downgrades: List[tuple] = field(default_factory=list)
+    executor: str = "serial"
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.reports)
+
+    def failures(self) -> List[ExperimentReport]:
+        return [r for r in self.reports if r.error is not None]
+
+
+def _failure_report(outcome: TaskOutcome) -> ExperimentReport:
+    """A per-experiment error outcome rendered as a failing report."""
+    try:
+        exp = get_experiment(outcome.task_id)
+        title, paper_ref = exp.title, exp.paper_ref
+    except ExperimentError:  # pragma: no cover - ids validated up front
+        title, paper_ref = outcome.task_id, "?"
+    table = ResultTable(
+        f"{outcome.task_id}: no results ({outcome.status.value})", ["note"]
+    )
+    table.add(f"{outcome.error_type}: {outcome.error}")
+    return ExperimentReport(
+        id=outcome.task_id,
+        title=title,
+        paper_ref=paper_ref,
+        table=table,
+        check=CheckResult(
+            passed=False,
+            details=(
+                f"{outcome.status.value} after {outcome.attempts} "
+                f"attempt(s): {outcome.error_type}: {outcome.error}"
+            ),
+        ),
+        wall_time_s=outcome.wall_time_s,
+        error=outcome.error,
+        error_type=outcome.error_type,
+        attempts=outcome.attempts,
+    )
+
+
+def _restored_report(entry: Dict) -> ExperimentReport:
+    """Rebuild a completed experiment's report from its journal entry."""
+    payload = entry.get("payload", {})
+    table = ResultTable("restored from resume journal", ["note"])
+    table.add("experiment completed in a previous run; table not re-generated")
+    return ExperimentReport(
+        id=entry["id"],
+        title=payload.get("title", entry["id"]),
+        paper_ref=payload.get("paper_ref", "?"),
+        table=table,
+        check=CheckResult(
+            passed=bool(payload.get("passed", False)),
+            details=payload.get("check_details", "restored from journal"),
+        ),
+        wall_time_s=float(payload.get("wall_time_s", 0.0)),
+        attempts=int(entry.get("attempts", 1)),
+        restored=True,
+    )
+
+
+def _journal_payload(report: ExperimentReport) -> Dict:
+    return {
+        "title": report.title,
+        "paper_ref": report.paper_ref,
+        "passed": report.passed,
+        "check_details": report.check.details,
+        "wall_time_s": round(report.wall_time_s, 6),
+    }
+
+
+def sweep_journal(
+    path: "str", ids: Sequence[str], resume: bool = False
+) -> "SweepJournal":
+    """Open (or resume) the checkpoint journal for a run_all sweep.
+
+    The journal's sweep id is derived from the sorted experiment ids,
+    so resuming against a journal from a *different* sweep fails loudly
+    instead of skipping the wrong work.
+    """
+    from repro.resilience.checkpoint import SweepJournal
+
+    sweep_id = "run_all:" + ",".join(sorted(ids))
+    return SweepJournal(path, sweep_id=sweep_id, resume=resume)
+
+
+def run_all_resilient(
+    ids: Optional[Sequence[str]] = None,
+    parallel: int = 1,
+    executor: str = "thread",
+    retries: int = 0,
+    timeout_s: Optional[float] = None,
+    journal: Optional["SweepJournal"] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> SweepResult:
+    """Run experiments with failure isolation, deadlines, and resume.
+
+    Every experiment yields a report: failures become error reports
+    (exception type, message, attempt count) instead of aborting the
+    sweep.  With ``journal``, each completion is checkpointed as it
+    happens and already-completed ids are restored instead of re-run.
+    """
+    if ids is None:
+        ids = [e.id for e in list_experiments()]
+    ids = validate_ids(ids)
+    if policy is None:
+        policy = RetryPolicy(retries=retries)
+
+    by_id: Dict[str, ExperimentReport] = {}
+    skipped: List[str] = []
+    pending = list(ids)
+    if journal is not None:
+        completed = journal.completed()
+        for exp_id in ids:
+            if exp_id in completed:
+                entry = journal.entry_for(exp_id)
+                assert entry is not None
+                by_id[exp_id] = _restored_report(entry)
+                skipped.append(exp_id)
+        pending = [i for i in ids if i not in completed]
+
+    def on_outcome(outcome: TaskOutcome) -> None:
+        if journal is None:
+            return
+        if outcome.ok:
+            journal.record(
+                outcome.task_id,
+                "ok",
+                payload=_journal_payload(outcome.value),
+                attempts=outcome.attempts,
+            )
+        else:
+            journal.record(
+                outcome.task_id,
+                outcome.status.value,
+                payload={
+                    "error": outcome.error,
+                    "error_type": outcome.error_type,
+                },
+                attempts=outcome.attempts,
+            )
+
+    execution = execute_tasks(
+        run_experiment,
+        pending,
+        policy=policy,
+        timeout_s=timeout_s,
+        parallel=parallel,
+        executor=executor,
+        on_outcome=on_outcome,
+    )
+    for outcome in execution.outcomes:
+        if outcome.ok:
+            report = outcome.value
+            report.attempts = outcome.attempts
+            by_id[outcome.task_id] = report
+        else:
+            by_id[outcome.task_id] = _failure_report(outcome)
+
+    return SweepResult(
+        reports=[by_id[i] for i in ids],
+        outcomes=execution.outcomes,
+        skipped=skipped,
+        downgrades=execution.downgrades,
+        executor=execution.executor,
+    )
+
+
 def run_all(
     ids: Optional[Sequence[str]] = None,
     parallel: int = 1,
     executor: str = "thread",
+    retries: int = 0,
+    timeout_s: Optional[float] = None,
+    journal: Optional["SweepJournal"] = None,
+    isolate: bool = False,
 ) -> List[ExperimentReport]:
     """Run a set of experiments (default: every top-level one).
 
@@ -163,22 +407,36 @@ def run_all(
         ``"thread"`` (shares the in-process shape caches — the fast,
         default choice since experiments are NumPy-bound) or
         ``"process"`` (full isolation; each worker warms its own cache).
+    retries, timeout_s, journal, isolate:
+        Any of these switches the sweep to the resilient path
+        (:func:`run_all_resilient`): per-experiment failures become
+        error reports instead of aborting the sweep, each attempt
+        honours the deadline, and completions are checkpointed to the
+        journal for ``--resume``.
 
     Report order always matches ``ids`` regardless of completion order.
     """
-    if ids is None:
-        ids = [e.id for e in list_experiments()]
     if parallel < 1:
         raise ExperimentError(f"parallel must be >= 1, got {parallel}")
-    if parallel == 1:
-        return [run_experiment(i) for i in ids]
-    try:
-        pool_cls = _EXECUTORS[executor]
-    except KeyError:
+    if executor not in _EXECUTORS:
         raise ExperimentError(
             f"unknown executor {executor!r}; expected one of {sorted(_EXECUTORS)}"
-        ) from None
-    with pool_cls(max_workers=parallel) as pool:
+        )
+    if ids is None:
+        ids = [e.id for e in list_experiments()]
+    ids = validate_ids(ids)
+    if isolate or retries or timeout_s is not None or journal is not None:
+        return run_all_resilient(
+            ids,
+            parallel=parallel,
+            executor=executor,
+            retries=retries,
+            timeout_s=timeout_s,
+            journal=journal,
+        ).reports
+    if parallel == 1:
+        return [run_experiment(i) for i in ids]
+    with _EXECUTORS[executor](max_workers=parallel) as pool:
         return list(pool.map(run_experiment, ids))
 
 
@@ -223,20 +481,39 @@ def to_markdown_report(
 
 
 def summary(reports: Sequence[ExperimentReport]) -> str:
-    """One line per experiment plus pass/time/cache totals."""
+    """One line per experiment plus pass/time/cache totals.
+
+    Resilient-sweep artifacts show up inline: failure reports render as
+    ``ERROR``/``TIMEOUT`` with their exception and attempt count, and
+    journal-restored reports are marked ``(restored)``.
+    """
     lines = []
     for rep in reports:
-        status = "PASS" if rep.passed else "FAIL"
+        if rep.error is not None:
+            status = "TIMEOUT" if rep.error_type == "TaskTimeoutError" else "ERROR"
+        else:
+            status = "PASS" if rep.passed else "FAIL"
+        note = ""
+        if rep.error is not None:
+            note = f"  [{rep.error_type}: {rep.error}; {rep.attempts} attempt(s)]"
+        elif rep.restored:
+            note = "  [restored]"
+        elif rep.retries:
+            note = f"  [{rep.attempts} attempts]"
         lines.append(
-            f"{status}  {rep.id:<12} {rep.paper_ref:<22} "
-            f"{rep.wall_time_s * 1e3:7.1f} ms  {rep.title}"
+            f"{status:<7} {rep.id:<12} {rep.paper_ref:<22} "
+            f"{rep.wall_time_s * 1e3:7.1f} ms  {rep.title}{note}"
         )
     passed = sum(1 for r in reports if r.passed)
+    errors = sum(1 for r in reports if r.error is not None)
     total_s = sum(r.wall_time_s for r in reports)
     hits = sum(r.cache_hits for r in reports)
     misses = sum(r.cache_misses for r in reports)
-    lines.append(
+    tail = (
         f"\n{passed}/{len(reports)} experiments reproduce the paper's shape "
         f"({total_s:.2f} s; shape cache {hits} hits / {misses} misses)"
     )
+    if errors:
+        tail += f"; {errors} failed with errors"
+    lines.append(tail)
     return "\n".join(lines)

@@ -132,3 +132,91 @@ class TestSearchResult:
         assert result_for(results, 100).rank == 0
         with pytest.raises(ConfigError):
             result_for(results, 999)
+
+
+class TestJournalResume:
+    def _journal(self, tmp_path, resume=False):
+        from repro.resilience.checkpoint import SweepJournal
+
+        return SweepJournal(
+            tmp_path / "search.jsonl", sweep_id="search", resume=resume
+        )
+
+    def test_scalar_path_checkpoints_each_candidate(self, tmp_path):
+        journal = self._journal(tmp_path)
+        calls = []
+
+        def counted(v):
+            calls.append(v)
+            return parabola()(v)
+
+        search_dimension(counted, 80, 90, journal=journal)
+        assert len(calls) == 11
+        assert len(journal.completed()) == 11
+
+        # A resumed search with the same journal re-evaluates nothing
+        # and still returns the full ranking.
+        resumed = self._journal(tmp_path, resume=True)
+        calls.clear()
+        results = search_dimension(counted, 80, 90, journal=resumed)
+        assert calls == []
+        assert len(results) == 11
+        assert results[0].value == 90  # closest to the parabola center
+
+    def test_partial_journal_evaluates_only_missing(self, tmp_path):
+        # Simulate a search killed partway: only some candidates have
+        # a checkpoint record.
+        journal = self._journal(tmp_path)
+        for v in (80, 81, 82):
+            journal.record(str(v), "ok", payload={"latency_s": parabola()(v)})
+        resumed = self._journal(tmp_path, resume=True)
+
+        calls = []
+
+        def counted(v):
+            calls.append(v)
+            return parabola()(v)
+
+        results = search_dimension(counted, 80, 90, journal=resumed)
+        assert sorted(calls) == list(range(83, 91))
+        assert len(results) == 11
+        # Restored and fresh latencies rank together seamlessly.
+        lats = [r.latency_s for r in results]
+        assert lats == sorted(lats)
+
+    def test_batch_path_scores_missing_subset_in_one_call(self, tmp_path):
+        journal = self._journal(tmp_path)
+        for v in (85, 86):
+            journal.record(str(v), "ok", payload={"latency_s": parabola()(v)})
+        resumed = self._journal(tmp_path, resume=True)
+
+        batches = []
+
+        def batch_fn(values):
+            batches.append(list(values))
+            return [parabola()(v) for v in values]
+
+        search_dimension(
+            None, 80, 90, batch_latency_fn=batch_fn, journal=resumed
+        )
+        assert len(batches) == 1
+        assert sorted(batches[0]) == [80, 81, 82, 83, 84, 87, 88, 89, 90]
+        # The batch path also checkpoints what it evaluated.
+        assert len(resumed.completed()) == 11
+
+    def test_foreign_journal_records_reevaluated(self, tmp_path):
+        # Torn or foreign entries (non-numeric ids, missing payload)
+        # are ignored rather than trusted.
+        journal = self._journal(tmp_path)
+        journal.record("not-a-number", "ok", payload={"latency_s": 1.0})
+        journal.record("85", "ok", payload={})
+        resumed = self._journal(tmp_path, resume=True)
+
+        calls = []
+
+        def counted(v):
+            calls.append(v)
+            return parabola()(v)
+
+        search_dimension(counted, 80, 90, journal=resumed)
+        assert 85 in calls  # broken record did not mask the candidate

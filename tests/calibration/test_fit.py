@@ -80,3 +80,67 @@ class TestSyntheticSamples:
     def test_noisy_fit_still_converges(self):
         result = fit_bw_efficiency(synthetic_samples(noise=0.03, seed=11))
         assert 0.4 <= result.value <= 1.0
+
+
+class TestRunCalibration:
+    def _journal(self, tmp_path, resume=False):
+        from repro.resilience.checkpoint import SweepJournal
+
+        return SweepJournal(
+            tmp_path / "cal.jsonl", sweep_id="calibrate", resume=resume
+        )
+
+    def test_runs_all_fitters(self):
+        from repro.calibration.fit import run_calibration
+
+        results = run_calibration(synthetic_samples())
+        assert [r.name for r in results] == [
+            "bw_efficiency", "alignment_efficiency_floor",
+        ]
+
+    def test_resume_skips_completed_fits(self, tmp_path):
+        from repro.calibration.fit import run_calibration
+
+        samples = synthetic_samples()
+        journal = self._journal(tmp_path)
+        first = run_calibration(samples, journal=journal)
+        assert journal.completed() == {
+            "bw_efficiency", "alignment_efficiency_floor",
+        }
+
+        # Resume: both fits are reconstructed from the checkpoint, so
+        # the fitters never run — even poisoned samples don't matter.
+        resumed = self._journal(tmp_path, resume=True)
+        second = run_calibration([], journal=resumed)
+        assert [r.name for r in second] == [r.name for r in first]
+        assert [r.value for r in second] == [r.value for r in first]
+        assert [r.samples for r in second] == [r.samples for r in first]
+
+    def test_partial_journal_runs_only_missing_fit(self, tmp_path):
+        from repro.calibration.fit import run_calibration
+
+        samples = synthetic_samples()
+        journal = self._journal(tmp_path)
+        journal.record(
+            "bw_efficiency", "ok",
+            payload={"value": 0.5, "rms_rel_error": 0.01, "samples": 3},
+        )
+        resumed = self._journal(tmp_path, resume=True)
+        results = run_calibration(samples, journal=resumed)
+        by_name = {r.name: r for r in results}
+        assert by_name["bw_efficiency"].value == 0.5  # restored, not re-fit
+        assert resumed.completed() == {
+            "bw_efficiency", "alignment_efficiency_floor",
+        }
+
+    def test_injected_fault_surfaces_from_fit(self, tmp_path):
+        from repro.calibration.fit import run_calibration
+        from repro.errors import FaultInjectionError
+        from repro.resilience import FaultPlan, FaultSpec, injected
+
+        plan = FaultPlan([
+            FaultSpec(site="calibration.fit", match="bw_efficiency"),
+        ])
+        with injected(plan):
+            with pytest.raises(FaultInjectionError):
+                run_calibration(synthetic_samples())

@@ -1,0 +1,220 @@
+"""Robustness tests for the cache layer: corruption, races, degradation.
+
+Satellite of the resilience PR: truncated ``.npz`` files, garbage
+bytes, stale ``model_version`` keys, concurrent multi-thread hammering,
+and the engine's memory-only degradation when disk writes fail.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import (
+    QUARANTINE_SUFFIX,
+    DiskCache,
+    LRUCache,
+)
+from repro.engine.core import ShapeEngine
+from repro.engine.vectorized import shape_array
+from repro.errors import CacheError
+from repro.gpu.specs import get_gpu
+from repro.types import DType
+
+SHAPES = shape_array([512, 1024], [512, 1024], [64, 128])
+
+
+def put_entry(disk, digest="d" * 8, key="key-A"):
+    disk.put(digest, key, {"x": np.arange(4)}, {"note": "t"})
+    return digest, key
+
+
+class TestCorruptEntryQuarantine:
+    def test_truncated_npz_quarantined(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        digest, key = put_entry(disk)
+        path = disk._path(digest)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+
+        assert disk.get(digest, key) is None
+        assert disk.stats.quarantined == 1
+        assert disk.stats.misses == 1
+        assert not path.exists()  # renamed aside, not left to re-fail
+        assert len(disk.quarantined_files()) == 1
+        assert QUARANTINE_SUFFIX in disk.quarantined_files()[0].name
+
+    def test_garbage_bytes_quarantined(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        digest, key = put_entry(disk)
+        disk._path(digest).write_bytes(b"\x00\xffnot an npz archive at all")
+
+        assert disk.get(digest, key) is None
+        assert disk.stats.quarantined == 1
+
+    def test_missing_meta_field_quarantined(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        digest = "c" * 8
+        # A valid npz that simply lacks the __meta__ array.
+        np.savez(disk._path(digest).with_suffix(""), x=np.arange(3))
+        assert disk.get(digest, "key") is None
+        assert disk.stats.quarantined == 1
+
+    def test_quarantined_file_not_counted_as_live(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        digest, key = put_entry(disk)
+        assert len(disk) == 1
+        disk._path(digest).write_bytes(b"junk")
+        disk.get(digest, key)
+        assert len(disk) == 0
+        # clear() leaves the quarantined evidence in place.
+        disk.clear()
+        assert len(disk.quarantined_files()) == 1
+
+    def test_recovery_after_quarantine(self, tmp_path):
+        # One bad file costs one recompute: a fresh put serves again.
+        disk = DiskCache(tmp_path)
+        digest, key = put_entry(disk)
+        disk._path(digest).write_bytes(b"junk")
+        assert disk.get(digest, key) is None
+        put_entry(disk)
+        assert disk.get(digest, key) is not None
+        assert disk.stats.quarantined == 1
+
+
+class TestStaleKeys:
+    def test_stale_model_version_is_plain_miss(self, tmp_path):
+        # A key mismatch is NOT corruption: the file is intact, it just
+        # belongs to another model version.  No quarantine.
+        disk = DiskCache(tmp_path)
+        digest, _ = put_entry(disk, key="shapes|gpu|model-version-1")
+        assert disk.get(digest, "shapes|gpu|model-version-2") is None
+        assert disk.stats.quarantined == 0
+        assert disk.stats.misses == 1
+        assert len(disk) == 1  # entry stays; the old version still owns it
+
+
+class TestAtomicWrites:
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        put_entry(disk)
+        assert list(tmp_path.glob("*.tmp.npz")) == []
+
+    def test_failed_write_raises_cache_error(self, tmp_path, monkeypatch):
+        # Route the entry into a directory that no longer exists, as a
+        # uid-independent stand-in for disk-full/permission failures.
+        disk = DiskCache(tmp_path)
+        monkeypatch.setattr(
+            DiskCache,
+            "_path",
+            lambda self, digest: tmp_path / "gone" / f"{digest}.npz",
+        )
+        with pytest.raises(CacheError, match="cannot write"):
+            put_entry(disk)
+
+    def test_concurrent_puts_same_digest(self, tmp_path):
+        # Unique per-writer tmp names: racing writers never collide on
+        # the tmp file; one complete entry wins.
+        disk = DiskCache(tmp_path)
+        errors = []
+
+        def writer(n):
+            try:
+                for _ in range(10):
+                    disk.put(
+                        "same" * 4, "key-A",
+                        {"x": np.full(8, n)}, {"writer": n},
+                    )
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(n,)) for n in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert list(tmp_path.glob("*.tmp.npz")) == []
+        loaded = disk.get("same" * 4, "key-A")
+        assert loaded is not None
+        assert loaded["__meta__"]["writer"] in range(6)
+
+
+class TestLRUConcurrency:
+    def test_multithreaded_hammering_loses_no_stats(self):
+        lru = LRUCache(maxsize=128)
+        workers, ops = 8, 500
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(ops):
+                    key = (worker, i % 37)
+                    if lru.get(key) is None:
+                        lru.put(key, i)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Every get() landed exactly one counter: no lost updates.
+        assert lru.stats.lookups == workers * ops
+        assert len(lru) <= 128
+
+    def test_shared_keys_under_contention(self):
+        lru = LRUCache(maxsize=64)
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            for i in range(300):
+                lru.put(i % 50, i)
+                lru.get(i % 50)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert lru.stats.lookups == 4 * 300
+        assert len(lru) <= 64
+
+
+class TestEngineDegradation:
+    def test_engine_survives_disk_put_failure(self, tmp_path, monkeypatch):
+        # A dying disk must not kill evaluation: the engine logs and
+        # serves from memory.
+        engine = ShapeEngine(disk_dir=tmp_path)
+
+        def failing_put(*args, **kwargs):
+            raise CacheError("disk full (simulated)")
+
+        monkeypatch.setattr(engine._disk, "put", failing_put)
+        result = engine.evaluate(SHAPES, get_gpu("A100"), DType.BF16)
+        assert result is not None
+        assert len(engine._disk) == 0
+        # Second call: memory cache serves despite the dead disk.
+        engine.evaluate(SHAPES, get_gpu("A100"), DType.BF16)
+        assert engine.memory_stats.hits == 1
+
+    def test_engine_quarantines_then_recomputes(self, tmp_path):
+        first = ShapeEngine(disk_dir=tmp_path)
+        first.evaluate(SHAPES, get_gpu("A100"), DType.BF16)
+        entries = list(tmp_path.glob("*.npz"))
+        assert len(entries) == 1
+        entries[0].write_bytes(b"bitrot")
+
+        fresh = ShapeEngine(disk_dir=tmp_path)
+        result = fresh.evaluate(SHAPES, get_gpu("A100"), DType.BF16)
+        assert result is not None
+        assert fresh.disk_stats.quarantined == 1
+        # The recompute re-persisted a good entry.
+        assert len(fresh._disk) == 1

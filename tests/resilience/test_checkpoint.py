@@ -1,0 +1,140 @@
+"""Tests for the append-only sweep journal."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import SweepJournal
+
+
+class TestJournalBasics:
+    def test_header_written_on_create(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal(path, sweep_id="sweep-1")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["sweep"] == "sweep-1"
+
+    def test_record_and_query(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl", sweep_id="s")
+        journal.record("a", "ok", payload={"x": 1}, attempts=2)
+        journal.record("b", "failed", payload={"error": "boom"})
+        assert journal.completed() == {"a"}
+        assert journal.entry_for("a")["attempts"] == 2
+        assert journal.entry_for("b")["status"] == "failed"
+        assert journal.entry_for("zzz") is None
+        assert len(journal.entries()) == 2
+
+    def test_failed_unit_reexecuted_after_success(self, tmp_path):
+        # A later success for the same unit supersedes the failure.
+        journal = SweepJournal(tmp_path / "j.jsonl", sweep_id="s")
+        journal.record("a", "failed")
+        journal.record("a", "ok")
+        assert journal.completed() == {"a"}
+        assert journal.entry_for("a")["status"] == "ok"
+
+    def test_creates_parent_directory(self, tmp_path):
+        journal = SweepJournal(tmp_path / "deep" / "j.jsonl", sweep_id="s")
+        journal.record("a", "ok")
+        assert journal.path.exists()
+
+
+class TestResume:
+    def test_resume_loads_prior_entries(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = SweepJournal(path, sweep_id="s")
+        first.record("a", "ok")
+        first.record("b", "timeout")
+
+        resumed = SweepJournal(path, sweep_id="s", resume=True)
+        assert resumed.completed() == {"a"}
+        assert resumed.entry_for("b")["status"] == "timeout"
+
+    def test_resume_appends_not_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal(path, sweep_id="s").record("a", "ok")
+        resumed = SweepJournal(path, sweep_id="s", resume=True)
+        resumed.record("b", "ok")
+        again = SweepJournal(path, sweep_id="s", resume=True)
+        assert again.completed() == {"a", "b"}
+
+    def test_sweep_mismatch_refuses(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal(path, sweep_id="sweep-A")
+        with pytest.raises(CheckpointError, match="sweep-A"):
+            SweepJournal(path, sweep_id="sweep-B", resume=True)
+
+    def test_without_resume_overwrites(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        SweepJournal(path, sweep_id="s").record("a", "ok")
+        fresh = SweepJournal(path, sweep_id="s", resume=False)
+        assert fresh.completed() == set()
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "unit", "id": "a", "status": "ok"}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            SweepJournal(path, sweep_id="s", resume=True)
+
+
+class TestCrashSafety:
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path, sweep_id="s")
+        journal.record("a", "ok")
+        # Simulate a crash mid-append: half a JSON record, no newline.
+        with open(path, "a") as fh:
+            fh.write('{"kind": "unit", "id": "b", "sta')
+        resumed = SweepJournal(path, sweep_id="s", resume=True)
+        assert resumed.completed() == {"a"}
+        assert resumed.dropped_lines == 1
+        assert "torn" in resumed.describe()
+
+    def test_unterminated_but_parseable_tail_dropped(self, tmp_path):
+        # A record that parses but was never newline-terminated may be
+        # incomplete (e.g. truncated payload that still parses): the
+        # fsync contract only covers terminated lines.
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path, sweep_id="s")
+        journal.record("a", "ok")
+        with open(path, "a") as fh:
+            fh.write('{"kind": "unit", "id": "b", "status": "ok"}')
+        resumed = SweepJournal(path, sweep_id="s", resume=True)
+        assert resumed.completed() == {"a"}
+
+    def test_garbage_middle_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path, sweep_id="s")
+        journal.record("a", "ok")
+        with open(path, "a") as fh:
+            fh.write("\x00\xff garbage not json\n")
+        resumed = SweepJournal(path, sweep_id="s", resume=True)
+        assert resumed.completed() == {"a"}
+        assert resumed.dropped_lines == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_records_all_land(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl", sweep_id="s")
+        workers = 8
+        per_worker = 25
+
+        def hammer(worker):
+            for i in range(per_worker):
+                journal.record(f"w{worker}-{i}", "ok")
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(journal.completed()) == workers * per_worker
+        # Every line on disk is intact JSON.
+        resumed = SweepJournal(journal.path, sweep_id="s", resume=True)
+        assert resumed.dropped_lines == 0
+        assert len(resumed.completed()) == workers * per_worker

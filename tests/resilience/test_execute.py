@@ -1,0 +1,196 @@
+"""Tests for the fault-tolerant task execution core."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience.execute import (
+    ExecutionReport,
+    RetryPolicy,
+    TaskOutcome,
+    TaskStatus,
+    execute_tasks,
+    run_one,
+)
+
+
+def ok_task(task_id):
+    return f"done:{task_id}"
+
+
+def boom_task(task_id):
+    raise ValueError(f"boom:{task_id}")
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_frac=1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_s=-0.1)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            retries=5, backoff_s=0.1, multiplier=2.0,
+            max_backoff_s=0.3, jitter_frac=0.0,
+        )
+        delays = [policy.delay_s("t", n) for n in range(4)]
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(retries=3, backoff_s=1.0, jitter_frac=0.25)
+        first = policy.delay_s("taskA", 0)
+        assert first == policy.delay_s("taskA", 0)  # replayable
+        assert 0.75 <= first <= 1.25
+        # Different tasks / retry numbers draw different jitter.
+        draws = {
+            policy.delay_s(t, n) for t in ("a", "b", "c") for n in (0,)
+        }
+        assert len(draws) == 3
+
+
+class TestRunOne:
+    def test_success(self):
+        outcome = run_one(ok_task, "x")
+        assert outcome.ok
+        assert outcome.status is TaskStatus.OK
+        assert outcome.value == "done:x"
+        assert outcome.attempts == 1 and outcome.retries == 0
+
+    def test_failure_is_captured_not_raised(self):
+        outcome = run_one(boom_task, "x")
+        assert not outcome.ok
+        assert outcome.status is TaskStatus.FAILED
+        assert outcome.error_type == "ValueError"
+        assert "boom:x" in outcome.error
+        assert "ValueError" in outcome.describe()
+
+    def test_retries_until_success(self):
+        calls = {"n": 0}
+
+        def flaky(task_id):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "recovered"
+
+        policy = RetryPolicy(retries=3, backoff_s=0.0)
+        outcome = run_one(flaky, "x", policy)
+        assert outcome.ok and outcome.value == "recovered"
+        assert outcome.attempts == 3 and outcome.retries == 2
+
+    def test_retries_exhausted(self):
+        policy = RetryPolicy(retries=2, backoff_s=0.0)
+        outcome = run_one(boom_task, "x", policy)
+        assert outcome.status is TaskStatus.FAILED
+        assert outcome.attempts == 3
+
+    def test_timeout(self):
+        def slow(task_id):
+            time.sleep(0.5)
+            return "late"
+
+        outcome = run_one(slow, "x", timeout_s=0.05)
+        assert outcome.status is TaskStatus.TIMEOUT
+        assert outcome.error_type == "TaskTimeoutError"
+        assert "deadline" in outcome.error
+
+    def test_timeout_then_retry_succeeds(self):
+        calls = {"n": 0}
+
+        def slow_once(task_id):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                time.sleep(0.5)
+            return "fast now"
+
+        policy = RetryPolicy(retries=1, backoff_s=0.0)
+        outcome = run_one(slow_once, "x", policy, timeout_s=0.1)
+        assert outcome.ok and outcome.attempts == 2
+
+
+class TestExecuteTasks:
+    def test_order_matches_ids(self):
+        report = execute_tasks(ok_task, ["c", "a", "b"])
+        assert [o.task_id for o in report.outcomes] == ["c", "a", "b"]
+        assert report.ok
+
+    def test_failure_is_isolated(self):
+        def mixed(task_id):
+            if task_id == "bad":
+                raise RuntimeError("dies")
+            return task_id
+
+        report = execute_tasks(mixed, ["x", "bad", "y"], parallel=2)
+        assert not report.ok
+        statuses = {o.task_id: o.status for o in report.outcomes}
+        assert statuses["bad"] is TaskStatus.FAILED
+        assert statuses["x"] is TaskStatus.OK
+        assert statuses["y"] is TaskStatus.OK
+        assert [o.task_id for o in report.failed()] == ["bad"]
+
+    def test_on_outcome_sees_every_completion(self):
+        seen = []
+        lock = threading.Lock()
+
+        def collect(outcome):
+            with lock:
+                seen.append(outcome.task_id)
+
+        execute_tasks(ok_task, ["a", "b", "c"], parallel=2, on_outcome=collect)
+        assert sorted(seen) == ["a", "b", "c"]
+
+    def test_parallel_one_runs_serially(self):
+        report = execute_tasks(ok_task, ["a", "b"], parallel=1, executor="process")
+        assert report.executor == "serial"
+        assert report.ok
+
+    def test_process_pool_degrades_on_unpicklable_work(self):
+        # A closure cannot cross a process boundary: the pool dies on
+        # submit and the sweep must downgrade to threads, not fail.
+        local = {"token": "captured"}
+
+        def closure_task(task_id):
+            return local["token"] + task_id
+
+        report = execute_tasks(
+            closure_task, ["a", "b"], parallel=2, executor="process"
+        )
+        assert report.ok
+        assert report.executor in ("thread", "serial")
+        assert report.downgrades
+        assert report.downgrades[0][0] == "process"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            execute_tasks(ok_task, ["a"], parallel=0)
+        with pytest.raises(ConfigError):
+            execute_tasks(ok_task, ["a"], executor="fiber")
+        with pytest.raises(ConfigError):
+            execute_tasks(ok_task, ["a"], timeout_s=0)
+
+    def test_empty_ids(self):
+        report = execute_tasks(ok_task, [])
+        assert report.outcomes == [] and report.ok
+
+    def test_outcome_executor_recorded(self):
+        report = execute_tasks(ok_task, ["a"], parallel=2, executor="thread")
+        assert report.outcomes[0].executor == "thread"
+
+
+class TestExecutionReport:
+    def test_ok_and_failed(self):
+        good = TaskOutcome(task_id="a", status=TaskStatus.OK)
+        bad = TaskOutcome(
+            task_id="b", status=TaskStatus.FAILED,
+            error="x", error_type="ValueError",
+        )
+        report = ExecutionReport(outcomes=[good, bad])
+        assert not report.ok
+        assert report.failed() == [bad]

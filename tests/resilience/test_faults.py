@@ -1,0 +1,242 @@
+"""Tests for deterministic fault injection."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, FaultInjectionError
+from repro.resilience.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_plan,
+    fault_site,
+    injected,
+    install_plan,
+    iter_sites,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultSpecValidation:
+    def test_defaults(self):
+        spec = FaultSpec(site="runner.experiment")
+        assert spec.kind == "raise" and spec.times == 1
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            FaultSpec(site="x", kind="explode")
+
+    def test_missing_site(self):
+        with pytest.raises(ConfigError, match="site"):
+            FaultSpec(site="")
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigError, match="probability"):
+            FaultSpec(site="x", probability=1.5)
+
+    def test_negative_counters(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="x", skip=-1)
+        with pytest.raises(ConfigError):
+            FaultSpec(site="x", delay_s=-0.1)
+
+    def test_unknown_exception_name(self):
+        with pytest.raises(ConfigError, match="unknown exception"):
+            FaultSpec(site="x", exception="NoSuchError")
+
+    def test_repro_and_builtin_exception_names_accepted(self):
+        FaultSpec(site="x", exception="CacheError")
+        FaultSpec(site="x", exception="RuntimeError")
+
+
+class TestFaultPlanParsing:
+    def test_from_dict_round_trip(self):
+        plan = FaultPlan.from_dict(
+            {"seed": 7, "faults": [{"site": "a", "kind": "delay"}]}
+        )
+        assert plan.seed == 7
+        assert plan.to_dict()["faults"][0]["site"] == "a"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fields"):
+            FaultPlan.from_dict(
+                {"faults": [{"site": "a", "kaboom": True}]}
+            )
+
+    def test_missing_faults_key_rejected(self):
+        with pytest.raises(ConfigError, match="faults"):
+            FaultPlan.from_dict({"seed": 1})
+
+    def test_load_from_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"faults": [{"site": "runner.experiment", "match": "fig5"}]}
+        ))
+        plan = FaultPlan.load(path)
+        assert plan.specs[0].match == "fig5"
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            FaultPlan.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_example_chaos_plan_parses(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        plan = FaultPlan.load(repo / "examples" / "faults" / "chaos.json")
+        sites = {s.site for s in plan.specs}
+        assert sites <= set(KNOWN_SITES)
+
+
+class TestFiring:
+    def test_raise_kind_default_exception(self):
+        plan = FaultPlan([FaultSpec(site="s")])
+        with injected(plan):
+            with pytest.raises(FaultInjectionError):
+                fault_site("s")
+        assert plan.fired() == 1
+
+    def test_named_exception_and_message(self):
+        spec = FaultSpec(
+            site="s", exception="ValueError", message="chaos says hi"
+        )
+        with injected(FaultPlan([spec])):
+            with pytest.raises(ValueError, match="chaos says hi"):
+                fault_site("s")
+
+    def test_times_limits_firings(self):
+        plan = FaultPlan([FaultSpec(site="s", times=2)])
+        with injected(plan):
+            for _ in range(2):
+                with pytest.raises(FaultInjectionError):
+                    fault_site("s")
+            fault_site("s")  # third call passes clean
+        assert plan.fired() == 2
+
+    def test_times_zero_is_unlimited(self):
+        plan = FaultPlan([FaultSpec(site="s", times=0)])
+        with injected(plan):
+            for _ in range(5):
+                with pytest.raises(FaultInjectionError):
+                    fault_site("s")
+        assert plan.fired() == 5
+
+    def test_skip_lets_first_calls_pass(self):
+        plan = FaultPlan([FaultSpec(site="s", skip=2)])
+        with injected(plan):
+            fault_site("s")
+            fault_site("s")
+            with pytest.raises(FaultInjectionError):
+                fault_site("s")
+
+    def test_match_targets_context(self):
+        plan = FaultPlan([FaultSpec(site="s", match="fig5")])
+        with injected(plan):
+            fault_site("s", id="fig14")  # no match, passes
+            with pytest.raises(FaultInjectionError):
+                fault_site("s", id="fig5")
+        assert plan.events[0].context == {"id": "fig5"}
+
+    def test_site_isolation(self):
+        plan = FaultPlan([FaultSpec(site="cache.disk_get")])
+        with injected(plan):
+            fault_site("runner.experiment")  # different site, passes
+            with pytest.raises(FaultInjectionError):
+                fault_site("cache.disk_get")
+
+    def test_probability_is_seeded_and_replayable(self):
+        def firing_pattern(seed):
+            plan = FaultPlan(
+                [FaultSpec(site="s", times=0, probability=0.5)], seed=seed
+            )
+            pattern = []
+            with injected(plan):
+                for _ in range(20):
+                    try:
+                        fault_site("s")
+                        pattern.append(False)
+                    except FaultInjectionError:
+                        pattern.append(True)
+            return pattern
+
+        assert firing_pattern(3) == firing_pattern(3)
+        assert any(firing_pattern(3))
+        assert not all(firing_pattern(3))
+
+    def test_delay_kind_sleeps(self):
+        import time
+
+        plan = FaultPlan([FaultSpec(site="s", kind="delay", delay_s=0.05)])
+        with injected(plan):
+            start = time.perf_counter()
+            fault_site("s")
+            elapsed = time.perf_counter() - start
+        assert elapsed >= 0.04
+
+    def test_corrupt_kind_garbles_target_file(self, tmp_path):
+        target = tmp_path / "entry.npz"
+        target.write_bytes(b"real cache payload")
+        plan = FaultPlan([FaultSpec(site="s", kind="corrupt")])
+        with injected(plan):
+            fault_site("s", path=target)
+        assert target.read_bytes() != b"real cache payload"
+        # Deterministic: the same plan produces identical garbage.
+        garbage = target.read_bytes()
+        target.write_bytes(b"real cache payload")
+        plan2 = FaultPlan([FaultSpec(site="s", kind="corrupt")])
+        with injected(plan2):
+            fault_site("s", path=target)
+        assert target.read_bytes() == garbage
+
+    def test_corrupt_without_path_is_noop(self):
+        plan = FaultPlan([FaultSpec(site="s", kind="corrupt")])
+        with injected(plan):
+            fault_site("s")  # nothing to corrupt; still counted
+        assert plan.fired() == 1
+
+    def test_at_most_one_spec_fires_per_call(self):
+        plan = FaultPlan([
+            FaultSpec(site="s", kind="delay", delay_s=0.0),
+            FaultSpec(site="s", exception="RuntimeError"),
+        ])
+        with injected(plan):
+            fault_site("s")  # first spec (delay) wins; raise not reached
+            with pytest.raises(RuntimeError):
+                fault_site("s")  # delay exhausted; second spec fires
+
+
+class TestPlanInstallation:
+    def test_no_plan_is_noop(self):
+        assert active_plan() is None
+        fault_site("runner.experiment", id="fig5")  # must not raise
+
+    def test_install_and_clear(self):
+        plan = FaultPlan([])
+        install_plan(plan)
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is None
+
+    def test_injected_context_manager_restores(self):
+        plan = FaultPlan([])
+        with injected(plan) as active:
+            assert active is plan and active_plan() is plan
+        assert active_plan() is None
+
+    def test_iter_sites_covers_known(self):
+        documented = {site for site, _ in iter_sites()}
+        assert documented == set(KNOWN_SITES)

@@ -252,3 +252,116 @@ class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRun:
+    def test_basic_sweep_passes(self, capsys):
+        assert main(["run", "fig14", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "2/2 experiments" in out
+
+    def test_unknown_id_errors(self, capsys):
+        assert main(["run", "fig999"]) == 2
+        assert "unknown experiment id" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["run", "fig14", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_persistent_fault_fails_sweep(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"site": "runner.experiment", '
+            '"match": "fig5", "times": 0}]}'
+        )
+        assert main(["run", "fig14", "fig5", "--inject-faults", str(plan)]) == 1
+        out = capsys.readouterr().out
+        assert "chaos mode" in out
+        assert "ERROR" in out and "FaultInjectionError" in out
+        assert "injected fault(s) fired" in out
+
+    def test_transient_fault_absorbed_by_retry(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"site": "runner.experiment", '
+            '"match": "fig5", "times": 1}]}'
+        )
+        assert main(
+            ["run", "fig14", "fig5", "--inject-faults", str(plan),
+             "--retries", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 attempts" in out
+        assert "chaos: 1 injected fault(s) fired" in out
+
+    def test_journal_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"site": "runner.experiment", '
+            '"match": "fig5", "times": 0}]}'
+        )
+        assert main(
+            ["run", "fig14", "fig5", "--journal", str(journal),
+             "--inject-faults", str(plan)]
+        ) == 1
+        capsys.readouterr()
+
+        # Second invocation without faults: fig14 restored, fig5 re-run.
+        assert main(
+            ["run", "fig14", "fig5", "--journal", str(journal), "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resuming:" in out
+        assert "[restored]" in out
+        assert "1 experiment(s) restored from journal, 1 executed" in out
+
+    def test_bad_fault_plan_errors(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"faults": [{"site": "x", "kind": "nuke"}]}')
+        assert main(["run", "fig14", "--inject-faults", str(plan)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_timeout_flag(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"site": "runner.experiment", "match": "fig5", '
+            '"kind": "delay", "delay_s": 5.0, "times": 0}]}'
+        )
+        assert main(
+            ["run", "fig5", "--inject-faults", str(plan),
+             "--timeout", "0.3"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "TIMEOUT" in out and "TaskTimeoutError" in out
+
+
+class TestCalibrateResume:
+    def _write_csv(self, tmp_path):
+        from repro.gpu.gemm_model import GemmModel
+
+        gen = GemmModel("A100", bw_efficiency=0.70)
+        rows = ["m,n,k,latency_s"]
+        for m, n, k in [(2048, 2048, 64), (4096, 4096, 128), (2048, 2048, 80)]:
+            rows.append(f"{m},{n},{k},{gen.latency(m, n, k)}")
+        path = tmp_path / "meas.csv"
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_resume_requires_journal(self, tmp_path, capsys):
+        path = self._write_csv(tmp_path)
+        assert main(["calibrate", str(path), "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_journal_then_resume_skips_fits(self, tmp_path, capsys):
+        path = self._write_csv(tmp_path)
+        journal = tmp_path / "cal.jsonl"
+        assert main(["calibrate", str(path), "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["calibrate", str(path), "--journal", str(journal), "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resuming:" in out
+        assert "2 completed unit(s)" in out
+        assert "bw_efficiency" in out
