@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.observability import metrics as _metrics
+from repro.observability import span as _span
 from repro.resilience.faults import fault_site
 
 if TYPE_CHECKING:
@@ -114,37 +116,47 @@ def search_dimension(
     if not values:
         raise ConfigError("no candidates satisfy the constraint")
     candidates = sorted(values)
-    fault_site("autotune.search", lo=lo, hi=hi, candidates=len(candidates))
+    with _span(
+        "autotune.search", lo=lo, hi=hi, candidates=len(candidates)
+    ) as sp:
+        fault_site("autotune.search", lo=lo, hi=hi, candidates=len(candidates))
 
-    known: Dict[int, float] = {}
-    if journal is not None:
-        for entry in journal.entries():
-            if entry.get("status") != "ok":
-                continue
-            try:
-                known[int(entry["id"])] = float(entry["payload"]["latency_s"])
-            except (KeyError, TypeError, ValueError):
-                continue  # foreign/torn record; re-evaluate that value
-    missing = [v for v in candidates if v not in known]
+        known: Dict[int, float] = {}
+        if journal is not None:
+            for entry in journal.entries():
+                if entry.get("status") != "ok":
+                    continue
+                try:
+                    known[int(entry["id"])] = float(entry["payload"]["latency_s"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # foreign/torn record; re-evaluate that value
+        missing = [v for v in candidates if v not in known]
+        sp.set(evaluated=len(missing), resumed=len(candidates) - len(missing))
+        reg = _metrics()
+        reg.counter("autotune.searches").inc()
+        reg.counter("autotune.candidates_evaluated").inc(len(missing))
+        reg.counter("autotune.candidates_resumed").inc(
+            len(candidates) - len(missing)
+        )
 
-    if batch_latency_fn is not None:
-        fresh = [float(lat) for lat in batch_latency_fn(missing)] if missing else []
-        if len(fresh) != len(missing):
-            raise ConfigError(
-                f"batch_latency_fn returned {len(fresh)} latencies "
-                f"for {len(missing)} candidates"
-            )
-        evaluated = dict(zip(missing, fresh))
-    else:
-        evaluated = {}
-        for v in missing:
-            evaluated[v] = float(latency_fn(v))
-            if journal is not None:
+        if batch_latency_fn is not None:
+            fresh = [float(lat) for lat in batch_latency_fn(missing)] if missing else []
+            if len(fresh) != len(missing):
+                raise ConfigError(
+                    f"batch_latency_fn returned {len(fresh)} latencies "
+                    f"for {len(missing)} candidates"
+                )
+            evaluated = dict(zip(missing, fresh))
+        else:
+            evaluated = {}
+            for v in missing:
+                evaluated[v] = float(latency_fn(v))
+                if journal is not None:
+                    journal.record(str(v), "ok", payload={"latency_s": evaluated[v]})
+        if journal is not None and batch_latency_fn is not None:
+            for v in missing:
                 journal.record(str(v), "ok", payload={"latency_s": evaluated[v]})
-    if journal is not None and batch_latency_fn is not None:
-        for v in missing:
-            journal.record(str(v), "ok", payload={"latency_s": evaluated[v]})
-    latencies = [known[v] if v in known else evaluated[v] for v in candidates]
+        latencies = [known[v] if v in known else evaluated[v] for v in candidates]
 
     scored = sorted(zip(latencies, candidates), key=lambda t: (t[0], t[1]))
     total = len(scored)

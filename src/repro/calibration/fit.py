@@ -27,6 +27,8 @@ from repro.engine import default_engine, shape_array
 from repro.errors import CalibrationError
 from repro.gpu import alignment
 from repro.gpu.specs import GPUSpec, get_gpu
+from repro.observability import metrics as _metrics
+from repro.observability import span as _span
 from repro.resilience.faults import fault_site
 from repro.types import DType
 
@@ -196,8 +198,15 @@ def run_calibration(
                 )
             )
             continue
-        fault_site("calibration.fit", fit=name, gpu=str(gpu))
-        result = fitter(samples, gpu=gpu, dtype=dtype)
+        with _span("calibration.fit", fit=name, gpu=str(gpu)) as sp:
+            fault_site("calibration.fit", fit=name, gpu=str(gpu))
+            result = fitter(samples, gpu=gpu, dtype=dtype)
+            sp.set(
+                value=result.value,
+                rms_rel_error=result.rms_rel_error,
+                samples=result.samples,
+            )
+            _metrics().counter("calibration.fits").inc()
         if journal is not None:
             journal.record(
                 name,

@@ -9,11 +9,19 @@ Verbs::
     repro figures                             list all experiment ids
     repro run      [ids...] [--retries N] [--timeout S] [--journal P]
                    [--resume] [--inject-faults plan.json]
+                   [--trace out.jsonl] [--metrics]
                                               fault-tolerant experiment sweep
     repro bench    [--quick] [--parallel N]   engine parity + cold/warm timings
+    repro report   trace.jsonl                per-phase latency/cache/retry
+                                              breakdown of a recorded trace
     repro lint     <model|config.json>        co-design shape linter
     repro lint     --self [paths...]          AST self-lint of the codebase
     repro list-models / list-gpus             show registries
+
+``run``, ``bench``, and ``calibrate`` accept ``--trace out.jsonl``
+(stream a structured span trace) and ``--metrics`` (print the counter /
+histogram summary afterwards); tracing is off — and costs nothing —
+unless requested.
 
 Run as ``python -m repro.cli`` or via the ``repro`` console script.
 """
@@ -22,7 +30,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from repro.core.advisor import ShapeAdvisor
 from repro.core.config import get_model, list_models
@@ -36,6 +45,54 @@ from repro.harness.runner import run_experiment
 
 def _add_gpu(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gpu", default="A100", help="target GPU (default A100)")
+
+
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream a structured JSONL span trace to PATH "
+        "(inspect with 'repro report PATH')",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the counter/gauge/histogram summary after the run",
+    )
+
+
+#: Verbs that accept --trace/--metrics (main() wraps their dispatch).
+_OBSERVABLE_COMMANDS = ("run", "bench", "calibrate")
+
+
+@contextmanager
+def _observed(args: argparse.Namespace) -> Iterator[None]:
+    """Install trace/metrics collection around one verb, per its flags."""
+    from repro.observability import (
+        TraceRecorder,
+        install_recorder,
+        metrics,
+        reset_metrics,
+    )
+
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    recorder = None
+    if trace_path or want_metrics:
+        reset_metrics()
+    if trace_path:
+        recorder = TraceRecorder(path=trace_path)
+        install_recorder(recorder)
+    try:
+        yield
+    finally:
+        if recorder is not None:
+            install_recorder(None)
+            print(f"trace: {len(recorder)} span(s) written to {trace_path}")
+        if want_metrics:
+            print("\nmetrics:")
+            print(metrics().render_text())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,13 +125,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--plot", action="store_true", help="render an ASCII plot of the series"
     )
+    p.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="write/refresh this experiment's golden-regression snapshot",
+    )
+    p.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot directory (default tests/golden)",
+    )
 
     sub.add_parser("figures", help="list experiment ids")
     sub.add_parser("list-models", help="list model presets")
     sub.add_parser("list-gpus", help="list GPU specs")
 
     p = sub.add_parser(
-        "report", help="run every experiment and emit a markdown report"
+        "report",
+        help="run every experiment and emit a markdown report, or — given "
+        "a JSONL trace file — print its latency/cache/retry breakdown",
+    )
+    p.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="a trace file recorded with --trace; when given, summarize "
+        "it instead of running experiments",
     )
     p.add_argument("--output", default="-", help="file path or '-' for stdout")
     p.add_argument(
@@ -148,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN",
         help="JSON fault plan for chaos runs (see examples/faults/)",
     )
+    _add_observability(p)
 
     p = sub.add_parser(
         "bench",
@@ -181,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time a warm run_all across N workers",
     )
     p.add_argument("--ids", nargs="*", default=None, help="subset of experiment ids")
+    _add_observability(p)
 
     p = sub.add_parser(
         "lint",
@@ -237,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip fits already completed in --journal",
     )
+    _add_observability(p)
     return parser
 
 
@@ -277,6 +357,12 @@ def cmd_advise(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     report = run_experiment(args.id)
+    if args.update_golden:
+        from repro.harness.golden import DEFAULT_GOLDEN_DIR, write_snapshot
+
+        path = write_snapshot(report, args.golden_dir or DEFAULT_GOLDEN_DIR)
+        print(f"wrote golden snapshot {path}")
+        return 0 if report.passed else 1
     if args.check:
         print(("PASS: " if report.passed else "FAIL: ") + report.check.details)
     elif args.csv:
@@ -304,6 +390,22 @@ def cmd_list_models(_args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        from repro.errors import ConfigError
+        from repro.observability import render_trace_report
+
+        try:
+            text = render_trace_report(args.trace)
+        except OSError as exc:
+            raise ConfigError(f"cannot read trace {args.trace}: {exc}") from exc
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.output}")
+        return 0
+
     from repro.harness.runner import run_all, to_markdown_report
 
     reports = run_all(args.ids)
@@ -577,6 +679,9 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.command in _OBSERVABLE_COMMANDS:
+            with _observed(args):
+                return _COMMANDS[args.command](args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -22,6 +22,8 @@ from repro.errors import ExperimentError
 from repro.gpu.gemm_model import GemmModel
 from repro.gpu.specs import GPUSpec
 from repro.harness.results import ResultTable
+from repro.observability import metrics as _metrics
+from repro.observability import span as _span
 from repro.transformer.trace import OpTrace
 from repro.types import DType, teraflops
 
@@ -60,21 +62,30 @@ class TraceProfiler:
         """Aggregate the trace per module label, largest latency first."""
         if len(trace) == 0:
             raise ExperimentError("cannot profile an empty trace")
-        agg: Dict[str, ProfiledModule] = {}
+        by_module: Dict[str, List] = {}
         for rec in trace:
-            latency = self._latency(rec.batch, rec.m, rec.k, rec.n)
-            prev = agg.get(rec.module)
-            if prev is None:
-                agg[rec.module] = ProfiledModule(
-                    module=rec.module, calls=1, flops=rec.flops, latency_s=latency
+            by_module.setdefault(rec.module, []).append(rec)
+        agg: Dict[str, ProfiledModule] = {}
+        for module, recs in by_module.items():
+            # One span per priced module: the OpTrace -> GPU-model
+            # bridge, carrying the *modelled* latency as an attribute
+            # (the span's own duration is just pricing overhead).
+            with _span("profile.module", module=module) as sp:
+                latency = 0.0
+                flops = 0
+                for rec in recs:
+                    latency += self._latency(rec.batch, rec.m, rec.k, rec.n)
+                    flops += rec.flops
+                sp.set(
+                    calls=len(recs), flops=flops, modelled_latency_s=latency
                 )
-            else:
-                agg[rec.module] = ProfiledModule(
-                    module=rec.module,
-                    calls=prev.calls + 1,
-                    flops=prev.flops + rec.flops,
-                    latency_s=prev.latency_s + latency,
+                agg[module] = ProfiledModule(
+                    module=module,
+                    calls=len(recs),
+                    flops=flops,
+                    latency_s=latency,
                 )
+        _metrics().counter("profile.modules_priced").inc(len(by_module))
         return sorted(agg.values(), key=lambda p: -p.latency_s)
 
     def total_latency_s(self, trace: OpTrace) -> float:

@@ -37,6 +37,8 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import CacheError
+from repro.observability import event as _event
+from repro.observability import metrics as _metrics
 from repro.resilience.faults import fault_site
 
 log = logging.getLogger("repro.engine.cache")
@@ -187,6 +189,8 @@ class DiskCache:
         except OSError:  # pragma: no cover - racing quarantine/delete
             return
         self.stats.quarantined += 1
+        _metrics().counter("engine.disk.quarantined").inc()
+        _event("cache.quarantine", entry=path.name)
         log.warning("quarantined corrupt cache entry %s -> %s", path, target.name)
 
     def get(self, digest: str, key_repr: str) -> Optional[Dict[str, Any]]:

@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.engine import cache as _cache
 from repro.errors import CacheError
+from repro.observability import metrics as _metrics
+from repro.observability import span as _span
 from repro.resilience.faults import fault_site
 from repro.engine.vectorized import (
     _BW_EFFICIENCY,
@@ -98,37 +100,46 @@ class ShapeEngine:
     ) -> BatchResult:
         """Evaluate a batch of shapes, consulting both cache levels."""
         key = self._key(shapes, gpu, dtype, tile, candidates, bw_efficiency)
-        hit = self._mem.get(key)
-        if hit is not None:
-            return hit
-        digest = _cache.digest_key(key)
-        if self._disk is not None:
-            stored = self._disk.get(digest, repr(key))
-            if stored is not None:
-                meta = stored.pop("__meta__")
-                result = BatchResult.from_arrays(stored, meta)
-                self._mem.put(key, result)
-                return result
-        fault_site("engine.batch_eval", digest=digest, gpu=str(gpu))
-        result = evaluate_batch(
-            shapes,
-            gpu,
-            dtype,
-            tile=tile,
-            candidates=candidates,
-            bw_efficiency=bw_efficiency,
-        )
-        self._mem.put(key, result)
-        if self._disk is not None:
-            try:
-                self._disk.put(
-                    digest, repr(key), result.to_arrays(), result.meta()
-                )
-            except CacheError as exc:
-                # Degrade to memory-only for this entry: a cache-write
-                # failure must never fail an evaluation.
-                log.warning("disk cache write failed, serving from memory: %s", exc)
-        return result
+        with _span("engine.evaluate", shapes=len(shapes), gpu=str(gpu)) as sp:
+            reg = _metrics()
+            hit = self._mem.get(key)
+            if hit is not None:
+                sp.set(source="memory")
+                reg.counter("engine.evaluate.memory_hits").inc()
+                return hit
+            digest = _cache.digest_key(key)
+            if self._disk is not None:
+                stored = self._disk.get(digest, repr(key))
+                if stored is not None:
+                    meta = stored.pop("__meta__")
+                    result = BatchResult.from_arrays(stored, meta)
+                    self._mem.put(key, result)
+                    sp.set(source="disk")
+                    reg.counter("engine.evaluate.disk_hits").inc()
+                    return result
+            fault_site("engine.batch_eval", digest=digest, gpu=str(gpu))
+            result = evaluate_batch(
+                shapes,
+                gpu,
+                dtype,
+                tile=tile,
+                candidates=candidates,
+                bw_efficiency=bw_efficiency,
+            )
+            sp.set(source="compute")
+            reg.counter("engine.evaluate.computes").inc()
+            reg.counter("engine.evaluate.shapes_computed").inc(len(shapes))
+            self._mem.put(key, result)
+            if self._disk is not None:
+                try:
+                    self._disk.put(
+                        digest, repr(key), result.to_arrays(), result.meta()
+                    )
+                except CacheError as exc:
+                    # Degrade to memory-only for this entry: a cache-write
+                    # failure must never fail an evaluation.
+                    log.warning("disk cache write failed, serving from memory: %s", exc)
+            return result
 
     def latency(self, shapes, gpu, dtype: "str | DType" = DType.FP16, **kw) -> np.ndarray:
         """Latencies (seconds) for a batch of shapes."""

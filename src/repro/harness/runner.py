@@ -39,6 +39,8 @@ from repro.errors import ExperimentError
 from repro.harness.compare import CheckResult
 from repro.harness.figures import get_experiment, list_experiments
 from repro.harness.results import ResultTable
+from repro.observability import metrics as _metrics
+from repro.observability import span as _span
 from repro.resilience.execute import RetryPolicy, TaskOutcome, execute_tasks
 from repro.resilience.faults import fault_site
 
@@ -151,25 +153,37 @@ def run_experiment(exp_id: str) -> ExperimentReport:
     :attr:`ExperimentReport.lint` field.
     """
     exp = get_experiment(exp_id)
-    fault_site("runner.experiment", id=exp.id)
-    lint = preflight_lint(exp)
-    before = engine_cache.scalar_memo_stats().snapshot()
-    start = time.perf_counter()
-    table = exp.run()
-    check = exp.check(table)
-    elapsed = time.perf_counter() - start
-    used = engine_cache.scalar_memo_stats().delta(before)
-    return ExperimentReport(
-        id=exp.id,
-        title=exp.title,
-        paper_ref=exp.paper_ref,
-        table=table,
-        check=check,
-        wall_time_s=elapsed,
-        cache_hits=used.hits,
-        cache_misses=used.misses,
-        lint=lint,
-    )
+    with _span("runner.experiment", id=exp.id) as sp:
+        fault_site("runner.experiment", id=exp.id)
+        lint = preflight_lint(exp)
+        before = engine_cache.scalar_memo_stats().snapshot()
+        start = time.perf_counter()
+        table = exp.run()
+        check = exp.check(table)
+        elapsed = time.perf_counter() - start
+        used = engine_cache.scalar_memo_stats().delta(before)
+        sp.set(
+            passed=check.passed,
+            rows=len(table.rows),
+            memo_hits=used.hits,
+            memo_misses=used.misses,
+        )
+        reg = _metrics()
+        reg.counter("runner.experiments").inc()
+        reg.counter("runner.memo_hits").inc(used.hits)
+        reg.counter("runner.memo_misses").inc(used.misses)
+        reg.histogram("runner.experiment_s").observe(elapsed)
+        return ExperimentReport(
+            id=exp.id,
+            title=exp.title,
+            paper_ref=exp.paper_ref,
+            table=table,
+            check=check,
+            wall_time_s=elapsed,
+            cache_hits=used.hits,
+            cache_misses=used.misses,
+            lint=lint,
+        )
 
 
 def validate_ids(ids: Sequence[str]) -> List[str]:

@@ -1,0 +1,269 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+Complements tracing the way a production system's metrics pipeline
+complements its distributed tracer: spans answer *where did this run's
+time go*, metrics answer *how many / how much* across the whole
+process — cache hits vs recomputes, task retries, fault firings,
+journal appends.
+
+Everything is deliberately simple and dependency-free:
+
+- :class:`Counter` — monotonically increasing int.
+- :class:`Gauge` — last-written float (harvested values like cache
+  sizes are *set*, not incremented).
+- :class:`Histogram` — fixed bucket edges chosen at creation; observing
+  a value increments the first bucket whose upper edge contains it.
+  Fixed edges keep merge/compare trivial (no dynamic rebinning) and
+  match how latency SLO histograms work in real metric systems.
+- :class:`MetricsRegistry` — a named collection of the above with a
+  text and JSON summary.  Instruments are created on first use
+  (``registry.counter("engine.eval.calls").inc()``), so call sites
+  never pre-register.
+
+Increment cost is one dict lookup plus an int add under the GIL; the
+instrumented layers only record *coarse* events (one per batch
+evaluation, task attempt, fit — never per scalar model call), so the
+registry stays out of the 10.8x warm path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "reset_metrics",
+    "DEFAULT_LATENCY_EDGES_S",
+]
+
+#: Default histogram edges for second-denominated latencies: spans the
+#: microsecond engine batches through multi-second experiment sweeps.
+DEFAULT_LATENCY_EDGES_S: Tuple[float, ...] = (
+    1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-written value (e.g. cache entry counts harvested at report)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``edges`` are the inclusive upper bounds of each finite bucket; one
+    overflow bucket catches everything above the last edge.  Edges are
+    fixed at creation so two summaries of the same metric are always
+    comparable bucket-for-bucket.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_count", "_sum", "_min",
+                 "_max", "_lock")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_EDGES_S) -> None:
+        if not edges or list(edges) != sorted(float(e) for e in edges):
+            raise ValueError(f"histogram {name} needs ascending edges, got {edges}")
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        self._counts = [0] * (len(self.edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.edges)
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[str, int]]:
+        """(label, count) pairs including the overflow bucket."""
+        labels = [f"<={e:g}" for e in self.edges] + [f">{self.edges[-1]:g}"]
+        with self._lock:
+            return list(zip(labels, self._counts))
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "edges": list(self.edges),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name must keep one instrument type for the registry's lifetime;
+    asking for ``counter(name)`` after ``gauge(name)`` raises — silent
+    type morphing is how metric pipelines corrupt dashboards.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, *args):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, *args)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise ValueError(
+                    f"metric {name!r} is a {type(inst).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_EDGES_S
+    ) -> Histogram:
+        return self._get(name, Histogram, edges)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Any]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; fresh CLI runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+    # -- reporting -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: inst.to_dict() for name, inst in items}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Aligned text summary, one instrument per line (+ buckets)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        if not items:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _ in items)
+        lines: List[str] = []
+        for name, inst in items:
+            if isinstance(inst, Counter):
+                lines.append(f"{name:<{width}}  counter    {inst.value}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"{name:<{width}}  gauge      {inst.value:g}")
+            else:
+                lines.append(
+                    f"{name:<{width}}  histogram  count={inst.count} "
+                    f"sum={inst.sum:.6g} mean={inst.mean:.6g}"
+                )
+                buckets = ", ".join(
+                    f"{label}: {count}"
+                    for label, count in inst.bucket_counts()
+                    if count
+                )
+                if buckets:
+                    lines.append(f"{'':<{width}}             [{buckets}]")
+        return "\n".join(lines)
+
+
+#: Process-wide registry the instrumented layers write to.
+_GLOBAL = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _GLOBAL
+
+
+def reset_metrics() -> None:
+    """Clear the global registry (tests; start of a traced CLI run)."""
+    _GLOBAL.reset()

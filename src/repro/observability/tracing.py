@@ -1,0 +1,443 @@
+"""Structured tracing: nested spans, a thread-safe collector, JSONL I/O.
+
+The reproduction's performance story is built from decomposition — the
+paper explains end-to-end latency by attributing it to kernels (Figs
+2/11), and this module does the same for the reproduction itself: every
+interesting unit of work (an experiment task attempt, an engine batch
+evaluation, a calibration fit, a priced trace module) runs inside a
+**span** carrying its wall time and a small attribute dict, and spans
+nest so a trace reconstructs *where the time went*.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  Tracing is off by default; the hot
+   layers call :func:`span` unconditionally, so with no recorder
+   installed the call must be one global read returning a shared no-op
+   object — no ``Span`` allocation, no clock read, no lock.  This is
+   what preserves the engine's warm-path win from PR 1 (the acceptance
+   bar is ``repro bench`` within 5% of BENCH_engine.json with tracing
+   disabled).
+2. **Thread-safe, process-tolerant collection.**  The recorder appends
+   finished spans to an in-memory list under a lock; worker threads of
+   a resilient sweep share it.  Each span records its pid and thread
+   name, and when the recorder streams to a ``path``, lines are written
+   with ``O_APPEND`` semantics so multiple processes appending to the
+   same file interleave whole lines rather than tearing each other.
+3. **Torn-tail-tolerant reload.**  A crashed run leaves at worst one
+   torn final line; :func:`load_trace` drops undecodable lines (and a
+   final line missing its newline) and reports how many it dropped,
+   exactly like the resilience journal.
+
+Span parentage is tracked per thread (a ``threading.local`` stack), so
+concurrent experiment tasks each get their own span tree under the
+recorder's trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "TraceRecorder",
+    "install_recorder",
+    "current_recorder",
+    "tracing_enabled",
+    "span",
+    "event",
+    "recording",
+    "load_trace",
+    "LoadedTrace",
+]
+
+
+def _new_id() -> str:
+    """A short unique span id (64 random bits, hex)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class Span:
+    """One finished unit of work.
+
+    ``start_unix_s`` is wall-clock (``time.time``) for cross-process
+    ordering; ``duration_s`` is measured with ``perf_counter`` so it is
+    monotonic and sub-microsecond.  ``phase`` is the first dot-segment
+    of ``name`` (``"engine.evaluate"`` -> ``"engine"``) — the report
+    verb aggregates per phase.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    trace_id: str
+    start_unix_s: float
+    duration_s: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    pid: int = 0
+    thread: str = ""
+
+    @property
+    def phase(self) -> str:
+        return self.name.split(".", 1)[0]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start_unix_s": round(self.start_unix_s, 6),
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "status": self.status,
+            "pid": self.pid,
+            "thread": self.thread,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            name=str(data["name"]),
+            span_id=str(data.get("span_id", "")),
+            parent_id=data.get("parent_id"),
+            trace_id=str(data.get("trace_id", "")),
+            start_unix_s=float(data.get("start_unix_s", 0.0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+            status=str(data.get("status", "ok")),
+            pid=int(data.get("pid", 0)),
+            thread=str(data.get("thread", "")),
+        )
+
+
+class NullSpan:
+    """The shared do-nothing span handle returned while tracing is off.
+
+    Implements the full live-span surface (context manager plus
+    :meth:`set`) so call sites never branch on whether tracing is
+    enabled.  A single module-level instance is reused for every call —
+    the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class _LiveSpan:
+    """Context-manager handle for one in-flight span."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id",
+                 "_start_unix", "_start_perf")
+
+    def __init__(self, recorder: "TraceRecorder", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id = _new_id()
+        self.parent_id: Optional[str] = None
+        self._start_unix = 0.0
+        self._start_perf = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        self.parent_id = self._recorder._push(self.span_id)
+        self._start_unix = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        duration = time.perf_counter() - self._start_perf
+        self._recorder._pop(self.span_id)
+        status = "ok"
+        if exc_type is not None:
+            status = "error"
+            self.attrs.setdefault("error_type", exc_type.__name__)
+        self._recorder._finish(
+            Span(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                trace_id=self._recorder.trace_id,
+                start_unix_s=self._start_unix,
+                duration_s=duration,
+                attrs=self.attrs,
+                status=status,
+                pid=os.getpid(),
+                thread=threading.current_thread().name,
+            )
+        )
+
+    def set(self, **attrs: Any) -> "_LiveSpan":
+        """Attach attributes mid-span (e.g. an outcome computed later)."""
+        self.attrs.update(attrs)
+        return self
+
+
+class TraceRecorder:
+    """Thread-safe in-memory span collector with optional JSONL stream.
+
+    Parameters
+    ----------
+    path:
+        When given, every finished span is immediately appended to this
+        file as one JSON line (append-mode writes, so concurrent
+        processes tracing to the same file interleave whole lines).
+        Without it, spans live in memory until :meth:`export_jsonl`.
+    """
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self.trace_id = _new_id()
+        self.spans: List[Span] = []
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._stack = threading.local()
+        if self.path is not None and self.path.parent:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- span-stack plumbing (called by _LiveSpan) ---------------------------
+
+    def _push(self, span_id: str) -> Optional[str]:
+        stack = getattr(self._stack, "ids", None)
+        if stack is None:
+            stack = self._stack.ids = []
+        parent = stack[-1] if stack else None
+        stack.append(span_id)
+        return parent
+
+    def _pop(self, span_id: str) -> None:
+        stack = getattr(self._stack, "ids", None)
+        if stack and stack[-1] == span_id:
+            stack.pop()
+        elif stack and span_id in stack:  # pragma: no cover - defensive
+            stack.remove(span_id)
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+            if self.path is not None:
+                line = json.dumps(span.to_dict(), sort_keys=True)
+                with open(self.path, "a") as fh:
+                    fh.write(line + "\n")
+
+    # -- public API ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        """Start a span under this recorder (see module-level :func:`span`)."""
+        return _LiveSpan(self, name, attrs)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+    def by_name(self, name: str) -> List[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def phases(self) -> List[str]:
+        """Distinct phases recorded so far, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        with self._lock:
+            for s in self.spans:
+                seen.setdefault(s.phase)
+        return list(seen)
+
+    def export_jsonl(self, path: "str | Path") -> int:
+        """Write every collected span to ``path``; returns the count.
+
+        With a streaming ``path`` already set this is only needed to
+        export a *second* copy; streamed files are written incrementally.
+        """
+        target = Path(path)
+        if target.parent:
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            spans = list(self.spans)
+        with open(target, "w") as fh:
+            for span_obj in spans:
+                fh.write(json.dumps(span_obj.to_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+
+# -- the installed recorder -------------------------------------------------------
+
+_ACTIVE: Optional[TraceRecorder] = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def install_recorder(recorder: Optional[TraceRecorder]) -> None:
+    """Install (or, with ``None``, remove) the process-wide recorder.
+
+    Like the fault plan, the recorder is process-global so worker
+    *threads* of a resilient sweep trace into it; process-pool workers
+    do not inherit it (trace runs use the thread or serial executor).
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = recorder
+
+
+def current_recorder() -> Optional[TraceRecorder]:
+    return _ACTIVE
+
+
+def tracing_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the installed recorder, or the shared no-op.
+
+    The disabled path is a single global read plus returning the
+    module-level :data:`NULL_SPAN` — no allocation, no clock read::
+
+        with span("engine.evaluate", shapes=len(batch)) as sp:
+            ...
+            sp.set(source="memory")
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an instantaneous (zero-duration) span, e.g. a fault firing."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return
+    with recorder.span(name, **attrs):
+        pass
+
+
+class recording:
+    """Context manager installing a recorder for the duration of a block.
+
+    Returns the recorder so the block can inspect collected spans::
+
+        with recording() as rec:
+            run_experiment("fig2")
+        assert rec.by_name("runner.experiment")
+
+    Accepts an existing :class:`TraceRecorder`, a path to stream JSONL
+    to (a fresh recorder is created), or nothing (in-memory recorder).
+    """
+
+    def __init__(
+        self, target: "TraceRecorder | str | Path | None" = None
+    ) -> None:
+        if isinstance(target, TraceRecorder):
+            self.recorder = target
+        else:
+            self.recorder = TraceRecorder(path=target)
+
+    def __enter__(self) -> TraceRecorder:
+        install_recorder(self.recorder)
+        return self.recorder
+
+    def __exit__(self, *exc_info: Any) -> None:
+        install_recorder(None)
+
+
+# -- reload -----------------------------------------------------------------------
+
+
+@dataclass
+class LoadedTrace:
+    """Spans reloaded from a JSONL trace file.
+
+    ``dropped_lines`` counts torn or undecodable lines skipped on load
+    (a crashed writer can tear at most the final line of its stream).
+    """
+
+    spans: List[Span]
+    dropped_lines: int = 0
+    path: Optional[Path] = None
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def phases(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.phase)
+        return list(seen)
+
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def wall_span_s(self) -> float:
+        """Wall-clock extent from first span start to last span end."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start_unix_s for s in self.spans)
+        end = max(s.start_unix_s + s.duration_s for s in self.spans)
+        return end - start
+
+
+def load_trace(path: "str | Path") -> LoadedTrace:
+    """Reload a JSONL trace, tolerating a torn tail.
+
+    Raises :class:`OSError` if the file cannot be read at all; corrupt
+    *lines* (including a final line with no terminating newline, which
+    the append contract marks as possibly incomplete) are dropped and
+    counted, never fatal.
+    """
+    target = Path(path)
+    text = target.read_text()
+    spans: List[Span] = []
+    dropped = 0
+    lines = text.split("\n")
+    torn_tail = bool(lines) and lines[-1] != ""
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        if torn_tail and i == len(lines) - 1:
+            dropped += 1
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict) or "name" not in record:
+                raise ValueError("not a span record")
+            spans.append(Span.from_dict(record))
+        except (ValueError, KeyError, TypeError):
+            dropped += 1
+    spans.sort(key=lambda s: (s.start_unix_s, s.span_id))
+    return LoadedTrace(spans=spans, dropped_lines=dropped, path=target)
+
+
+def children_of(spans: List[Span], parent_id: str) -> List[Span]:
+    """Direct children of one span (report drill-down helper)."""
+    return [s for s in spans if s.parent_id == parent_id]
+
+
+def roots(spans: List[Span]) -> List[Span]:
+    """Spans with no recorded parent (per-thread/per-task tree roots)."""
+    ids = {s.span_id for s in spans}
+    return [s for s in spans if s.parent_id is None or s.parent_id not in ids]
+
+
+def spans_to_tuples(spans: List[Span]) -> List[Tuple[str, float]]:
+    """(name, duration) pairs — a convenience for quick assertions."""
+    return [(s.name, s.duration_s) for s in spans]

@@ -27,6 +27,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import CheckpointError
+from repro.observability import event as _event
+from repro.observability import metrics as _metrics
 
 _HEADER_KIND = "header"
 _UNIT_KIND = "unit"
@@ -142,6 +144,8 @@ class SweepJournal:
         with self._lock:
             self._write_line(entry)
             self._entries.append(entry)
+        _metrics().counter("journal.appends").inc()
+        _event("journal.append", unit=unit_id, status=status)
 
     # -- querying ------------------------------------------------------------
 

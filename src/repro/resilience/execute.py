@@ -47,6 +47,8 @@ from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError, TaskTimeoutError
+from repro.observability import metrics as _metrics
+from repro.observability import span as _span
 
 log = logging.getLogger("repro.resilience")
 
@@ -198,28 +200,50 @@ def run_one(
     attempts = 0
     for retry in range(policy.retries + 1):
         attempts += 1
-        try:
-            value = _call_with_deadline(fn, task_id, timeout_s)
-        except Exception as exc:
-            last_exc = exc
-            if retry < policy.retries:
-                delay = policy.delay_s(task_id, retry)
-                log.warning(
-                    "task %s attempt %d failed (%s: %s); retrying in %.3fs",
-                    task_id, attempts, type(exc).__name__, exc, delay,
+        # One span per attempt (backoff sleeps stay outside, so the
+        # span duration is attempt work, not queueing).  The outcome is
+        # an attribute rather than span status because a failed attempt
+        # is handled here, not propagated.
+        with _span(
+            "task.attempt", task=task_id, attempt=attempts, executor=executor
+        ) as sp:
+            try:
+                value = _call_with_deadline(fn, task_id, timeout_s)
+            except Exception as exc:
+                last_exc = exc
+                sp.set(
+                    outcome=(
+                        "timeout" if isinstance(exc, TaskTimeoutError)
+                        else "error"
+                    ),
+                    error_type=type(exc).__name__,
                 )
-                if delay > 0:
-                    time.sleep(delay)
-        else:
-            return TaskOutcome(
-                task_id=task_id,
-                status=TaskStatus.OK,
-                value=value,
-                attempts=attempts,
-                wall_time_s=time.perf_counter() - start,
-                executor=executor,
+                _metrics().counter("tasks.attempts.failed").inc()
+            else:
+                sp.set(outcome="ok")
+                _metrics().counter("tasks.attempts.ok").inc()
+                _metrics().histogram("tasks.attempt_s").observe(
+                    time.perf_counter() - start
+                )
+                return TaskOutcome(
+                    task_id=task_id,
+                    status=TaskStatus.OK,
+                    value=value,
+                    attempts=attempts,
+                    wall_time_s=time.perf_counter() - start,
+                    executor=executor,
+                )
+        if retry < policy.retries:
+            delay = policy.delay_s(task_id, retry)
+            _metrics().counter("tasks.retries").inc()
+            log.warning(
+                "task %s attempt %d failed (%s: %s); retrying in %.3fs",
+                task_id, attempts, type(last_exc).__name__, last_exc, delay,
             )
+            if delay > 0:
+                time.sleep(delay)
     assert last_exc is not None
+    _metrics().counter("tasks.exhausted").inc()
     status = (
         TaskStatus.TIMEOUT
         if isinstance(last_exc, TaskTimeoutError)

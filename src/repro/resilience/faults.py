@@ -40,6 +40,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro import errors
 from repro.errors import ConfigError
+from repro.observability import event as _event
+from repro.observability import metrics as _metrics
 
 #: Site names instrumented in this codebase (kept in one place so tests
 #: and plan authors don't guess; :func:`fault_site` accepts any name).
@@ -243,6 +245,9 @@ class FaultPlan:
         spec = self._next_fault(site, context)
         if spec is None:
             return
+        # Record before acting: a 'raise' fault must still leave a trace.
+        _metrics().counter("faults.fired").inc()
+        _event("fault.fired", site=site, kind=spec.kind)
         if spec.kind == "delay":
             time.sleep(spec.delay_s)
             return

@@ -2,11 +2,64 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.config import TransformerConfig
+from repro.engine.core import DISK_CACHE_ENV, reset_default_engine
 from repro.gpu.specs import get_gpu
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Top-level entries tooling may create mid-run without it being a leak.
+_TOOL_DIRS = {".hypothesis", ".pytest_cache", "__pycache__"}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_engine_cache(monkeypatch, tmp_path_factory):
+    """Give every test its own engine disk-cache directory (or none).
+
+    A developer shell (or CI job) may export ``REPRO_ENGINE_CACHE_DIR``
+    with a warm shared cache; under ``-n auto`` two tests writing that
+    directory can race, and any test would pollute the real cache.  So:
+    an inherited value is redirected to a per-test tmpdir, otherwise the
+    variable is guaranteed unset — tests opt into a disk cache by
+    setting it themselves (see tests/engine/test_cache.py).  The shared
+    default engine is rebuilt around each test so no test inherits
+    another's cache handles.
+    """
+    if os.environ.get(DISK_CACHE_ENV):
+        monkeypatch.setenv(
+            DISK_CACHE_ENV, str(tmp_path_factory.mktemp("engine-cache"))
+        )
+    else:
+        monkeypatch.delenv(DISK_CACHE_ENV, raising=False)
+    reset_default_engine()
+    try:
+        yield
+    finally:
+        reset_default_engine()
+
+
+@pytest.fixture(autouse=True)
+def _no_stray_repo_files():
+    """Fail any test that leaves new files in the repo root.
+
+    Artifacts (traces, journals, cache dirs, benchmark JSON) belong in
+    tmp_path; a test writing a relative path lands here and silently
+    dirties every later run.
+    """
+    before = {p.name for p in _REPO_ROOT.iterdir()}
+    yield
+    after = {p.name for p in _REPO_ROOT.iterdir()}
+    stray = sorted(after - before - _TOOL_DIRS)
+    assert not stray, (
+        f"test left stray file(s) in the repo root: {stray}; "
+        "write artifacts under tmp_path instead"
+    )
 
 
 @pytest.fixture(scope="session")

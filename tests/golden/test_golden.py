@@ -1,0 +1,135 @@
+"""Golden-regression wall: headline experiments must match snapshots.
+
+The snapshots beside this file are generated with::
+
+    repro figure <id> --update-golden
+
+and pin the ranked winners plus per-column checksums of each headline
+experiment.  Any numeric drift in the model fails here with a diff
+naming the column (or winner) that moved.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.compare import CheckResult
+from repro.harness.golden import (
+    GOLDEN_EXPERIMENTS,
+    compare_snapshot,
+    load_snapshot,
+    rank_column,
+    snapshot_experiment,
+    write_snapshot,
+)
+from repro.harness.results import ResultTable
+from repro.harness.runner import ExperimentReport, run_experiment
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+@pytest.mark.parametrize("exp_id", GOLDEN_EXPERIMENTS)
+def test_headline_experiment_matches_golden(exp_id):
+    stored = load_snapshot(exp_id, GOLDEN_DIR)
+    report = run_experiment(exp_id)
+    diffs = compare_snapshot(stored, report)
+    assert not diffs, (
+        f"golden regression in {exp_id} "
+        f"(refresh with 'repro figure {exp_id} --update-golden' if "
+        "intentional):\n" + "\n".join(f"  - {d}" for d in diffs)
+    )
+
+
+# -- comparator unit tests --------------------------------------------------------
+
+
+def _report(tflops=(150.0, 200.0, 120.0)) -> ExperimentReport:
+    table = ResultTable("demo", ["shape", "tflops", "latency_ms"])
+    for i, v in enumerate(tflops):
+        table.add(f"s{i}", v, 1000.0 / v)
+    return ExperimentReport(
+        id="demo",
+        title="demo experiment",
+        paper_ref="Fig 0",
+        table=table,
+        check=CheckResult(passed=True, details="ok"),
+    )
+
+
+def test_snapshot_self_compares_clean():
+    report = _report()
+    assert compare_snapshot(snapshot_experiment(report), report) == []
+
+
+def test_rank_column_prefers_throughput():
+    report = _report()
+    assert rank_column(report.table) == ("tflops", False)
+    snap = snapshot_experiment(report)
+    assert snap["ranked_by"] == "tflops"
+    assert snap["winners"][0]["shape"] == "s1"  # 200 TFLOP/s wins
+
+
+def test_rank_column_falls_back_to_latency_minimize():
+    table = ResultTable("t", ["x", "latency_ms"])
+    table.add("a", 2.0)
+    table.add("b", 1.0)
+    assert rank_column(table) == ("latency_ms", True)
+
+
+def test_numeric_drift_names_the_column():
+    stored = snapshot_experiment(_report())
+    drifted = _report(tflops=(150.0, 200.0, 121.0))
+    diffs = compare_snapshot(stored, drifted)
+    assert diffs
+    assert any("'tflops'" in d and "checksum" in d for d in diffs)
+    # latency_ms derives from tflops, so it must be flagged too
+    assert any("'latency_ms'" in d for d in diffs)
+
+
+def test_winner_flip_reports_the_ranked_rows():
+    stored = snapshot_experiment(_report())
+    flipped = _report(tflops=(250.0, 200.0, 120.0))  # s0 now beats s1
+    diffs = compare_snapshot(stored, flipped)
+    assert any("winner #1" in d for d in diffs)
+
+
+def test_changed_columns_short_circuits():
+    stored = snapshot_experiment(_report())
+    report = _report()
+    report.table.columns[-1] = "renamed"
+    diffs = compare_snapshot(stored, report)
+    assert len(diffs) == 1 and "columns changed" in diffs[0]
+
+
+def test_row_count_and_check_flip_are_reported():
+    report = _report()
+    stored = snapshot_experiment(report)
+    shrunk = _report(tflops=(150.0, 200.0))
+    shrunk.check = CheckResult(passed=False, details="broke")
+    diffs = compare_snapshot(stored, shrunk)
+    assert any("row count" in d for d in diffs)
+    assert any("check flipped" in d for d in diffs)
+
+
+def test_model_version_mismatch_leads_the_diff(monkeypatch):
+    stored = snapshot_experiment(_report())
+    stored["model_version"] = "0:stale"
+    diffs = compare_snapshot(stored, _report())
+    assert diffs and "model_version changed" in diffs[0]
+    assert "--update-golden" in diffs[0]
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    report = _report()
+    path = write_snapshot(report, tmp_path)
+    assert path == tmp_path / "demo.json"
+    assert load_snapshot("demo", tmp_path) == snapshot_experiment(report)
+
+
+def test_missing_snapshot_says_how_to_generate(tmp_path):
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError, match="--update-golden"):
+        load_snapshot("fig999", tmp_path)

@@ -365,3 +365,91 @@ class TestCalibrateResume:
         assert "resuming:" in out
         assert "2 completed unit(s)" in out
         assert "bw_efficiency" in out
+
+
+class TestObservability:
+    def test_run_with_trace_streams_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "fig14", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"span(s) written to {trace}" in out
+        lines = trace.read_text().splitlines()
+        assert lines
+        names = {json.loads(line)["name"] for line in lines}
+        assert "runner.experiment" in names
+        assert "task.attempt" in names
+
+    def test_run_with_metrics_prints_registry(self, capsys):
+        assert main(["run", "fig14", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "runner.experiments" in out
+        assert "tasks.attempts.ok" in out
+
+    def test_traced_chaos_run_then_report(self, tmp_path, capsys):
+        """The acceptance loop: trace a fault-injected journaled sweep,
+        then `repro report trace.jsonl` aggregates it without error."""
+        trace = tmp_path / "trace.jsonl"
+        journal = tmp_path / "sweep.jsonl"
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"site": "runner.experiment", '
+            '"match": "fig5", "times": 1}]}'
+        )
+        assert main(
+            ["run", "fig14", "fig5", "--inject-faults", str(plan),
+             "--retries", "2", "--journal", str(journal),
+             "--trace", str(trace), "--metrics"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for phase in ("task", "runner", "fault", "journal"):
+            assert phase in out, f"phase {phase!r} missing from report"
+        assert "1 task(s) retried" in out
+        assert "injected firing(s)" in out
+        assert "checkpoint append(s)" in out
+
+    def test_report_trace_honors_output_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "fig14", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        target = tmp_path / "report.txt"
+        assert main(["report", str(trace), "--output", str(target)]) == 0
+        assert "per-phase breakdown" in target.read_text()
+
+    def test_report_missing_trace_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_bench_quick_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bench-trace.jsonl"
+        assert main(
+            ["bench", "--quick", "--output", "-", "--trace", str(trace)]
+        ) == 0
+        assert trace.exists()
+        assert "span(s) written" in capsys.readouterr().out
+
+    def test_tracing_left_uninstalled_after_run(self, tmp_path):
+        from repro.observability import current_recorder, tracing_enabled
+
+        assert main(["run", "fig14", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert not tracing_enabled()
+        assert current_recorder() is None
+
+
+class TestFigureGolden:
+    def test_update_golden_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            ["figure", "fig14", "--update-golden", "--golden-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote golden snapshot" in out
+        snap = json.loads((tmp_path / "fig14.json").read_text())
+        assert snap["experiment"] == "fig14"
+        assert snap["checksums"]
