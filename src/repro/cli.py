@@ -16,9 +16,15 @@ Verbs::
                                               breakdown of a recorded trace
     repro lint     <model|config.json>        co-design shape linter
     repro lint     --self [paths...]          AST self-lint of the codebase
+    repro serve    [--queries FILE|-]         answer advisory queries through
+                   [--workers N] [--max-batch N] [--max-queue N]
+                                              the dynamically-batched service
+    repro loadgen  [--requests N] [--seed S]  deterministic load benchmark of
+                   [--clients N] [--output P] the service (BENCH_serve.json)
     repro list-models / list-gpus             show registries
 
-``run``, ``bench``, and ``calibrate`` accept ``--trace out.jsonl``
+``run``, ``bench``, ``calibrate``, ``serve``, and ``loadgen`` accept
+``--trace out.jsonl``
 (stream a structured span trace) and ``--metrics`` (print the counter /
 histogram summary afterwards); tracing is off — and costs nothing —
 unless requested.
@@ -62,8 +68,40 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_serve_config(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker shards (default 2)"
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="max requests coalesced per dispatch (default 64)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="per-shard queue depth cap; beyond it requests are rejected "
+        "(default 256)",
+    )
+    parser.add_argument(
+        "--linger",
+        type=float,
+        default=0.002,
+        metavar="S",
+        help="batching window in seconds (default 0.002)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry attempts per batched engine call (default 0)",
+    )
+
+
 #: Verbs that accept --trace/--metrics (main() wraps their dispatch).
-_OBSERVABLE_COMMANDS = ("run", "bench", "calibrate")
+_OBSERVABLE_COMMANDS = ("run", "bench", "calibrate", "serve", "loadgen")
 
 
 @contextmanager
@@ -315,6 +353,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip fits already completed in --journal",
+    )
+    _add_observability(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer a batch of advisory queries through the dynamically-"
+        "batched in-process service (JSONL advisories on stdout)",
+    )
+    p.add_argument(
+        "--queries",
+        default=None,
+        metavar="FILE",
+        help="query file (JSONL objects or a JSON array), or '-' for "
+        "stdin; default: a built-in demo battery",
+    )
+    _add_serve_config(p)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-request deadline in seconds (default: none)",
+    )
+    _add_observability(p)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="deterministic seeded load benchmark of the advisory service "
+        "(throughput, latency percentiles, coalesce ratio)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=2000, help="request count (default 2000)"
+    )
+    p.add_argument(
+        "--unique",
+        type=int,
+        default=48,
+        help="distinct shape pool size; requests >> unique forces heavy "
+        "duplication (default 48)",
+    )
+    p.add_argument(
+        "--clients", type=int, default=8, help="client threads (default 8)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="traffic seed (default 0)")
+    p.add_argument(
+        "--gpus",
+        nargs="+",
+        default=["A100"],
+        metavar="GPU",
+        help="GPU mix for generated queries (default A100)",
+    )
+    _add_serve_config(p)
+    p.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="JSON fault plan for chaos runs (see examples/faults/)",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-identical check against a fresh engine",
+    )
+    p.add_argument(
+        "--output",
+        default="BENCH_serve.json",
+        help="JSON output path, or '-' to skip writing (default BENCH_serve.json)",
     )
     _add_observability(p)
     return parser
@@ -647,6 +752,134 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _serve_config(args: argparse.Namespace) -> "ServeConfig":  # noqa: F821
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        linger_s=args.linger,
+        deadline_s=getattr(args, "deadline", None),
+        retries=args.retries,
+    )
+
+
+#: ``repro serve`` demo battery: the paper's flagship shapes plus a
+#: misaligned one and a lint verdict, exercising every query kind.
+_DEMO_QUERIES = (
+    {"kind": "evaluate", "m": 4096, "n": 4096, "k": 4096},
+    {"kind": "latency", "m": 2048, "n": 8192, "k": 8192, "gpu": "H100"},
+    {"kind": "tflops", "m": 1000, "n": 1111, "k": 2049},
+    {"kind": "latency", "m": 4096, "n": 4096, "k": 4096},
+    {"kind": "lint", "model": "gpt3-2.7b"},
+)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError, QueueFullError
+    from repro.serve import Advisory, AdvisoryServer, ShapeQuery
+
+    import json as _json
+
+    if args.queries is None:
+        raw_queries = list(_DEMO_QUERIES)
+    else:
+        if args.queries == "-":
+            text = sys.stdin.read()
+        else:
+            try:
+                with open(args.queries) as fh:
+                    text = fh.read()
+            except OSError as exc:
+                raise ConfigError(
+                    f"cannot read queries {args.queries}: {exc}"
+                ) from exc
+        stripped = text.strip()
+        if not stripped:
+            raise ConfigError("query file is empty")
+        try:
+            if stripped.startswith("["):
+                raw_queries = _json.loads(stripped)
+            else:
+                raw_queries = [
+                    _json.loads(line)
+                    for line in stripped.splitlines()
+                    if line.strip()
+                ]
+        except ValueError as exc:
+            raise ConfigError(f"bad query JSON: {exc}") from exc
+    queries = [ShapeQuery.from_dict(raw) for raw in raw_queries]
+
+    bad = 0
+    with AdvisoryServer(_serve_config(args)) as server:
+        # Submit everything before gathering so concurrent queries can
+        # coalesce into shared engine calls.
+        futures = []
+        for query in queries:
+            try:
+                futures.append(server.submit(query))
+            except QueueFullError as exc:
+                futures.append(
+                    Advisory(
+                        query=query,
+                        status="rejected",
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                    )
+                )
+        for item in futures:
+            advisory = item if isinstance(item, Advisory) else item.result()
+            if not advisory.ok:
+                bad += 1
+            print(advisory.to_json())
+        stats = server.stats()
+    print(stats.describe(), file=sys.stderr)
+    return 1 if bad else 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.resilience import FaultPlan, clear_plan, install_plan
+    from repro.serve import (
+        AdvisoryServer,
+        generate_queries,
+        render_load,
+        run_load,
+        write_load,
+    )
+
+    queries = generate_queries(
+        args.requests, seed=args.seed, unique=args.unique, gpus=args.gpus
+    )
+    plan = None
+    if args.inject_faults:
+        plan = FaultPlan.load(args.inject_faults)
+        install_plan(plan)
+        print(
+            f"chaos mode: {len(plan.specs)} fault spec(s) from "
+            f"{args.inject_faults} (seed {plan.seed})"
+        )
+    try:
+        with AdvisoryServer(_serve_config(args)) as server:
+            report = run_load(
+                server,
+                queries,
+                clients=args.clients,
+                seed=args.seed,
+                verify=not args.no_verify,
+            )
+    finally:
+        if plan is not None:
+            clear_plan()
+    print(render_load(report))
+    if plan is not None:
+        print(f"chaos: {plan.fired()} injected fault(s) fired")
+    if args.output != "-":
+        write_load(report, args.output)
+        print(f"wrote {args.output}")
+    return 0 if report.passed else 1
+
+
 def cmd_list_gpus(_args: argparse.Namespace) -> int:
     for spec in list_gpus():
         print(
@@ -673,6 +906,8 @@ _COMMANDS = {
     "bench": cmd_bench,
     "calibrate": cmd_calibrate,
     "lint": cmd_lint,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

@@ -179,8 +179,18 @@ def default_engine() -> ShapeEngine:
     """Process-wide shared engine (hot callers pool their caches here).
 
     Honours ``REPRO_ENGINE_CACHE_DIR`` for an optional disk store.
+
+    Double-checked locking: the fast path is one unsynchronized global
+    read (safe under the GIL — the assignment below publishes a fully
+    constructed engine), so concurrent serve workers hitting this on
+    every request never serialize on the lock; the lock only guards
+    construction, guaranteeing exactly one engine is ever built even
+    when many threads race the first call.
     """
     global _DEFAULT_ENGINE
+    engine = _DEFAULT_ENGINE
+    if engine is not None:
+        return engine
     with _DEFAULT_LOCK:
         if _DEFAULT_ENGINE is None:
             _DEFAULT_ENGINE = ShapeEngine(disk_dir=os.environ.get(DISK_CACHE_ENV))

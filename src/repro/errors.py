@@ -16,12 +16,19 @@ needs string matching::
     +-- TaskTimeoutError     a resilient task exceeded its deadline
     +-- FaultInjectionError  a deterministically injected fault fired
     +-- CheckpointError      a sweep journal is unusable for resume
+    +-- ServeError           advisory service failed to answer a request
+        +-- QueueFullError         admission control rejected the request
+        +-- DeadlineExceededError  request expired before dispatch
+        +-- ServerClosedError      request submitted to a closed server
 
-The last four back the :mod:`repro.resilience` execution layer: a
+The resilience four back the :mod:`repro.resilience` execution layer: a
 :class:`~repro.resilience.execute.TaskOutcome` carries the exception
 *type name* of whatever its task raised, so sweeps can distinguish an
 injected chaos fault (:class:`FaultInjectionError`) from a genuine
-model error without parsing messages.
+model error without parsing messages.  The :class:`ServeError` family
+backs :mod:`repro.serve` the same way: a rejected or failed advisory
+carries the subclass name, so load generators and clients classify
+backpressure vs deadline vs engine failures without string matching.
 """
 
 from __future__ import annotations
@@ -95,3 +102,25 @@ class FaultInjectionError(ReproError):
 
 class CheckpointError(ReproError):
     """A sweep journal cannot be used (wrong sweep id, unwritable path)."""
+
+
+class ServeError(ReproError):
+    """The shape-advisory service could not answer a request.
+
+    Base class for every serving failure; raised directly when the
+    batched engine evaluation behind a request exhausted its retries.
+    """
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected a request: the shard queue is at its
+    depth cap.  Backpressure, not a bug — callers retry or shed load."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline elapsed while it waited in the queue, so the
+    dispatcher dropped it instead of spending a batch slot on it."""
+
+
+class ServerClosedError(ServeError):
+    """A request was submitted to a server that has been closed."""

@@ -1,0 +1,52 @@
+"""In-process async shape-advisory service with dynamic batching.
+
+``repro.serve`` turns the vectorized :mod:`repro.engine` into a
+concurrent advisory service: many callers submit
+:class:`~repro.serve.protocol.ShapeQuery` requests (evaluate / latency
+/ tflops / lint) and a pool of worker shards answers them by
+*coalescing* concurrently-waiting requests — identical shapes are
+deduplicated, distinct ones merged — into single vectorized
+:meth:`~repro.engine.core.ShapeEngine.evaluate` calls.  Admission
+control (bounded queues -> :class:`~repro.errors.QueueFullError`),
+per-request deadlines, retry/timeout via :mod:`repro.resilience`, a
+TTL'd response cache, and full :mod:`repro.observability` spans and
+metrics come along.  Answers are bit-identical to direct engine calls;
+the deterministic load generator (:func:`run_load`) proves it on every
+benchmark run.
+"""
+
+from repro.serve.batcher import EngineCall, PendingRequest, RequestQueue, plan_batch
+from repro.serve.client import AdvisoryClient
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import (
+    LoadReport,
+    generate_queries,
+    render_load,
+    run_load,
+    verify_against_engine,
+    write_load,
+)
+from repro.serve.protocol import QUERY_KINDS, SHAPE_KINDS, Advisory, ShapeQuery
+from repro.serve.server import AdvisoryServer, ServerStats, shard_for
+
+__all__ = [
+    "QUERY_KINDS",
+    "SHAPE_KINDS",
+    "Advisory",
+    "AdvisoryClient",
+    "AdvisoryServer",
+    "EngineCall",
+    "LoadReport",
+    "PendingRequest",
+    "RequestQueue",
+    "ServeConfig",
+    "ServerStats",
+    "ShapeQuery",
+    "generate_queries",
+    "plan_batch",
+    "render_load",
+    "run_load",
+    "shard_for",
+    "verify_against_engine",
+    "write_load",
+]

@@ -1,0 +1,144 @@
+"""Synchronous client facade over :class:`~repro.serve.server.AdvisoryServer`.
+
+The server's native surface is async (futures); this client is the
+ergonomic blocking wrapper callers use from scripts and tests::
+
+    with AdvisoryServer() as server:
+        client = AdvisoryClient(server)
+        lat = client.latency(4096, 4096, 4096)          # seconds
+        tf = client.tflops(2048, 50304, 2560, gpu="H100")
+        verdict = client.lint("gpt3-2.7b")              # exit_code, fixits
+
+Failure handling is typed: a rejected advisory re-raises the
+:class:`~repro.errors.ServeError` subclass named by its
+``error_type`` (queue-full rejections already raise at submission), a
+failed one raises :class:`~repro.errors.ServeError`, so callers never
+parse message strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import DeadlineExceededError, ServeError
+from repro.serve.protocol import Advisory, ShapeQuery
+from repro.serve.server import AdvisoryServer
+
+__all__ = ["AdvisoryClient"]
+
+_TYPED_ERRORS = {
+    "DeadlineExceededError": DeadlineExceededError,
+}
+
+
+def _unwrap(advisory: Advisory) -> Dict[str, Any]:
+    if advisory.ok:
+        return advisory.payload
+    exc_cls = _TYPED_ERRORS.get(advisory.error_type or "", ServeError)
+    raise exc_cls(advisory.error or f"advisory {advisory.status}")
+
+
+class AdvisoryClient:
+    """Blocking convenience calls against one in-process server."""
+
+    def __init__(
+        self, server: AdvisoryServer, timeout_s: Optional[float] = 30.0
+    ) -> None:
+        self.server = server
+        #: Default per-call wait bound (seconds); ``None`` waits forever.
+        self.timeout_s = timeout_s
+
+    def advise(
+        self, query: ShapeQuery, timeout_s: Optional[float] = None
+    ) -> Advisory:
+        """The raw advisory for one query (no unwrapping)."""
+        return self.server.request(
+            query, timeout_s=timeout_s if timeout_s is not None else self.timeout_s
+        )
+
+    # -- shape kinds --------------------------------------------------------
+
+    def evaluate(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        batch: int = 1,
+        gpu: str = "A100",
+        dtype: str = "fp16",
+    ) -> Dict[str, Any]:
+        """Full modeled performance record for one (batched) GEMM."""
+        return _unwrap(
+            self.advise(
+                ShapeQuery(
+                    kind="evaluate", m=m, n=n, k=k, batch=batch,
+                    gpu=gpu, dtype=dtype,
+                )
+            )
+        )
+
+    def latency(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        batch: int = 1,
+        gpu: str = "A100",
+        dtype: str = "fp16",
+    ) -> float:
+        """Modeled latency in seconds."""
+        payload = _unwrap(
+            self.advise(
+                ShapeQuery(
+                    kind="latency", m=m, n=n, k=k, batch=batch,
+                    gpu=gpu, dtype=dtype,
+                )
+            )
+        )
+        return float(payload["latency_s"])
+
+    def tflops(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        batch: int = 1,
+        gpu: str = "A100",
+        dtype: str = "fp16",
+    ) -> float:
+        """Modeled useful-FLOPs throughput in TFLOP/s."""
+        payload = _unwrap(
+            self.advise(
+                ShapeQuery(
+                    kind="tflops", m=m, n=n, k=k, batch=batch,
+                    gpu=gpu, dtype=dtype,
+                )
+            )
+        )
+        return float(payload["tflops"])
+
+    # -- lint ---------------------------------------------------------------
+
+    def lint(
+        self,
+        model: "str | Mapping[str, Any]",
+        gpu: str = "A100",
+        dtype: str = "fp16",
+        pipeline_stages: int = 1,
+    ) -> Dict[str, Any]:
+        """Shape-lint verdict (exit code, findings, quantified fix-its).
+
+        ``model`` is a registered preset name or an inline config
+        mapping of :class:`~repro.core.config.TransformerConfig` fields.
+        """
+        if isinstance(model, str):
+            query = ShapeQuery(
+                kind="lint", model=model, gpu=gpu, dtype=dtype,
+                pipeline_stages=pipeline_stages,
+            )
+        else:
+            query = ShapeQuery(
+                kind="lint", config_items=tuple(sorted(model.items())),
+                gpu=gpu, dtype=dtype, pipeline_stages=pipeline_stages,
+            )
+        return _unwrap(self.advise(query))

@@ -1,0 +1,331 @@
+"""Deterministic seeded load generator for the advisory service.
+
+``repro loadgen`` (and the load-test wall) needs reproducible traffic:
+:func:`generate_queries` derives every request from a single seed — the
+shape pool, the kind mix, the GPU mix, and the duplication pattern are
+identical across runs and machines, so a load run is a *benchmark*
+(``BENCH_serve.json``), not an anecdote.  Timing of course varies with
+the machine; the request stream never does.
+
+The pool is intentionally much smaller than the request count
+(``unique`` vs ``requests``) so traffic is heavily duplicated — the
+regime dynamic batching exists for: concurrent duplicate shapes fold
+onto one engine row, distinct ones merge into one vectorized call, and
+the report's ``coalesce_ratio`` (requests dispatched per engine call)
+measures the win.
+
+:func:`run_load` drives the queries through a server from ``clients``
+threads, then (optionally but by default) **verifies** every distinct
+ok answer bit-for-bit against a fresh, private
+:class:`~repro.engine.core.ShapeEngine` — the served numbers must be
+exactly what a direct engine call returns, proving batching, dedup,
+sharding, and the TTL cache change *how* answers are computed, never
+*what* they are.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, QueueFullError
+from repro.serve.protocol import Advisory, ShapeQuery
+from repro.serve.server import AdvisoryServer
+
+__all__ = [
+    "LoadReport",
+    "generate_queries",
+    "render_load",
+    "run_load",
+    "verify_against_engine",
+    "write_load",
+]
+
+#: Dimension candidates for generated shapes: spans tiny decode GEMVs
+#: through large training GEMMs, aligned and misaligned.
+_DIM_POOL = (
+    64, 96, 128, 160, 256, 384, 512, 768, 1024, 1536, 2048, 2560,
+    3072, 4096, 5120, 6144, 8192, 1000, 1111, 2000, 2049, 4095, 50257,
+)
+
+_KINDS = ("latency", "tflops", "evaluate")
+
+
+def generate_queries(
+    requests: int,
+    seed: int = 0,
+    unique: int = 48,
+    gpus: Sequence[str] = ("A100",),
+    batch_max: int = 8,
+) -> List[ShapeQuery]:
+    """Build a reproducible, heavily-duplicated request stream.
+
+    ``unique`` bounds the distinct shape pool the ``requests`` draws
+    come from; with ``requests >> unique`` most requests duplicate an
+    earlier shape, which is what exercises the dedup path.
+    """
+    if requests < 1:
+        raise ConfigError(f"requests must be >= 1, got {requests}")
+    if unique < 1:
+        raise ConfigError(f"unique must be >= 1, got {unique}")
+    if not gpus:
+        raise ConfigError("gpus must be non-empty")
+    rng = random.Random(seed)
+    pool: List[Tuple[int, int, int, int]] = []
+    seen = set()
+    while len(pool) < unique:
+        shape = (
+            rng.choice((1, 1, 1, 2, 4, rng.randint(1, batch_max))),
+            rng.choice(_DIM_POOL),
+            rng.choice(_DIM_POOL),
+            rng.choice(_DIM_POOL),
+        )
+        if shape not in seen:
+            seen.add(shape)
+            pool.append(shape)
+    queries = []
+    for _ in range(requests):
+        batch, m, n, k = rng.choice(pool)
+        queries.append(
+            ShapeQuery(
+                kind=rng.choice(_KINDS),
+                m=m, n=n, k=k, batch=batch,
+                gpu=rng.choice(tuple(gpus)),
+            )
+        )
+    return queries
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run: counts, latency percentiles, coalescing.
+
+    Latencies (``p50_s``/``p95_s``/``p99_s``/``max_s``) are client-side
+    request round-trip seconds; ``wall_s`` is the whole run;
+    ``throughput_rps`` is completed requests per second of wall time.
+    ``coalesce_ratio`` is dispatched shape requests per vectorized
+    engine call (dimensionless; > 1 means dynamic batching won).
+    ``verified_rows`` / ``verify_mismatches`` report the bit-identical
+    check against a fresh engine (``-1`` rows = verification skipped).
+    """
+
+    requests: int = 0
+    ok: int = 0
+    failed: int = 0
+    rejected_queue_full: int = 0
+    rejected_deadline: int = 0
+    cache_hits: int = 0
+    wall_s: float = 0.0
+    throughput_rps: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    max_s: float = 0.0
+    engine_calls: int = 0
+    coalesce_ratio: float = 0.0
+    verified_rows: int = -1
+    verify_mismatches: int = 0
+    seed: int = 0
+    clients: int = 0
+    server: Dict[str, Any] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """Every request answered ok and verification (if run) clean."""
+        return (
+            self.ok == self.requests
+            and self.verify_mismatches == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            k: getattr(self, k)
+            for k in (
+                "requests", "ok", "failed", "rejected_queue_full",
+                "rejected_deadline", "cache_hits", "engine_calls",
+                "coalesce_ratio", "verified_rows", "verify_mismatches",
+                "seed", "clients", "server", "config",
+            )
+        }
+        out.update(
+            wall_s=round(self.wall_s, 4),
+            throughput_rps=round(self.throughput_rps, 1),
+            p50_ms=round(self.p50_s * 1e3, 3),
+            p95_ms=round(self.p95_s * 1e3, 3),
+            p99_ms=round(self.p99_s * 1e3, 3),
+            max_ms=round(self.max_s * 1e3, 3),
+            passed=self.passed,
+        )
+        return out
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[idx]
+
+
+def verify_against_engine(
+    pairs: Sequence[Tuple[ShapeQuery, Advisory]],
+) -> Tuple[int, int]:
+    """Bit-identical check of served answers vs a fresh private engine.
+
+    Deduplicates the ok shape advisories per ``(kind, shape, gpu,
+    dtype)``, evaluates each distinct shape once per ``(gpu, dtype)``
+    through a brand-new :class:`~repro.engine.core.ShapeEngine`
+    (memory-only, no shared state with the server), and compares the
+    served floats for exact equality.  Returns ``(rows_checked,
+    mismatches)``.
+    """
+    from repro.engine.core import ShapeEngine
+
+    distinct: Dict[Tuple[Any, ...], Tuple[ShapeQuery, Advisory]] = {}
+    for query, advisory in pairs:
+        if advisory.ok and query.is_shape_query:
+            distinct.setdefault(query.cache_key(), (query, advisory))
+    by_target: Dict[Tuple[str, str], List[Tuple[ShapeQuery, Advisory]]] = {}
+    for query, advisory in distinct.values():
+        by_target.setdefault((query.gpu, query.dtype), []).append(
+            (query, advisory)
+        )
+
+    engine = ShapeEngine()
+    checked = 0
+    mismatches = 0
+    for (gpu, dtype), items in by_target.items():
+        shapes = np.asarray(
+            [q.shape_tuple() for q, _ in items], dtype=np.int64
+        )
+        result = engine.evaluate(shapes, gpu, dtype)
+        for row, (query, advisory) in enumerate(items):
+            checked += 1
+            expect_latency = float(result.latency_s[row])
+            expect_tflops = float(result.tflops[row])
+            payload = advisory.payload
+            bad = False
+            if "latency_s" in payload:
+                bad |= payload["latency_s"] != expect_latency
+            if "tflops" in payload:
+                bad |= payload["tflops"] != expect_tflops
+            if query.kind == "evaluate":
+                bad |= payload.get("tile") != result.tile(row).name
+                bad |= payload.get("bound") != str(result.bound[row])
+            if bad:
+                mismatches += 1
+    return checked, mismatches
+
+
+def run_load(
+    server: AdvisoryServer,
+    queries: Sequence[ShapeQuery],
+    clients: int = 8,
+    seed: int = 0,
+    verify: bool = True,
+    timeout_s: Optional[float] = 60.0,
+) -> LoadReport:
+    """Drive ``queries`` through ``server`` from ``clients`` threads.
+
+    The server must be started.  Returns the :class:`LoadReport`;
+    never raises for per-request failures (they are counted), only for
+    setup errors.
+    """
+    if clients < 1:
+        raise ConfigError(f"clients must be >= 1, got {clients}")
+    outcomes: List[Tuple[ShapeQuery, Optional[Advisory], float]] = []
+
+    def drive(query: ShapeQuery) -> Tuple[ShapeQuery, Optional[Advisory], float]:
+        t0 = time.perf_counter()
+        try:
+            advisory = server.request(query, timeout_s=timeout_s)
+        except QueueFullError:
+            return query, None, time.perf_counter() - t0
+        return query, advisory, time.perf_counter() - t0
+
+    t_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients, thread_name_prefix="loadgen") as pool:
+        outcomes = list(pool.map(drive, queries))
+    wall_s = time.perf_counter() - t_start
+
+    report = LoadReport(
+        requests=len(queries), seed=seed, clients=clients,
+        wall_s=wall_s,
+        throughput_rps=len(queries) / wall_s if wall_s > 0 else 0.0,
+        config=server.config.to_dict(),
+    )
+    latencies: List[float] = []
+    ok_pairs: List[Tuple[ShapeQuery, Advisory]] = []
+    for query, advisory, elapsed in outcomes:
+        if advisory is None:
+            report.rejected_queue_full += 1
+            continue
+        latencies.append(elapsed)
+        if advisory.ok:
+            report.ok += 1
+            ok_pairs.append((query, advisory))
+            if advisory.source == "cache":
+                report.cache_hits += 1
+        elif advisory.error_type == "DeadlineExceededError":
+            report.rejected_deadline += 1
+        else:
+            report.failed += 1
+    latencies.sort()
+    report.p50_s = _percentile(latencies, 0.50)
+    report.p95_s = _percentile(latencies, 0.95)
+    report.p99_s = _percentile(latencies, 0.99)
+    report.max_s = latencies[-1] if latencies else 0.0
+
+    stats = server.stats()
+    report.server = stats.to_dict()
+    report.engine_calls = stats.engine_calls
+    report.coalesce_ratio = stats.coalesce_ratio
+
+    if verify:
+        report.verified_rows, report.verify_mismatches = (
+            verify_against_engine(ok_pairs)
+        )
+    return report
+
+
+def render_load(report: LoadReport) -> str:
+    """Human summary of one load run."""
+    lines = [
+        f"load: {report.requests} requests from {report.clients} client(s), "
+        f"seed {report.seed}",
+        f"outcome: {report.ok} ok, {report.failed} failed, "
+        f"{report.rejected_queue_full} queue-full, "
+        f"{report.rejected_deadline} deadline-expired "
+        f"({report.cache_hits} cache hits)",
+        f"wall: {report.wall_s * 1e3:.0f} ms   "
+        f"throughput: {report.throughput_rps:.0f} req/s",
+        f"latency: p50 {report.p50_s * 1e3:.2f} ms   "
+        f"p95 {report.p95_s * 1e3:.2f} ms   "
+        f"p99 {report.p99_s * 1e3:.2f} ms   "
+        f"max {report.max_s * 1e3:.2f} ms",
+        f"coalescing: {report.engine_calls} engine call(s) for "
+        f"{report.server.get('shape_dispatched', 0)} dispatched shape "
+        f"request(s) -> ratio {report.coalesce_ratio:.2f} "
+        f"({report.server.get('coalesced_duplicates', 0)} duplicates folded)",
+    ]
+    if report.verified_rows >= 0:
+        lines.append(
+            f"verify: {report.verified_rows} distinct answer(s) vs fresh "
+            f"engine, {report.verify_mismatches} mismatch(es)"
+        )
+    lines.append("load: " + ("PASS" if report.passed else "FAIL"))
+    return "\n".join(lines)
+
+
+def write_load(report: LoadReport, path: str) -> None:
+    """Write the benchmark record (``BENCH_serve.json``)."""
+    record = {"benchmark": "repro loadgen", **report.to_dict()}
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,227 @@
+"""The advisory wire format: queries in, advisories out.
+
+A :class:`ShapeQuery` asks one configuration-time question — the kind
+the paper argues should be answered *before* training starts:
+
+- ``evaluate`` — full modeled performance of one (batched) GEMM shape
+  (latency, TFLOP/s, selected tile, compute/memory bound, waves).
+- ``latency`` / ``tflops`` — the single-number projections of the same.
+- ``lint`` — the co-design shape linter's verdict for a transformer
+  config (preset name or inline JSON object), including the quantified
+  nearest-compliant fix-its.
+
+Queries are frozen and hashable; :meth:`ShapeQuery.batch_key` is the
+coalescing identity (two requests with the same batch key are answered
+by one engine row) and deliberately excludes the request id, so the
+dispatcher dedups identical shapes across concurrent callers.
+
+An :class:`Advisory` is the typed answer: a status (``ok`` /
+``rejected`` / ``failed``), the payload dict for JSON output, the
+error type name when not ok (matching the :class:`~repro.errors.
+ServeError` family), and serving metadata (source, shard, queue wait,
+batch size) so load tests can assert on the serving path itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError, ShapeError
+
+__all__ = ["QUERY_KINDS", "SHAPE_KINDS", "Advisory", "ShapeQuery"]
+
+#: Kinds answered through the batched engine path.
+SHAPE_KINDS = ("evaluate", "latency", "tflops")
+
+#: Every kind the service answers.
+QUERY_KINDS = SHAPE_KINDS + ("lint",)
+
+
+@dataclass(frozen=True)
+class ShapeQuery:
+    """One advisory request.
+
+    Shape kinds use ``m``/``n``/``k``/``batch`` (GEMM dims); ``lint``
+    uses ``model`` — a preset name or a frozen tuple of config items
+    (see :meth:`lint_config`).  ``gpu`` and ``dtype`` select the target
+    hardware for every kind.
+    """
+
+    kind: str = "evaluate"
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    batch: int = 1
+    gpu: str = "A100"
+    dtype: str = "fp16"
+    model: Optional[str] = None
+    config_items: Tuple[Tuple[str, Any], ...] = ()
+    pipeline_stages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ConfigError(
+                f"unknown query kind {self.kind!r}; "
+                f"expected one of {', '.join(QUERY_KINDS)}"
+            )
+        if self.is_shape_query:
+            if min(self.m, self.n, self.k, self.batch) <= 0:
+                raise ShapeError(
+                    f"GEMM dims must be positive: "
+                    f"{(self.batch, self.m, self.n, self.k)}"
+                )
+        else:
+            if self.model is None and not self.config_items:
+                raise ConfigError(
+                    "lint query needs 'model' (preset name) or 'config' "
+                    "(inline config object)"
+                )
+        if self.pipeline_stages < 1:
+            raise ConfigError(
+                f"pipeline_stages must be >= 1, got {self.pipeline_stages}"
+            )
+
+    @property
+    def is_shape_query(self) -> bool:
+        return self.kind in SHAPE_KINDS
+
+    def shape_tuple(self) -> Tuple[int, int, int, int]:
+        """The engine row this query evaluates: ``(batch, m, n, k)``."""
+        return (self.batch, self.m, self.n, self.k)
+
+    def batch_key(self) -> Tuple[Any, ...]:
+        """Coalescing identity: queries sharing it share one engine row.
+
+        The ``kind`` is *not* part of the key — ``latency`` and
+        ``tflops`` for the same shape read different columns of the
+        same evaluated row.
+        """
+        return (self.shape_tuple(), self.gpu, self.dtype)
+
+    def cache_key(self) -> Tuple[Any, ...]:
+        """Response-cache identity (kind-specific, unlike the batch key)."""
+        if self.is_shape_query:
+            return ("shape", self.kind) + self.batch_key()
+        return (
+            "lint",
+            self.model,
+            self.config_items,
+            self.gpu,
+            self.dtype,
+            self.pipeline_stages,
+        )
+
+    def lint_config(self) -> Dict[str, Any]:
+        """The inline lint config as a plain dict (empty for presets)."""
+        return dict(self.config_items)
+
+    # -- JSON ----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "gpu": self.gpu, "dtype": self.dtype}
+        if self.is_shape_query:
+            out.update(m=self.m, n=self.n, k=self.k, batch=self.batch)
+        else:
+            if self.model is not None:
+                out["model"] = self.model
+            if self.config_items:
+                out["config"] = self.lint_config()
+            out["pipeline_stages"] = self.pipeline_stages
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShapeQuery":
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"query must be an object, got {type(data).__name__}"
+            )
+        kind = data.get("kind", "evaluate")
+        common = {
+            "gpu": str(data.get("gpu", "A100")),
+            "dtype": str(data.get("dtype", "fp16")),
+        }
+        if kind in SHAPE_KINDS:
+            try:
+                return cls(
+                    kind=kind,
+                    m=int(data.get("m", 0)),
+                    n=int(data.get("n", 0)),
+                    k=int(data.get("k", 0)),
+                    batch=int(data.get("batch", 1)),
+                    **common,
+                )
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(f"bad shape query: {exc}") from exc
+        config = data.get("config")
+        items: Tuple[Tuple[str, Any], ...] = ()
+        if config is not None:
+            if not isinstance(config, Mapping):
+                raise ConfigError("'config' must be an object")
+            items = tuple(sorted(config.items()))
+        return cls(
+            kind=str(kind),
+            model=data.get("model"),
+            config_items=items,
+            pipeline_stages=int(data.get("pipeline_stages", 1)),
+            **common,
+        )
+
+
+@dataclass
+class Advisory:
+    """The service's answer to one query.
+
+    ``status`` is ``"ok"`` (payload valid), ``"rejected"`` (admission
+    control or deadline dropped it; ``error_type`` names the
+    :class:`~repro.errors.ServeError` subclass) or ``"failed"`` (the
+    engine evaluation behind it exhausted retries).  ``source`` is
+    ``"engine"`` for a batch-dispatched answer and ``"cache"`` for a
+    TTL-cache hit.  ``queue_wait_s`` / ``batch_size`` / ``shard``
+    describe the serving path for observability assertions.
+    """
+
+    query: ShapeQuery
+    status: str = "ok"
+    payload: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    source: str = "engine"
+    shard: int = 0
+    queue_wait_s: float = 0.0
+    batch_size: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "query": self.query.to_dict(),
+            "status": self.status,
+            "source": self.source,
+            "shard": self.shard,
+            "queue_wait_s": self.queue_wait_s,
+            "batch_size": self.batch_size,
+        }
+        if self.ok:
+            out["payload"] = self.payload
+        else:
+            out["error"] = self.error
+            out["error_type"] = self.error_type
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"{self.query.kind} {self.query.shape_tuple()} on "
+                f"{self.query.gpu}: ok ({self.source}, batch {self.batch_size})"
+            )
+        return (
+            f"{self.query.kind} on {self.query.gpu}: {self.status} "
+            f"({self.error_type}: {self.error})"
+        )

@@ -1,0 +1,81 @@
+"""Thread-safety hammer for the process-wide default engine.
+
+``default_engine()`` uses double-checked locking; this wall spins 16
+threads through a barrier so they race the first construction, and
+asserts (1) exactly one engine instance is ever observed and (2) every
+thread's evaluation of the same shape grid is bit-identical to a fresh
+private engine — shared state never changes answers.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.engine.core import ShapeEngine, default_engine, reset_default_engine
+
+_THREADS = 16
+
+_SHAPES = np.asarray(
+    [
+        [1, 512, 512, 512],
+        [1, 1000, 1111, 2049],
+        [4, 96, 4096, 256],
+        [2, 2048, 8192, 8192],
+        [1, 4095, 64, 50257],
+    ],
+    dtype=np.int64,
+)
+
+
+def _hammer_once():
+    """One race round: reset, then 16 threads construct-and-evaluate."""
+    reset_default_engine()
+    barrier = threading.Barrier(_THREADS)
+    engines = [None] * _THREADS
+    results = [None] * _THREADS
+    errors = []
+
+    def work(i):
+        try:
+            barrier.wait(timeout=30)
+            engine = default_engine()
+            engines[i] = engine
+            results[i] = engine.evaluate(_SHAPES, "A100", "fp16")
+        except BaseException as exc:  # surfaced below; never swallowed
+            errors.append((i, exc))
+
+    threads = [
+        threading.Thread(target=work, args=(i,), name=f"hammer-{i}")
+        for i in range(_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, f"worker errors: {errors}"
+    assert all(not t.is_alive() for t in threads)
+    return engines, results
+
+
+class TestDefaultEngineHammer:
+    def test_sixteen_threads_observe_one_instance(self):
+        for _ in range(5):  # repeat the race; one round can get lucky
+            engines, _ = _hammer_once()
+            assert all(e is not None for e in engines)
+            assert len({id(e) for e in engines}) == 1, (
+                "default_engine() constructed more than one instance "
+                "under a 16-thread race"
+            )
+
+    def test_racing_threads_get_bit_identical_results(self):
+        _, results = _hammer_once()
+        reference = ShapeEngine().evaluate(_SHAPES, "A100", "fp16")
+        for result in results:
+            np.testing.assert_array_equal(result.latency_s, reference.latency_s)
+            np.testing.assert_array_equal(result.tflops, reference.tflops)
+            np.testing.assert_array_equal(result.tile_index, reference.tile_index)
+
+    def test_reset_swaps_the_instance(self):
+        first = default_engine()
+        reset_default_engine()
+        assert default_engine() is not first

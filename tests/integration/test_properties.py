@@ -77,11 +77,16 @@ class TestGemmModelPhysics:
         # b problems can never finish faster than 1/b of one kernel's
         # amortized rate (no free lunch from batching).
         model = GemmModel("A100")
-        one = model.latency(size, size, 64)
-        many = model.latency(size, size, 64, batch=batch)
-        assert many >= one  # more work, never faster
-        # And batching never does worse than b independent launches.
-        assert many <= batch * one * 1.001
+        one = model.evaluate(size, size, 64)
+        many = model.evaluate(size, size, 64, batch=batch)
+        assert many.latency_s >= one.latency_s  # more work, never faster
+        # And batching never does worse than b independent launches —
+        # except that the batched grid can flip the tile heuristic to a
+        # larger tile (cuBLAS strided-batched does the same), whose edge
+        # padding inflates per-problem traffic by at most the padded-grid
+        # area ratio 1/(1 - tile_waste).
+        slack = 1.0 if many.tile == one.tile else 1.0 / (1.0 - many.tile_waste)
+        assert many.latency_s <= batch * one.latency_s * slack * 1.001
 
 
 class TestMappingConservation:

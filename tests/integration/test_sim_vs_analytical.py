@@ -1,0 +1,105 @@
+"""Differential test: discrete-event simulator vs analytical GEMM model.
+
+The two backends share inputs (tile selection, alignment efficiency,
+roofline memory floor) but resolve scheduling differently — closed-form
+synchronized waves vs an event loop with backfill.  They will never
+agree to the femtosecond, but for the paper's conclusions to be
+backend-independent they must agree on *structure*: which operator
+dominates a layer, and which config wins a shape comparison.  This
+wall sweeps the fig1 (2.7B-class shape grid) and fig2 (medium-model
+operator grid) GEMMs through both and asserts rank agreement
+(Kendall-tau floor) plus identical top-1 per column.
+"""
+
+import pytest
+from scipy.stats import kendalltau
+
+from repro.core.gemms import layer_gemms
+from repro.gpu.gemm_model import GemmModel
+from repro.gpu.simulator import SMSimulator
+from repro.harness.experiments_transformer import FIG1_SHAPES, _fig1_config
+from repro.harness.experiments_transformer import MEDIUM_CONFIG
+from repro.types import DType
+
+_TAU_FLOOR = 0.6
+
+
+def _latencies(cfg):
+    """Per-operator layer latencies under both backends: (analytical, sim)."""
+    model = GemmModel("A100", DType.FP16)
+    sim = SMSimulator("A100", DType.FP16)
+    analytical, simulated, labels = [], [], []
+    for gemm in layer_gemms(cfg):
+        analytical.append(
+            model.evaluate(gemm.m, gemm.n, gemm.k, batch=gemm.batch).latency_s
+        )
+        simulated.append(
+            sim.run(gemm.m, gemm.n, gemm.k, batch=gemm.batch).latency_s
+        )
+        labels.append(gemm.module)
+    return labels, analytical, simulated
+
+
+def _rank_agreement(analytical, simulated):
+    tau, _ = kendalltau(analytical, simulated)
+    return tau
+
+
+class TestOperatorRanking:
+    """Within each fig1 config: both backends must name the same
+    dominant operator and order the rest consistently."""
+
+    @pytest.mark.parametrize("name", FIG1_SHAPES)
+    def test_fig1_config_operator_ranking(self, name):
+        labels, analytical, simulated = _latencies(_fig1_config(name))
+        top_analytical = labels[analytical.index(max(analytical))]
+        top_simulated = labels[simulated.index(max(simulated))]
+        assert top_analytical == top_simulated, (
+            f"{name}: dominant operator disagrees — "
+            f"analytical {top_analytical}, simulated {top_simulated}"
+        )
+        tau = _rank_agreement(analytical, simulated)
+        assert tau >= _TAU_FLOOR, (
+            f"{name}: operator rank agreement tau={tau:.3f} "
+            f"below floor {_TAU_FLOOR}"
+        )
+
+    def test_fig2_medium_model_operator_ranking(self):
+        labels, analytical, simulated = _latencies(MEDIUM_CONFIG)
+        assert (
+            labels[analytical.index(max(analytical))]
+            == labels[simulated.index(max(simulated))]
+        )
+        assert _rank_agreement(analytical, simulated) >= _TAU_FLOOR
+
+
+class TestConfigRanking:
+    """Across the fig1 grid: summed-layer latency must pick the same
+    winner (and loser) under both backends."""
+
+    def test_fig1_winner_and_ranking_agree(self):
+        names = list(FIG1_SHAPES)
+        totals_analytical, totals_simulated = [], []
+        for name in names:
+            _, analytical, simulated = _latencies(_fig1_config(name))
+            totals_analytical.append(sum(analytical))
+            totals_simulated.append(sum(simulated))
+
+        winner_analytical = names[totals_analytical.index(min(totals_analytical))]
+        winner_simulated = names[totals_simulated.index(min(totals_simulated))]
+        assert winner_analytical == winner_simulated
+
+        loser_analytical = names[totals_analytical.index(max(totals_analytical))]
+        loser_simulated = names[totals_simulated.index(max(totals_simulated))]
+        assert loser_analytical == loser_simulated
+
+        tau = _rank_agreement(totals_analytical, totals_simulated)
+        assert tau >= _TAU_FLOOR, f"config rank agreement tau={tau:.3f}"
+
+    def test_latency_scale_agrees_within_2x(self):
+        # Ranks could agree while magnitudes drift arbitrarily; pin the
+        # scale so the simulator stays a *validation* of the model.
+        for name in FIG1_SHAPES:
+            _, analytical, simulated = _latencies(_fig1_config(name))
+            ratio = sum(analytical) / sum(simulated)
+            assert 0.5 <= ratio <= 2.0, f"{name}: scale ratio {ratio:.2f}"

@@ -1,0 +1,172 @@
+"""Fuzz the ``repro serve`` / ``repro loadgen`` CLI exit-code contract.
+
+The documented contract: 0 = every query answered ok (loadgen: run
+passed), 1 = at least one query failed or was rejected (loadgen: run
+failed), 2 = a :class:`~repro.errors.ReproError` (bad config, bad
+query file, unknown field) — argparse usage errors also exit 2.
+Whatever arguments the fuzzer throws, the CLI must land on one of
+those three codes, never crash with a traceback.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+
+
+def _run(argv, tmp_path=None):
+    try:
+        return main(argv)
+    except SystemExit as exc:  # argparse usage errors
+        return exc.code if isinstance(exc.code, int) else 2
+
+
+_dims = st.integers(min_value=-4, max_value=2048)
+_kinds = st.sampled_from(["evaluate", "latency", "tflops", "bogus"])
+_gpus = st.sampled_from(["A100", "H100", "NOPE"])
+
+_query_dicts = st.fixed_dictionaries(
+    {
+        "kind": _kinds,
+        "m": _dims,
+        "n": _dims,
+        "k": _dims,
+        "gpu": _gpus,
+    }
+)
+
+
+class TestServeFuzz:
+    @given(queries=st.lists(_query_dicts, min_size=1, max_size=6))
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_exit_codes_follow_contract(self, tmp_path, queries):
+        path = tmp_path / "queries.jsonl"
+        path.write_text("\n".join(json.dumps(q) for q in queries) + "\n")
+        code = _run(
+            ["serve", "--queries", str(path), "--workers", "1", "--linger", "0"]
+        )
+        assert code in (0, 1, 2)
+        if any(q["kind"] == "bogus" or min(q["m"], q["n"], q["k"]) <= 0
+               for q in queries):
+            # Malformed queries are a ReproError before serving starts.
+            assert code == 2
+        elif all(q["gpu"] != "NOPE" for q in queries):
+            assert code == 0
+        else:
+            # Unknown GPUs fail per-request, not the whole process.
+            assert code == 1
+
+    @given(
+        workers=st.integers(min_value=-1, max_value=2),
+        max_batch=st.integers(min_value=-1, max_value=8),
+        max_queue=st.integers(min_value=-1, max_value=64),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_config_knob_fuzz(self, workers, max_batch, max_queue):
+        code = _run(
+            [
+                "serve",
+                "--workers", str(workers),
+                "--max-batch", str(max_batch),
+                "--max-queue", str(max_queue),
+                "--linger", "0",
+            ]
+        )
+        if workers < 1 or max_batch < 1 or max_queue < 1:
+            assert code == 2  # ConfigError at construction
+        else:
+            assert code in (0, 1)  # tiny queues may shed demo queries
+
+    def test_demo_battery_exits_zero(self):
+        assert _run(["serve"]) == 0
+
+    def test_bad_query_json_exits_two(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        assert _run(["serve", "--queries", str(path)]) == 2
+
+    def test_missing_query_file_exits_two(self):
+        assert _run(["serve", "--queries", "/no/such/file.jsonl"]) == 2
+
+    def test_empty_query_file_exits_two(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert _run(["serve", "--queries", str(path)]) == 2
+
+    def test_unknown_flag_exits_two(self):
+        assert _run(["serve", "--frobnicate"]) == 2
+
+
+class TestLoadgenFuzz:
+    @given(
+        requests=st.integers(min_value=-1, max_value=40),
+        unique=st.integers(min_value=-1, max_value=8),
+        clients=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_exit_codes_follow_contract(self, requests, unique, clients, seed):
+        code = _run(
+            [
+                "loadgen",
+                "--requests", str(requests),
+                "--unique", str(unique),
+                "--clients", str(clients),
+                "--seed", str(seed),
+                "--workers", "1",
+                "--no-verify",
+                "--output", "-",
+            ]
+        )
+        if requests < 1 or unique < 1:
+            assert code == 2  # ConfigError from generate_queries
+        else:
+            assert code == 0
+
+    def test_unknown_gpu_fails_with_one(self):
+        code = _run(
+            [
+                "loadgen",
+                "--requests", "5",
+                "--gpus", "NOPE",
+                "--no-verify",
+                "--output", "-",
+            ]
+        )
+        assert code == 1
+
+    def test_writes_benchmark_record(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        code = _run(
+            [
+                "loadgen",
+                "--requests", "60",
+                "--unique", "8",
+                "--seed", "4",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "repro loadgen"
+        assert record["requests"] == 60
+        assert record["passed"] is True
+        assert record["coalesce_ratio"] > 0
+        assert record["verify_mismatches"] == 0
+
+    def test_bad_fault_plan_exits_two(self):
+        code = _run(
+            [
+                "loadgen",
+                "--requests", "5",
+                "--inject-faults", "/no/such/plan.json",
+                "--output", "-",
+            ]
+        )
+        assert code == 2
