@@ -8,6 +8,12 @@ source rather than running it:
   comprehension.  Hot paths must use the engine batch path
   (:func:`repro.engine.default_engine`), which is memoized and
   vectorized; a scalar call per iteration silently forfeits both.
+- ``self/engine-eval-in-loop`` — an engine batch method (``evaluate``
+  / ``latency`` / ``tflops``) called on a :class:`ShapeEngine` (or a
+  ``default_engine()`` result) inside a loop or comprehension.  A grid
+  loop that calls the engine once per iteration forfeits the SoA
+  whole-grid path: build one :class:`~repro.engine.ShapeGrid` covering
+  the sweep and call ``evaluate_grid`` once.
 - ``self/calibration-constant-guard`` — a calibration-mutable constant
   (module-level ``_EFF_*`` in ``repro.gpu``) that the cache-key module
   does not fold into :func:`repro.engine.cache.model_version`.  Such a
@@ -38,6 +44,7 @@ from repro.analysis.diagnostics import LintDiagnostic, LintReport, Location, Sev
 from repro.errors import ConfigError
 
 RULE_SCALAR_LOOP = "self/scalar-eval-in-loop"
+RULE_ENGINE_LOOP = "self/engine-eval-in-loop"
 RULE_CONSTANT_GUARD = "self/calibration-constant-guard"
 RULE_NONDET_KEY = "self/nondeterministic-cache-key"
 RULE_DATACLASS_DOC = "self/dataclass-docstring"
@@ -226,6 +233,50 @@ class _ScalarLoopVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _EngineLoopVisitor(_ScalarLoopVisitor):
+    """Finds engine batch calls under a loop (per-shape scalar use).
+
+    Same binding machinery as :class:`_ScalarLoopVisitor`, retargeted
+    at :class:`ShapeEngine` receivers — including the inline
+    ``default_engine().evaluate(...)`` form, which binds no name.
+    """
+
+    _CTOR_NAMES = frozenset({"ShapeEngine", "default_engine"})
+
+    @staticmethod
+    def _is_gemm_model_ctor(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        fn = value.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        return name in _EngineLoopVisitor._CTOR_NAMES
+
+    @staticmethod
+    def _annotation_is_gemm_model(node: Optional[ast.expr]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id == "ShapeEngine"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "ShapeEngine"
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return "ShapeEngine" in node.value
+        return False
+
+    def _receiver(self, node: ast.Attribute) -> Optional[str]:
+        found = super()._receiver(node)
+        if found is not None:
+            return found
+        obj = node.value
+        if self._is_gemm_model_ctor(obj):
+            fn = obj.func  # type: ignore[union-attr]
+            name = fn.id if isinstance(fn, ast.Name) else fn.attr
+            return f"{name}()"
+        return None
+
+
 class SelfLinter:
     """Runs the self-lint rules over a Python source tree."""
 
@@ -280,6 +331,7 @@ class SelfLinter:
 
         for path, (tree, lines) in parsed.items():
             report.extend(self._check_scalar_loops(path, tree, lines))
+            report.extend(self._check_engine_loops(path, tree, lines))
             report.extend(self._check_nondet_keys(path, tree, lines))
             report.extend(self._check_dataclass_docs(path, tree, lines))
         report.extend(self._check_constant_guard(parsed))
@@ -303,6 +355,29 @@ class SelfLinter:
                     f"scalar GemmModel call `{call}(...)` inside a loop; "
                     "batch the shapes and use the engine "
                     "(repro.engine.default_engine) instead",
+                    Location(file=self._rel(path), line=lineno, column=col),
+                )
+            )
+        return out
+
+    # -- rule: engine eval in loop ---------------------------------------------
+
+    def _check_engine_loops(
+        self, path: Path, tree: ast.Module, lines: Sequence[str]
+    ) -> List[LintDiagnostic]:
+        visitor = _EngineLoopVisitor()
+        visitor.visit(tree)
+        out = []
+        for lineno, col, call in visitor.hits:
+            if _suppressed(lines, lineno, RULE_ENGINE_LOOP):
+                continue
+            out.append(
+                LintDiagnostic(
+                    RULE_ENGINE_LOOP,
+                    Severity.WARNING,
+                    f"engine call `{call}(...)` inside a loop; build one "
+                    "ShapeGrid covering the whole sweep and call "
+                    "engine.evaluate_grid once instead",
                     Location(file=self._rel(path), line=lineno, column=col),
                 )
             )

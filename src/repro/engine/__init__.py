@@ -5,8 +5,12 @@ Public surface:
 - :func:`evaluate_batch` / :func:`shape_array` / :class:`BatchResult` —
   batched evaluation of ``(batch, m, n, k)`` shape arrays, bit-for-bit
   equal to the scalar :class:`repro.gpu.gemm_model.GemmModel`.
+- :class:`ShapeGrid` / :class:`GridResult` — structure-of-arrays grids:
+  whole sweeps evaluated as one ufunc chain via
+  :meth:`ShapeEngine.evaluate_grid`, columnar from expansion to
+  materialization.
 - :class:`ShapeEngine` / :func:`default_engine` — the cached front door
-  (in-memory LRU + optional on-disk store).
+  (in-memory LRU + optional mmap-shared on-disk store).
 - :func:`verify_against_scalar` — the standing parity oracle.
 - :mod:`repro.engine.cache` — cache primitives and the global scalar
   memo that :class:`GemmModel` consults.
@@ -18,6 +22,7 @@ modules here that (lazily) reach back into ``repro.gpu``.
 
 from repro.engine import cache
 from repro.engine.vectorized import BatchResult, evaluate_batch, shape_array
+from repro.engine.grid import GridResult, ShapeGrid
 from repro.engine.core import (
     DISK_CACHE_ENV,
     ParityReport,
@@ -31,8 +36,10 @@ from repro.engine.core import (
 __all__ = [
     "BatchResult",
     "DISK_CACHE_ENV",
+    "GridResult",
     "ParityReport",
     "ShapeEngine",
+    "ShapeGrid",
     "cache",
     "default_engine",
     "evaluate_batch",

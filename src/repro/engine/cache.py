@@ -9,9 +9,14 @@ This module provides the two cache levels the engine composes:
   module-global :func:`scalar_memo`) for individual
   :class:`~repro.gpu.gemm_model.GemmPerf` evaluations, so repeated
   figure regeneration and overlapping autotune grids never recompute.
-- :class:`DiskCache` — an optional on-disk ``.npz`` store keyed by a
+- :class:`DiskCache` — an optional on-disk ``.soa`` store keyed by a
   SHA-256 digest of ``(shapes, gpu, dtype, model-version)``, surviving
-  process restarts.
+  process restarts.  Entries are a flat mmap-friendly container (JSON
+  header + 64-byte-aligned raw array bytes) read back as zero-copy
+  :func:`numpy.frombuffer` views over a shared memory map, so every
+  process on the machine — serve workers, ``repro run --parallel``
+  workers, the bench harness — shares one warm page cache for the
+  same store instead of N private deserialized copies.
 
 Keys always embed :func:`model_version`, which folds in the calibration-
 mutable alignment constants (``repro.gpu.alignment._EFF_AT_MIN`` /
@@ -28,9 +33,9 @@ import hashlib
 import itertools
 import json
 import logging
+import mmap
 import os
 import threading
-import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -145,17 +150,42 @@ class LRUCache:
 _TMP_SEQ = itertools.count()
 
 #: Suffix quarantined entries are renamed to.  Deliberately not
-#: ``.npz``: ``clear()``/``__len__`` glob only live entries, and a
+#: ``.soa``: ``clear()``/``__len__`` glob only live entries, and a
 #: quarantined file can never be re-read as a cache hit.
 QUARANTINE_SUFFIX = ".quarantined"
 
+#: Live disk-cache entries end in this suffix.
+ENTRY_SUFFIX = ".soa"
+
+#: Magic bytes opening every ``.soa`` entry (version baked in).
+SOA_MAGIC = b"REPRO-SOA1\x00"
+
+#: Array payloads start on this alignment so mmap'ed views are
+#: cacheline/SIMD friendly and pages fault in cleanly.
+_SOA_ALIGN = 64
+
+
+def _align_up(n: int, align: int = _SOA_ALIGN) -> int:
+    return (n + align - 1) // align * align
+
 
 class DiskCache:
-    """On-disk ``.npz`` store for batch-evaluation results.
+    """On-disk structure-of-arrays store for batch-evaluation results.
 
-    One file per entry, named by the key digest.  Each file holds the
-    result arrays plus a JSON metadata blob (the full key, so collisions
-    are detected rather than silently served).
+    One flat ``.soa`` file per entry, named by the key digest::
+
+        REPRO-SOA1\\0 | header-len (8B LE) | JSON header | pad | raw arrays
+
+    The JSON header carries the full cache key (so digest collisions
+    are detected rather than silently served), the entry metadata, a
+    descriptor per array (name, dtype, shape, offset, nbytes) and a
+    SHA-256 of the data section.  Array bytes are stored raw at
+    64-byte-aligned offsets and read back as **zero-copy
+    ``np.frombuffer`` views over a shared read-only memory map** —
+    every process opening the same store shares one set of OS page
+    cache pages, so N serve workers warm the cache once, not N times.
+    The returned views are read-only; callers must copy before
+    mutating (engine results are immutable, so none do).
 
     Robustness contract:
 
@@ -163,9 +193,11 @@ class DiskCache:
       unique per-(pid, sequence) tmp file, fsyncs it, then
       ``os.replace``'s it into place — a crash mid-write can never
       leave a torn live entry, and two processes writing the same
-      digest race only on which complete file wins.
-    - **Corrupt entries are quarantined**, not retried forever: an
-      unreadable file is renamed aside (``*.quarantined``), counted in
+      digest race only on which complete file wins.  Readers holding
+      an mmap of the replaced file keep their (complete, old) mapping.
+    - **Corrupt entries are quarantined**, not retried forever: a file
+      with a bad magic, torn header, or data-section checksum mismatch
+      is renamed aside (``*.quarantined``), counted in
       :attr:`CacheStats.quarantined`, and the lookup proceeds as a
       miss, so one bad file costs one recompute instead of poisoning
       every warm start.
@@ -177,7 +209,7 @@ class DiskCache:
         self.stats = CacheStats()
 
     def _path(self, digest: str) -> Path:
-        return self.directory / f"{digest}.npz"
+        return self.directory / f"{digest}{ENTRY_SUFFIX}"
 
     def _quarantine(self, path: Path) -> None:
         """Rename a corrupt entry aside so it is never re-read."""
@@ -193,38 +225,81 @@ class DiskCache:
         _event("cache.quarantine", entry=path.name)
         log.warning("quarantined corrupt cache entry %s -> %s", path, target.name)
 
-    def get(self, digest: str, key_repr: str) -> Optional[Dict[str, Any]]:
-        """Load arrays + meta for a digest, or None on miss/mismatch.
+    def _decode(self, mm: mmap.mmap) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Parse one mapped entry into (header, zero-copy arrays).
 
-        A corrupt file is quarantined (renamed aside) and reported as a
-        miss; a key mismatch (digest collision or stale format) is a
-        plain miss.
+        Raises ``ValueError``/``OSError`` on any structural problem —
+        the caller quarantines.  Returned arrays are read-only views
+        into ``mm``; numpy keeps the map alive via each view's base.
         """
         import numpy as np
 
+        view = memoryview(mm)
+        if len(view) < len(SOA_MAGIC) + 8:
+            raise ValueError("entry shorter than magic + header length")
+        if bytes(view[: len(SOA_MAGIC)]) != SOA_MAGIC:
+            raise ValueError("bad magic")
+        header_len = int.from_bytes(
+            view[len(SOA_MAGIC) : len(SOA_MAGIC) + 8], "little"
+        )
+        header_start = len(SOA_MAGIC) + 8
+        if header_len <= 0 or header_start + header_len > len(view):
+            raise ValueError("torn header")
+        header = json.loads(bytes(view[header_start : header_start + header_len]))
+        if not isinstance(header, dict):
+            raise ValueError(f"header is {type(header).__name__}, not dict")
+        data_start = _align_up(header_start + header_len)
+        data_len = int(header["data_len"])
+        if data_start + data_len > len(view):
+            raise ValueError("truncated data section")
+        digest = hashlib.sha256(view[data_start : data_start + data_len])
+        if digest.hexdigest() != header["sha256"]:
+            raise ValueError("data checksum mismatch")
+        arrays: Dict[str, Any] = {}
+        for desc in header["arrays"]:
+            dtype = np.dtype(desc["dtype"])
+            shape = tuple(int(d) for d in desc["shape"])
+            count = 1
+            for d in shape:
+                count *= d
+            offset = data_start + int(desc["offset"])
+            if int(desc["nbytes"]) != count * dtype.itemsize:
+                raise ValueError(f"array {desc['name']!r} descriptor mismatch")
+            if offset + count * dtype.itemsize > data_start + data_len:
+                raise ValueError(f"array {desc['name']!r} out of bounds")
+            arr = np.frombuffer(mm, dtype=dtype, count=count, offset=offset)
+            arrays[desc["name"]] = arr.reshape(shape)
+        return header, arrays
+
+    def get(self, digest: str, key_repr: str) -> Optional[Dict[str, Any]]:
+        """Map arrays + meta for a digest, or None on miss/mismatch.
+
+        A corrupt file is quarantined (renamed aside) and reported as a
+        miss; a key mismatch (digest collision or stale format) is a
+        plain miss.  Hits return zero-copy read-only views over a
+        shared memory map, not materialized copies.
+        """
         fault_site("cache.disk_get", digest=digest, path=self._path(digest))
         path = self._path(digest)
         if not path.exists():
             self.stats.misses += 1
             return None
         try:
-            with np.load(path, allow_pickle=False) as npz:
-                payload = {name: npz[name] for name in npz.files}
-            meta = json.loads(str(payload.pop("__meta__")))
-            if not isinstance(meta, dict):
-                raise ValueError(f"metadata is {type(meta).__name__}, not dict")
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-            # BadZipFile: a torn/truncated archive is the classic
-            # crash-during-legacy-write corruption.
+            with open(path, "rb") as fh:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            header, payload = self._decode(mm)
+        except (OSError, ValueError, KeyError, TypeError):
             self._quarantine(path)
             self.stats.misses += 1
             return None
-        if meta.get("key") != key_repr:
-            # Digest collision or stale format: treat as a miss.
+        meta = header.get("meta")
+        if not isinstance(meta, dict) or header.get("key") != key_repr:
+            # Digest collision or stale format: treat as a miss.  The
+            # map is released when the discarded views are collected.
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        payload["__meta__"] = meta
+        payload["__meta__"] = dict(meta, key=header["key"])
         return payload
 
     def put(self, digest: str, key_repr: str, arrays: Dict[str, Any], meta: Dict[str, Any]) -> None:
@@ -236,15 +311,45 @@ class DiskCache:
         """
         import numpy as np
 
-        meta = dict(meta)
-        meta["key"] = key_repr
+        descs = []
+        chunks = []
+        offset = 0
+        for name, value in arrays.items():
+            arr = np.ascontiguousarray(np.asarray(value))
+            offset = _align_up(offset)
+            descs.append(
+                {
+                    "name": str(name),
+                    "dtype": arr.dtype.str,
+                    "shape": list(arr.shape),
+                    "offset": offset,
+                    "nbytes": arr.nbytes,
+                }
+            )
+            chunks.append((offset, arr.tobytes()))
+            offset += arr.nbytes
+        data = bytearray(offset)
+        for off, raw in chunks:
+            data[off : off + len(raw)] = raw
+        header = {
+            "key": key_repr,
+            "meta": {k: v for k, v in meta.items() if k != "key"},
+            "arrays": descs,
+            "data_len": len(data),
+            "sha256": hashlib.sha256(bytes(data)).hexdigest(),
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode()
+        header_start = len(SOA_MAGIC) + 8
+        data_start = _align_up(header_start + len(header_bytes))
         path = self._path(digest)
-        tmp = path.with_name(
-            f"{digest}.{os.getpid()}-{next(_TMP_SEQ)}.tmp.npz"
-        )
+        tmp = path.with_name(f"{digest}.{os.getpid()}-{next(_TMP_SEQ)}.tmp")
         try:
             with open(tmp, "wb") as fh:
-                np.savez(fh, __meta__=np.array(json.dumps(meta)), **arrays)
+                fh.write(SOA_MAGIC)
+                fh.write(len(header_bytes).to_bytes(8, "little"))
+                fh.write(header_bytes)
+                fh.write(b"\x00" * (data_start - header_start - len(header_bytes)))
+                fh.write(data)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
@@ -259,7 +364,7 @@ class DiskCache:
         fault_site("cache.disk_put", digest=digest, path=path)
 
     def clear(self) -> None:
-        for path in self.directory.glob("*.npz"):
+        for path in self.directory.glob(f"*{ENTRY_SUFFIX}"):
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - racing deletes
@@ -270,7 +375,7 @@ class DiskCache:
         return sorted(self.directory.glob(f"*{QUARANTINE_SUFFIX}.*"))
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.npz"))
+        return sum(1 for _ in self.directory.glob(f"*{ENTRY_SUFFIX}"))
 
 
 # -- key construction -----------------------------------------------------------

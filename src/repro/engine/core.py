@@ -4,8 +4,9 @@
 autotune searches, the planner) use: it evaluates whole arrays of
 ``(batch, m, n, k)`` shapes through
 :func:`~repro.engine.vectorized.evaluate_batch`, memoizes each batch in
-an in-memory LRU, and optionally persists results to an on-disk ``.npz``
-store so repeated figure regeneration across processes never recomputes.
+an in-memory LRU, and optionally persists results to an on-disk ``.soa``
+store (mmap-shared across processes) so repeated figure regeneration
+never recomputes.
 
 Cache keys are ``(shapes-digest, gpu-spec fingerprint, dtype, tile
 policy, bw-efficiency, model-version)``; the model version folds in the
@@ -31,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine import cache as _cache
+from repro.engine.grid import GridResult, ShapeGrid
 from repro.errors import CacheError
 from repro.observability import metrics as _metrics
 from repro.observability import span as _span
@@ -42,7 +44,7 @@ from repro.engine.vectorized import (
     shape_array,
 )
 from repro.gpu.specs import get_gpu
-from repro.gpu.tiles import TileConfig
+from repro.gpu.tiles import TileConfig, candidate_tiles
 from repro.types import DType
 
 #: Environment variable naming a directory for the default engine's
@@ -78,6 +80,14 @@ class ShapeEngine:
     def _key(self, shapes, gpu, dtype, tile, candidates, bw_efficiency):
         spec = get_gpu(gpu)
         dtype = DType.parse(dtype)
+        if (
+            tile is None
+            and candidates is not None
+            and tuple(candidates) == tuple(candidate_tiles(spec, dtype))
+        ):
+            # Spelling out the default pool is the same policy as "auto";
+            # collapsing them keeps both callers on one cache entry.
+            candidates = None
         return (
             _cache.shapes_digest(shapes),
             _cache.spec_key(spec),
@@ -148,6 +158,89 @@ class ShapeEngine:
     def tflops(self, shapes, gpu, dtype: "str | DType" = DType.FP16, **kw) -> np.ndarray:
         """Useful-FLOPs throughput (TFLOP/s) for a batch of shapes."""
         return self.evaluate(shapes, gpu, dtype, **kw).tflops
+
+    def evaluate_grid(
+        self,
+        grid: ShapeGrid,
+        gpu,
+        dtype: "str | DType" = DType.FP16,
+        tile: Optional[TileConfig] = None,
+        candidates: Optional[Sequence[TileConfig]] = None,
+        bw_efficiency: float = _BW_EFFICIENCY,
+    ) -> GridResult:
+        """Evaluate a whole :class:`ShapeGrid` as one batch.
+
+        The SoA front door for sweep callers: the grid's columnar
+        ``batch/m/n/k`` fields are assembled into one ``(N, 4)`` array,
+        evaluated through the same two-level cache as :meth:`evaluate`,
+        and returned joined with the grid's annotation columns as a
+        :class:`~repro.engine.grid.GridResult` for columnar
+        materialization.
+        """
+        with _span("engine.evaluate_grid", shapes=len(grid), gpu=str(gpu)):
+            batch = self.evaluate(
+                grid.shapes,
+                gpu,
+                dtype,
+                tile=tile,
+                candidates=candidates,
+                bw_efficiency=bw_efficiency,
+            )
+        return GridResult(grid, batch)
+
+    def memo_columns(self, kind: str, key, compute) -> "dict[str, np.ndarray]":
+        """Two-level cached columnar result of a pure computation.
+
+        ``compute()`` must be a *pure, deterministic* function of
+        ``(kind, key, model constants)`` returning a dict of 1-D
+        array-likes (numeric or fixed-width string).  The result is
+        memoized in the same in-memory LRU and mmap-shared disk store
+        as :meth:`evaluate`, keyed on ``(kind, key, model_version)`` —
+        callers version their own semantics through ``kind``/``key``.
+
+        This is the warm path for deterministic non-GEMM grid work
+        (traced transformer shapes, discrete-event sim sweeps) whose
+        recomputation otherwise dominates warm experiment time.
+        """
+        full_key = ("columns", kind, key, _cache.model_version())
+        with _span("engine.memo_columns", kind=kind) as sp:
+            reg = _metrics()
+            hit = self._mem.get(full_key)
+            if hit is not None:
+                sp.set(source="memory")
+                reg.counter("engine.memo_columns.memory_hits").inc()
+                return hit
+            digest = _cache.digest_key(full_key)
+            if self._disk is not None:
+                stored = self._disk.get(digest, repr(full_key))
+                if stored is not None:
+                    stored.pop("__meta__", None)
+                    self._mem.put(full_key, stored)
+                    sp.set(source="disk")
+                    reg.counter("engine.memo_columns.disk_hits").inc()
+                    return stored
+            fault_site("engine.batch_eval", digest=digest, gpu=kind)
+            result = {
+                name: np.ascontiguousarray(np.asarray(col))
+                for name, col in compute().items()
+            }
+            for name, col in result.items():
+                if col.dtype == object:
+                    raise TypeError(
+                        f"memo_columns({kind!r}): column {name!r} has object "
+                        "dtype; return numeric or fixed-width string arrays"
+                    )
+            sp.set(source="compute")
+            reg.counter("engine.memo_columns.computes").inc()
+            self._mem.put(full_key, result)
+            if self._disk is not None:
+                try:
+                    self._disk.put(digest, repr(full_key), result, {"kind": kind})
+                except CacheError as exc:
+                    log.warning(
+                        "disk cache write failed, serving from memory: %s", exc
+                    )
+            return result
 
     # -- stats / maintenance ------------------------------------------------
 

@@ -25,6 +25,7 @@ shows up as reduced TFLOP/s exactly as it does on hardware.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -40,7 +41,7 @@ from repro.gpu.l2cache import effective_dram_bytes
 from repro.gpu.occupancy import blocks_per_sm
 from repro.gpu.roofline import gemm_flops
 from repro.gpu.specs import GPUSpec, get_gpu
-from repro.gpu.tiles import TileConfig, select_tile
+from repro.gpu.tiles import TileConfig, candidate_tiles, select_tile
 from repro.types import DType, TimeEstimate, teraflops
 
 # Fraction of datasheet DRAM bandwidth a well-tuned kernel achieves.
@@ -139,17 +140,33 @@ class GemmModel:
         self.dtype = DType.parse(dtype)
         self.fixed_tile = tile
         self.candidates = tuple(candidates) if candidates is not None else None
+        if (
+            self.fixed_tile is None
+            and self.candidates is not None
+            and self.candidates == tuple(candidate_tiles(self.spec, self.dtype))
+        ):
+            # Spelling out the default pool is the same policy as "auto":
+            # collapsing the two keeps callers that pass the pool
+            # explicitly on the same memo entries as callers that don't.
+            self.candidates = None
         if not (0.0 < bw_efficiency <= 1.0):
             raise ShapeError(f"bw_efficiency must be in (0,1]: {bw_efficiency}")
         self.bw_efficiency = bw_efficiency
         # Evaluation is a pure function of (shape, spec, dtype, tile
         # policy, bw efficiency, model constants); this prefix plus the
-        # live model version keys the global scalar memo.
-        self._memo_prefix = (
-            engine_cache.spec_key(self.spec),
-            self.dtype.name,
-            engine_cache.tile_policy_key(self.fixed_tile, self.candidates),
-            self.bw_efficiency,
+        # live model version keys the global scalar memo.  Digesting the
+        # big nested policy tuple down to one interned string makes every
+        # memo lookup hash a short str instead of re-hashing the whole
+        # spec fingerprint.
+        self._memo_prefix = sys.intern(
+            engine_cache.digest_key(
+                (
+                    engine_cache.spec_key(self.spec),
+                    self.dtype.name,
+                    engine_cache.tile_policy_key(self.fixed_tile, self.candidates),
+                    self.bw_efficiency,
+                )
+            )
         )
 
     # -- internals -----------------------------------------------------------
@@ -209,6 +226,10 @@ class GemmModel:
         live model version, so calibration runs that mutate the
         alignment constants never see stale entries.
         """
+        # Canonicalize shape fields: sweeps hand us a mix of Python
+        # ints, numpy integers, and integral floats for the *same*
+        # logical shape — int() collapses them onto one memo entry.
+        m, n, k, batch = int(m), int(n), int(k), int(batch)
         if not engine_cache.scalar_memo_enabled():
             return self._evaluate_uncached(m, n, k, batch)
         key = (self._memo_prefix, engine_cache.model_version(), m, n, k, batch)

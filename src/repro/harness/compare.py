@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ExperimentError
 
 
@@ -80,17 +82,26 @@ def check_series_ordered(
     for low_key, high_key in zip(key_order, key_order[1:]):
         lo_pts = series.get(low_key, [])
         hi_pts = series.get(high_key, [])
-        if not lo_pts or not hi_pts:
+        if not len(lo_pts) or not len(hi_pts):
             continue
-        for x_hi, y_hi in hi_pts:
-            x_lo, y_lo = min(lo_pts, key=lambda p: abs(p[0] - x_hi))
-            # Only compare points within 25% in x; farther apart the
-            # size effect swamps the alignment effect.
-            if abs(x_lo - x_hi) > 0.25 * max(x_hi, 1):
-                continue
-            comparisons += 1
-            if y_hi >= y_lo:
-                wins += 1
+        lo = np.asarray(lo_pts, dtype=np.float64)
+        hi = np.asarray(hi_pts, dtype=np.float64)
+        # Nearest-x matching over the full pair grid; argmin resolves
+        # ties to the first lo point, matching a linear min() scan.
+        nearest = np.argmin(
+            np.abs(lo[:, 0][None, :] - hi[:, 0][:, None]), axis=1
+        )
+        x_lo, y_lo = lo[nearest, 0], lo[nearest, 1]
+        x_hi, y_hi = hi[:, 0], hi[:, 1]
+        # Only compare points within 25% in x; farther apart the
+        # size effect swamps the alignment effect.
+        close = np.abs(x_lo - x_hi) <= 0.25 * np.maximum(x_hi, 1.0)
+        comparisons += int(np.count_nonzero(close))
+        wins += int(np.count_nonzero(close & (y_hi >= y_lo)))
+    return _series_verdict(wins, comparisons, min_fraction)
+
+
+def _series_verdict(wins: int, comparisons: int, min_fraction: float) -> CheckResult:
     if comparisons == 0:
         return CheckResult(False, "series ordering: no comparable points")
     frac = wins / comparisons
@@ -99,6 +110,117 @@ def check_series_ordered(
         f"series ordering holds for {wins}/{comparisons} "
         f"comparisons ({100 * frac:.0f}%, need {100 * min_fraction:.0f}%)",
     )
+
+
+def check_series_ordered_blocks(
+    block_keys,
+    series_keys,
+    xs,
+    ys,
+    min_fraction: float = 0.8,
+) -> "List[CheckResult]":
+    """Fused :func:`check_series_ordered` over many blocks at once.
+
+    Equivalent to grouping the rows by ``block_keys``, building the
+    per-block series (keyed by ``series_keys``, in sorted key order)
+    and running :func:`check_series_ordered` once per block — but the
+    nearest-x matching for *every* block and key pair happens in a
+    handful of whole-array operations, so a 13-family appendix check
+    costs the same as one.  Returns one :class:`CheckResult` per
+    distinct block key, in ascending block-key order.
+    """
+    block_keys = np.asarray(block_keys)
+    series_keys = np.asarray(series_keys)
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    n = x.size
+    if n == 0:
+        return []
+
+    order = np.lexsort((series_keys, block_keys))  # stable: keeps row order
+    b = block_keys[order]
+    sk = series_keys[order]
+    x = x[order]
+    y = y[order]
+
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.logical_or(b[1:] != b[:-1], sk[1:] != sk[:-1], out=new_group[1:])
+    group_id = np.cumsum(new_group) - 1
+    starts = np.flatnonzero(new_group)
+    ends = np.append(starts[1:], n)
+    group_block = b[starts]
+    ublocks, block_of_group = np.unique(group_block, return_inverse=True)
+
+    # The single-searchsorted pair matching below needs integral,
+    # strictly-ascending x within every group (ties and fractional
+    # keys could perturb nearest-match order); fall back to the scalar
+    # helper otherwise.  All figure sweeps use integer x grids.
+    integral = bool(np.all(np.isfinite(x)) and np.all(np.floor(x) == x))
+    ascending = bool(np.all((x[1:] > x[:-1]) | new_group[1:]))
+    span = (int(x.max()) - int(x.min()) + 1) if integral else 0
+    fits = integral and span * starts.size < 2**62
+    if not (integral and ascending and fits):
+        results = []
+        for blk in ublocks.tolist():
+            mask = block_keys == blk
+            series = {
+                key: list(
+                    zip(
+                        np.asarray(xs)[mask & (series_keys == key)].tolist(),
+                        np.asarray(ys)[mask & (series_keys == key)].tolist(),
+                    )
+                )
+                for key in np.unique(series_keys[mask]).tolist()
+            }
+            results.append(
+                check_series_ordered(series, sorted(series), min_fraction)
+            )
+        return results
+
+    # "hi" rows belong to a series whose predecessor group shares the
+    # block — exactly the consecutive sorted-key pairs of the scalar
+    # helper.
+    has_prev = np.empty(starts.size, dtype=bool)
+    has_prev[0] = False
+    has_prev[1:] = group_block[1:] == group_block[:-1]
+    hi_rows = np.flatnonzero(has_prev[group_id])
+
+    comp_blk = np.zeros(ublocks.size, dtype=np.int64)
+    wins_blk = np.zeros(ublocks.size, dtype=np.int64)
+    if hi_rows.size:
+        g_hi = group_id[hi_rows]
+        lo_start = starts[g_hi - 1]
+        lo_end = ends[g_hi - 1]
+        # Encode (group, x) into one monotone int64 key space so a
+        # single searchsorted locates every hi point inside its lo
+        # series at once.
+        xi = x.astype(np.int64)
+        base = int(xi.min())
+        keys = group_id * span + (xi - base)
+        target = (g_hi - 1) * span + (xi[hi_rows] - base)
+        ins = np.searchsorted(keys, target, side="left")
+        left = np.clip(ins - 1, lo_start, lo_end - 1)
+        right = np.clip(ins, lo_start, lo_end - 1)
+        x_hi = x[hi_rows]
+        # Nearest lo point; ties go left — the first (lowest-x)
+        # occurrence, matching the scalar helper's linear min() scan.
+        pick = np.where(
+            np.abs(x[left] - x_hi) <= np.abs(x[right] - x_hi), left, right
+        )
+        close = np.abs(x[pick] - x_hi) <= 0.25 * np.maximum(x_hi, 1.0)
+        win = close & (y[hi_rows] >= y[pick])
+        blk_of_hi = block_of_group[g_hi]
+        comp_blk = np.bincount(
+            blk_of_hi[close], minlength=ublocks.size
+        ).astype(np.int64)
+        wins_blk = np.bincount(
+            blk_of_hi[win], minlength=ublocks.size
+        ).astype(np.int64)
+    return [
+        _series_verdict(int(w), int(c), min_fraction)
+        for w, c in zip(wins_blk, comp_blk)
+    ]
 
 
 def check_monotone_rise(

@@ -143,11 +143,38 @@ def run_ablation_backfill() -> ResultTable:
         ),
         "A100",
     )
+
+    def simulate() -> dict:
+        import numpy as np
+
+        return {
+            "simulated_s": np.array(
+                [
+                    SMSimulator("A100", tile=batch.tile(i))
+                    .run(op.m, op.n, op.k, op.batch)
+                    .latency_s
+                    for i, op in enumerate(ops)
+                ],
+                dtype=np.float64,
+            )
+        }
+
+    # The DES sweep is pure in (shapes, selected tiles, sim version):
+    # memoize its columnar output so warm regeneration skips the
+    # event-by-event simulation.
+    sim_key = (
+        "v1",
+        "A100",
+        tuple(op.shape_tuple() for op in ops),
+        tuple(batch.tile(i) for i in range(len(ops))),
+    )
+    sim = default_engine().memo_columns("backfill.sim", sim_key, simulate)
+
     for i, op in enumerate(ops):
         a_s = float(batch.latency_s[i])
-        s = SMSimulator("A100", tile=batch.tile(i)).run(op.m, op.n, op.k, op.batch)
-        rel = abs(s.latency_s - a_s) / a_s
-        table.add(op.module, a_s * 1e6, s.latency_s * 1e6, rel)
+        s_s = float(sim["simulated_s"][i])
+        rel = abs(s_s - a_s) / a_s
+        table.add(op.module, a_s * 1e6, s_s * 1e6, rel)
     return table
 
 
@@ -496,17 +523,40 @@ def run_ext_pipeline_sim() -> ResultTable:
         "Extension: pipeline schedule simulation",
         ["schedule", "stages", "microbatches", "bubble", "closed_form", "peak_acts_s0"],
     )
-    for schedule in ("1f1b", "gpipe"):
-        for p, m in ((4, 4), (4, 16), (8, 8)):
+    combos = [
+        (schedule, p, m)
+        for schedule in ("1f1b", "gpipe")
+        for p, m in ((4, 4), (4, 16), (8, 8))
+    ]
+
+    def simulate() -> dict:
+        import numpy as np
+
+        bubbles, closed, peaks = [], [], []
+        for schedule, p, m in combos:
             res = simulate_pipeline(p, m, schedule=schedule)
-            table.add(
-                schedule,
-                p,
-                m,
-                res.bubble_fraction,
-                bubble_fraction(p, m),
-                res.peak_activations(0),
-            )
+            bubbles.append(res.bubble_fraction)
+            closed.append(bubble_fraction(p, m))
+            peaks.append(res.peak_activations(0))
+        return {
+            "bubble": np.array(bubbles, dtype=np.float64),
+            "closed_form": np.array(closed, dtype=np.float64),
+            "peak_acts_s0": np.array(peaks, dtype=np.int64),
+        }
+
+    # Schedule simulation is pure in (combos, sim version): its columns
+    # live in the engine warm store alongside the GEMM batches.
+    sim = default_engine().memo_columns(
+        "pipeline.sim", ("v1", tuple(combos)), simulate
+    )
+    table.add_columns(
+        schedule=[c[0] for c in combos],
+        stages=[c[1] for c in combos],
+        microbatches=[c[2] for c in combos],
+        bubble=sim["bubble"].tolist(),
+        closed_form=sim["closed_form"].tolist(),
+        peak_acts_s0=sim["peak_acts_s0"].tolist(),
+    )
     return table
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, List, Sequence
 
 from repro.engine import default_engine, shape_array
-from repro.gpu.bmm_model import BmmModel, BmmShape
+from repro.gpu.bmm_model import BmmShape
 from repro.gpu.tiles import default_tile
 from repro.harness import sweep
 from repro.harness.compare import (
@@ -125,23 +125,16 @@ def _attention_sweep(
     appear, exactly like the appendix figures.  The range extends with
     the head count so every pow-2 bucket gets comparable-h neighbours.
     """
-    if max_hidden is None:
-        max_hidden = max(16384, heads * 8 * 24)
-    shape_fn = (
-        BmmModel.attention_score_shape if kind == "score" else BmmModel.attention_over_value_shape
-    )
     table = ResultTable(
         f"Attention {kind} BMM, a={heads}",
         ["hidden", "head_dim", "pow2", "tflops"],
         notes="series key: largest power of two dividing h/a, capped at 64",
     )
-    hiddens = sweep.hidden_sweep_for_heads(
-        heads, min_head_dim=8, max_hidden=max_hidden, points=60
+    grid = sweep.attention_grid(kind, heads, b=_B, s=_S, max_hidden=max_hidden)
+    result = default_engine().evaluate_grid(grid, gpu)
+    table.add_columns(
+        **result.columns(("hidden", "head_dim", "pow2", "tflops"))
     )
-    shapes = [shape_fn(_B, _S, h, heads) for h in hiddens]
-    tflops = default_engine().tflops(sweep.bmm_shape_array(shapes), gpu)
-    for h, tf in zip(hiddens, tflops):
-        table.add(h, h // heads, sweep.pow2_bucket(h // heads), float(tf))
     return table
 
 
@@ -195,22 +188,15 @@ def _fixed_head_dim_sweep(kind: str, gpu: str = "A100") -> ResultTable:
     # not re-tune the tile per batch count, and letting our oracle
     # selector re-optimize at every point would hide the very wave
     # cliffs this figure exists to show.
-    shape_fn = (
-        BmmModel.attention_score_shape if kind == "score" else BmmModel.attention_over_value_shape
-    )
     table = ResultTable(
         f"Attention {kind} BMM at fixed h/a=64",
         ["hidden", "heads", "tflops"],
         notes="h = 64a as a sweeps; sawtooth period differs per a "
         "(wave quantization).",
     )
-    points = sweep.head_dim_preserving_sweep(64, max_hidden=12288)
-    shapes = [shape_fn(_B, _S, h, a) for h, a in points]
-    tflops = default_engine().tflops(
-        sweep.bmm_shape_array(shapes), gpu, tile=default_tile()
-    )
-    for (h, a), tf in zip(points, tflops):
-        table.add(h, a, float(tf))
+    grid = sweep.head_dim_preserving_grid(kind, 64, b=_B, s=_S, max_hidden=12288)
+    result = default_engine().evaluate_grid(grid, gpu, tile=default_tile())
+    table.add_columns(**result.columns(("hidden", "heads", "tflops")))
     return table
 
 

@@ -374,17 +374,41 @@ def run_table2() -> ResultTable:
         seq_len=32,
         microbatch=2,
     )
-    model = DecoderModel(
-        vocab_size=cfg.vocab_size,
-        max_seq=cfg.seq_len,
-        hidden_size=cfg.hidden_size,
-        num_heads=cfg.num_heads,
-        num_layers=cfg.num_layers,
-        rng=np.random.default_rng(0),
+
+    def traced_columns() -> dict:
+        model = DecoderModel(
+            vocab_size=cfg.vocab_size,
+            max_seq=cfg.seq_len,
+            hidden_size=cfg.hidden_size,
+            num_heads=cfg.num_heads,
+            num_layers=cfg.num_layers,
+            rng=np.random.default_rng(0),
+        )
+        trace = OpTrace()
+        ids = np.random.default_rng(1).integers(
+            0, cfg.vocab_size, size=(cfg.seq_len, cfg.microbatch)
+        )
+        model.forward(ids, trace)
+        return trace.to_columns()
+
+    # The traced mapping is a pure function of (config, weight seed 0,
+    # input seed 1): cache its columnar form in the engine warm store so
+    # regeneration skips the NumPy forward pass entirely.
+    cols = default_engine().memo_columns(
+        "table2.trace",
+        (
+            "v1",
+            cfg.hidden_size,
+            cfg.num_heads,
+            cfg.num_layers,
+            cfg.vocab_size,
+            cfg.seq_len,
+            cfg.microbatch,
+            0,
+            1,
+        ),
+        traced_columns,
     )
-    trace = OpTrace()
-    ids = np.random.default_rng(1).integers(0, cfg.vocab_size, size=(cfg.seq_len, cfg.microbatch))
-    model.forward(ids, trace)
 
     expected = {op.module: op.shape_tuple() for op in layer_gemms(cfg)}
     expected["logit"] = logit_gemm(cfg).shape_tuple()
@@ -393,7 +417,12 @@ def run_table2() -> ResultTable:
         "Table II: analytic GEMM mapping vs executed matmul shapes",
         ["module", "analytic", "traced", "match"],
     )
-    traced = {rec.module: rec.shape_tuple() for rec in trace}
+    traced = {
+        module: tuple(shape)
+        for module, shape in zip(
+            cols["module"].tolist(), cols["shape"].tolist()
+        )
+    }
     for module, shape in expected.items():
         got = traced.get(module)
         table.add(module, str(shape), str(got), shape == got)

@@ -8,6 +8,7 @@ experiment per family and individually per head count
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List
 
 from repro.errors import ExperimentError
@@ -205,29 +206,58 @@ register(
 # -- appendix families ------------------------------------------------------------
 
 
+@lru_cache(maxsize=8)
+def _family_grid(kind: str):
+    # One SoA grid spanning every head count: the full family is a
+    # single engine evaluation (one ufunc chain, one cache entry)
+    # instead of 13 per-head-count calls.  Memoized like the per-head
+    # sweep grids — the concat of 13 frozen grids is itself frozen and
+    # reused across warm runs.
+    from repro.engine import ShapeGrid
+    from repro.harness import sweep
+    from repro.harness.sweep import _frozen
+
+    return _frozen(
+        ShapeGrid.concat(
+            [
+                sweep.attention_grid(kind, heads)
+                for heads in kernels.APPENDIX_HEAD_COUNTS
+            ]
+        )
+    )
+
+
 def _family_run(kind: str):
     def run() -> ResultTable:
+        from repro.engine import default_engine
+
         table = ResultTable(
             f"Appendix family: attention {kind} BMM across head counts",
             ["heads", "hidden", "head_dim", "pow2", "tflops"],
         )
-        for heads in kernels.APPENDIX_HEAD_COUNTS:
-            sub = kernels._attention_sweep(kind, heads)
-            for row in sub.rows:
-                table.add(heads, *row)
+        result = default_engine().evaluate_grid(_family_grid(kind), "A100")
+        table.add_columns(
+            **result.columns(("heads", "hidden", "head_dim", "pow2", "tflops"))
+        )
         return table
 
     return run
 
 
 def _family_check(table: ResultTable) -> CheckResult:
-    checks = []
-    for heads in sorted(set(table.column("heads"))):
-        sub = ResultTable("sub", ["hidden", "head_dim", "pow2", "tflops"])
-        for row in table.rows:
-            if row[0] == heads:
-                sub.add(*row[1:])
-        checks.append(kernels.check_pow2_ordering(sub))
+    from repro.harness.compare import check_series_ordered_blocks
+
+    # One fused pass over the whole family: same semantics as running
+    # check_pow2_ordering per head count, without rebuilding 13
+    # sub-tables row by row.  table.column() reads the pending SoA
+    # chunks directly, so the check never materializes row tuples.
+    checks = check_series_ordered_blocks(
+        table.column("heads"),
+        table.column("pow2"),
+        table.column("hidden"),
+        table.column("tflops"),
+        min_fraction=0.7,
+    )
     return CheckResult.all_of(checks)
 
 

@@ -31,7 +31,22 @@ class ResultTable:
         self.title = title
         self.columns = list(columns)
         self.notes = notes
-        self.rows: List[Tuple[Any, ...]] = []
+        self._rows: List[Tuple[Any, ...]] = []
+        # Columnar chunks appended by add_columns, transposed into
+        # _rows only when .rows is first read.  Keeping the table
+        # columnar until someone actually needs rows means the SoA hot
+        # path (build columns -> check columns) never pays for a
+        # row-tuple materialization it does not use.
+        self._col_chunks: List[List[Sequence[Any]]] = []
+
+    @property
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """All rows, materializing any pending columnar chunks."""
+        if self._col_chunks:
+            for ordered in self._col_chunks:
+                self._rows.extend(zip(*ordered))
+            self._col_chunks.clear()
+        return self._rows
 
     # -- building -------------------------------------------------------------
 
@@ -54,20 +69,47 @@ class ResultTable:
         for row in rows:
             self.add(*row)
 
+    def add_columns(self, **columns: Sequence[Any]) -> None:
+        """Bulk-append rows from equal-length columns.
+
+        The columnar fast path for SoA grid materialization: width and
+        column names are validated once, then rows are zipped straight
+        into the row list — no per-row validation overhead.
+        """
+        missing = set(self.columns) - set(columns)
+        extra = set(columns) - set(self.columns)
+        if missing or extra:
+            raise ExperimentError(
+                f"column mismatch: missing {sorted(missing)}, "
+                f"unknown {sorted(extra)}"
+            )
+        ordered = [columns[c] for c in self.columns]
+        lengths = {len(c) for c in ordered}
+        if len(lengths) > 1:
+            raise ExperimentError(f"ragged columns: lengths {sorted(lengths)}")
+        self._col_chunks.append(ordered)
+
     # -- access ---------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._rows) + sum(len(c[0]) for c in self._col_chunks)
 
     def column(self, name: str) -> List[Any]:
-        """All values of one column, in row order."""
+        """All values of one column, in row order.
+
+        Pending columnar chunks are read directly — asking for one
+        column never forces the row-tuple materialization.
+        """
         try:
             idx = self.columns.index(name)
         except ValueError:
             raise ExperimentError(
                 f"unknown column {name!r}; have {self.columns}"
             ) from None
-        return [row[idx] for row in self.rows]
+        out: List[Any] = [row[idx] for row in self._rows]
+        for ordered in self._col_chunks:
+            out.extend(ordered[idx])
+        return out
 
     def series(
         self, x: str, y: str, group: Optional[str] = None

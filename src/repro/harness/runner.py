@@ -35,6 +35,7 @@ if TYPE_CHECKING:
     from repro.resilience.checkpoint import SweepJournal
 
 from repro.engine import cache as engine_cache
+from repro.engine.core import default_engine
 from repro.errors import ExperimentError
 from repro.harness.compare import CheckResult
 from repro.harness.figures import get_experiment, list_experiments
@@ -57,6 +58,12 @@ class ExperimentReport:
     wall_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Engine cache traffic (memory LRU + disk store lookups of the
+    #: process-wide default engine) attributed to this experiment.
+    #: Separate from the scalar memo so grid-path experiments show
+    #: their cache behaviour instead of a misleading ``0 / 0``.
+    engine_hits: int = 0
+    engine_misses: int = 0
     #: Preflight shape-lint over the experiment's declared model
     #: configs (``Experiment.lint_configs``); ``None`` when the
     #: experiment declares none.
@@ -103,7 +110,8 @@ class ExperimentReport:
             "",
             f"check: {self.check.details}",
             f"wall time: {self.wall_time_s * 1e3:.1f} ms, "
-            f"cache: {self.cache_hits} hits / {self.cache_misses} misses",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses, "
+            f"engine: {self.engine_hits} hits / {self.engine_misses} misses",
         ]
         if self.error is not None:
             lines.append(
@@ -156,17 +164,32 @@ def run_experiment(exp_id: str) -> ExperimentReport:
     with _span("runner.experiment", id=exp.id) as sp:
         fault_site("runner.experiment", id=exp.id)
         lint = preflight_lint(exp)
+        engine = default_engine()
         before = engine_cache.scalar_memo_stats().snapshot()
+        mem_before = engine.memory_stats.snapshot()
+        disk_before = (
+            engine.disk_stats.snapshot() if engine.disk_stats is not None else None
+        )
         start = time.perf_counter()
         table = exp.run()
         check = exp.check(table)
         elapsed = time.perf_counter() - start
         used = engine_cache.scalar_memo_stats().delta(before)
+        engine_used = engine.memory_stats.delta(mem_before)
+        engine_hits, engine_misses = engine_used.hits, engine_used.misses
+        if disk_before is not None and engine.disk_stats is not None:
+            disk_used = engine.disk_stats.delta(disk_before)
+            # A disk hit resolved a memory miss; don't double-count it
+            # as a miss at the experiment level.
+            engine_hits += disk_used.hits
+            engine_misses = max(0, engine_misses - disk_used.hits)
         sp.set(
             passed=check.passed,
             rows=len(table.rows),
             memo_hits=used.hits,
             memo_misses=used.misses,
+            engine_hits=engine_hits,
+            engine_misses=engine_misses,
         )
         reg = _metrics()
         reg.counter("runner.experiments").inc()
@@ -182,6 +205,8 @@ def run_experiment(exp_id: str) -> ExperimentReport:
             wall_time_s=elapsed,
             cache_hits=used.hits,
             cache_misses=used.misses,
+            engine_hits=engine_hits,
+            engine_misses=engine_misses,
             lint=lint,
         )
 
@@ -471,15 +496,18 @@ def to_markdown_report(
         "qualitative shape.",
         f"Total experiment wall time: {total_s:.2f} s.",
         "",
-        "| id | paper ref | status | wall time | cache hit rate | title |",
-        "|---|---|---|---|---|---|",
+        "| id | paper ref | status | wall time | memo (hits/misses) "
+        "| engine (hits/misses) | title |",
+        "|---|---|---|---|---|---|---|",
     ]
     for rep in reports:
         status = "✅" if rep.passed else "❌"
         lines.append(
             f"| `{rep.id}` | {rep.paper_ref} | {status} "
             f"| {rep.wall_time_s * 1e3:.0f} ms "
-            f"| {100 * rep.cache_hit_rate:.0f}% | {rep.title} |"
+            f"| {rep.cache_hits}/{rep.cache_misses} "
+            f"({100 * rep.cache_hit_rate:.0f}%) "
+            f"| {rep.engine_hits}/{rep.engine_misses} | {rep.title} |"
         )
     lines.append("")
     for rep in reports:

@@ -8,9 +8,17 @@ around the GPT-2 tokenizer size.  These helpers build those grids.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, List, Sequence
 
 from repro.errors import ExperimentError
+
+
+def _frozen(grid):
+    """Freeze a grid's columns so memoized grids cannot be mutated."""
+    for name in grid.names:
+        grid.column(name).flags.writeable = False
+    return grid
 
 
 def arange_steps(lo: int, hi: int, step: int) -> List[int]:
@@ -90,6 +98,113 @@ def pow2_bucket(value: int, cap: int = 64) -> int:
     if value <= 0:
         raise ExperimentError(f"value must be positive, got {value}")
     return min(value & -value, cap)
+
+
+def pow2_buckets(values, cap: int = 64):
+    """Vectorized :func:`pow2_bucket` over an int array."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size and int(arr.min()) <= 0:
+        raise ExperimentError("values must be positive")
+    return np.minimum(arr & -arr, cap)
+
+
+def attention_grid(
+    kind: str,
+    heads: int,
+    b: int = 4,
+    s: int = 2048,
+    max_hidden: "int | None" = None,
+    points: int = 60,
+) -> "object":
+    """Columnar appendix-family sweep for one head count (Figs 7/21-47).
+
+    Expands the whole ``hidden`` axis as arrays — BMM shape fields,
+    head dim, and the pow-2 series key are all ufunc chains; no
+    per-point :class:`~repro.gpu.bmm_model.BmmShape` objects exist.
+    ``kind``: ``score`` for KQ^T (``b*a x (s, h/a) x (h/a, s)``), ``aov``
+    for attention-over-value (``b*a x (s, s) x (s, h/a)``).
+
+    Grids are memoized (and frozen read-only): the sweep definition is
+    static, so repeat experiment runs share one columnar expansion.
+    """
+    return _attention_grid_cached(kind, heads, b, s, max_hidden, points)
+
+
+@lru_cache(maxsize=256)
+def _attention_grid_cached(
+    kind: str, heads: int, b: int, s: int, max_hidden: "int | None", points: int
+) -> "object":
+    import numpy as np
+
+    from repro.engine.grid import ShapeGrid
+
+    if kind not in ("score", "aov"):
+        raise ExperimentError(f"unknown attention kind {kind!r}")
+    if max_hidden is None:
+        max_hidden = max(16384, heads * 8 * 24)
+    hiddens = np.asarray(
+        hidden_sweep_for_heads(
+            heads, min_head_dim=8, max_hidden=max_hidden, points=points
+        ),
+        dtype=np.int64,
+    )
+    head_dim = hiddens // heads
+    return _frozen(
+        ShapeGrid.from_columns(
+            batch=b * heads,
+            m=s,
+            n=s if kind == "score" else head_dim,
+            k=head_dim if kind == "score" else s,
+            hidden=hiddens,
+            heads=heads,
+            head_dim=head_dim,
+            pow2=pow2_buckets(head_dim),
+        )
+    )
+
+
+def head_dim_preserving_grid(
+    kind: str,
+    head_dim: int = 64,
+    b: int = 4,
+    s: int = 2048,
+    max_hidden: int = 16384,
+    min_heads: int = 1,
+) -> "object":
+    """Columnar fixed-h/a sweep (Figs 8/9/34): h = head_dim * a.
+
+    Memoized and frozen like :func:`attention_grid`.
+    """
+    return _head_dim_grid_cached(kind, head_dim, b, s, max_hidden, min_heads)
+
+
+@lru_cache(maxsize=256)
+def _head_dim_grid_cached(
+    kind: str, head_dim: int, b: int, s: int, max_hidden: int, min_heads: int
+) -> "object":
+    import numpy as np
+
+    from repro.engine.grid import ShapeGrid
+
+    if kind not in ("score", "aov"):
+        raise ExperimentError(f"unknown attention kind {kind!r}")
+    if head_dim <= 0:
+        raise ExperimentError("head_dim must be positive")
+    a = np.arange(max(1, min_heads), max_hidden // head_dim + 1, dtype=np.int64)
+    if a.size == 0:
+        raise ExperimentError("sweep produced no points")
+    return _frozen(
+        ShapeGrid.from_columns(
+            batch=b * a,
+            m=s,
+            n=s if kind == "score" else head_dim,
+            k=head_dim if kind == "score" else s,
+            hidden=a * head_dim,
+            heads=a,
+        )
+    )
 
 
 def vocab_sweep(center: int = 50257, span: int = 96, step: int = 1) -> List[int]:

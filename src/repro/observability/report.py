@@ -10,7 +10,10 @@ training step:
 - **Where did the time go?**  Total/mean/max duration per phase (the
   first dot-segment of a span name) and per span name, with shares.
 - **What did the caches do?**  Engine batch evaluations split by
-  ``source`` (memory / disk / compute) from ``engine.evaluate`` spans.
+  ``source`` (memory / disk / compute) from ``engine.evaluate`` spans,
+  plus SoA whole-grid evaluations (``engine.evaluate_grid``), column
+  memo lookups (``engine.memo_columns``), and per-experiment memo /
+  engine-cache deltas from ``runner.experiment`` spans.
 - **What did resilience do?**  Task attempts split by outcome, retried
   tasks, injected-fault firings, journal appends — so a chaos sweep's
   trace shows every retry storm and fault site at a glance.
@@ -77,6 +80,14 @@ class TraceReport:
     cache_sources: Dict[str, int] = field(default_factory=dict)
     #: shapes evaluated per source (sum of the ``shapes`` attribute).
     cache_shapes: Dict[str, int] = field(default_factory=dict)
+    #: engine.evaluate_grid spans (SoA front door) and their shape total.
+    grid_evaluations: int = 0
+    grid_shapes: int = 0
+    #: engine.memo_columns spans bucketed by ``source``.
+    column_memo_sources: Dict[str, int] = field(default_factory=dict)
+    #: per-experiment memo/engine cache deltas from runner.experiment
+    #: spans: id -> {memo_hits, memo_misses, engine_hits, engine_misses}.
+    experiment_memo: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: task.attempt spans bucketed by their ``outcome`` attribute.
     attempt_outcomes: Dict[str, int] = field(default_factory=dict)
     tasks: int = 0
@@ -141,6 +152,29 @@ class TraceReport:
                         f"  {source:<8} {self.cache_sources[source]:>5} "
                         f"batch(es), {shapes} shape(s)"
                     )
+        if self.grid_evaluations:
+            lines.append(
+                f"soa grids: {self.grid_evaluations} whole-grid evaluation(s), "
+                f"{self.grid_shapes} shape(s)"
+            )
+        if self.column_memo_sources:
+            lookups = sum(self.column_memo_sources.values())
+            source_bits = ", ".join(
+                f"{k}: {v}"
+                for k in ("memory", "disk", "compute")
+                if (v := self.column_memo_sources.get(k))
+            )
+            lines.append(f"column memo: {lookups} lookup(s) ({source_bits})")
+        if self.experiment_memo:
+            lines.append("")
+            lines.append("per-experiment cache deltas (hits/misses):")
+            lines.append(
+                f"  {'experiment':<20} {'scalar memo':>12} {'engine':>10}"
+            )
+            for exp_id, st in sorted(self.experiment_memo.items()):
+                memo = f"{st['memo_hits']}/{st['memo_misses']}"
+                eng = f"{st['engine_hits']}/{st['engine_misses']}"
+                lines.append(f"  {exp_id:<20} {memo:>12} {eng:>10}")
 
         if self.attempt_outcomes:
             lines.append("")
@@ -204,6 +238,27 @@ def summarize(
             report.cache_shapes[source] = report.cache_shapes.get(
                 source, 0
             ) + int(span.attrs.get("shapes", 0))
+        elif span.name == "engine.evaluate_grid":
+            report.grid_evaluations += 1
+            report.grid_shapes += int(span.attrs.get("shapes", 0))
+        elif span.name == "engine.memo_columns":
+            source = str(span.attrs.get("source", "compute"))
+            report.column_memo_sources[source] = (
+                report.column_memo_sources.get(source, 0) + 1
+            )
+        elif span.name == "runner.experiment":
+            exp_id = str(span.attrs.get("id", "?"))
+            entry = report.experiment_memo.setdefault(
+                exp_id,
+                {
+                    "memo_hits": 0,
+                    "memo_misses": 0,
+                    "engine_hits": 0,
+                    "engine_misses": 0,
+                },
+            )
+            for field_name in entry:
+                entry[field_name] += int(span.attrs.get(field_name, 0))
         elif span.name == "task.attempt":
             outcome = str(span.attrs.get("outcome", "unknown"))
             report.attempt_outcomes[outcome] = (

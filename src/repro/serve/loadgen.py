@@ -204,7 +204,9 @@ def verify_against_engine(
         shapes = np.asarray(
             [q.shape_tuple() for q, _ in items], dtype=np.int64
         )
-        result = engine.evaluate(shapes, gpu, dtype)
+        # One batched evaluation per (gpu, dtype) target group — the
+        # loop is over targets, not shapes.
+        result = engine.evaluate(shapes, gpu, dtype)  # lint: allow(engine-eval-in-loop)
         for row, (query, advisory) in enumerate(items):
             checked += 1
             expect_latency = float(result.latency_s[row])

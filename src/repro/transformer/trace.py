@@ -118,6 +118,20 @@ class OpTrace:
             seen.setdefault(rec.module)
         return list(seen)
 
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """Columnar export: module names + ``(N, 4)`` shape tuples.
+
+        The SoA bridge for caching traced mappings (e.g. the Table II
+        diff) in the engine's columnar memo: fixed-width string module
+        labels and one int64 shape row per record, in trace order.
+        """
+        return {
+            "module": np.array([r.module for r in self.records]),
+            "shape": np.array(
+                [r.shape_tuple() for r in self.records], dtype=np.int64
+            ).reshape(-1, 4),
+        }
+
     def summary(self) -> str:
         """Human-readable per-module FLOP breakdown."""
         total = max(self.flops(), 1)

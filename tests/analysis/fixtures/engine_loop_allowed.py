@@ -1,0 +1,9 @@
+"""Fixture: engine call in a loop suppressed with the allow pragma."""
+
+from repro.engine.core import ShapeEngine
+
+
+def grouped(targets):
+    engine = ShapeEngine()
+    for gpu, shapes in targets:
+        engine.evaluate(shapes, gpu)  # lint: allow(engine-eval-in-loop)

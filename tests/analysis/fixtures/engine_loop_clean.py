@@ -1,0 +1,19 @@
+"""Fixture: clean engine usage — whole-grid and single-batch calls."""
+
+from repro.engine.core import ShapeEngine, default_engine
+
+
+def whole_grid(grid):
+    engine = ShapeEngine()
+    return engine.evaluate_grid(grid, "A100")
+
+
+def single_batch(shapes):
+    return default_engine().evaluate(shapes, "A100")
+
+
+def rebound_name_is_untracked(shapes):
+    engine = ShapeEngine()
+    engine = object()
+    for row in shapes:
+        engine.evaluate(row)  # not a ShapeEngine any more

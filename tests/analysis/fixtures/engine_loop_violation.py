@@ -1,0 +1,26 @@
+"""Fixture: engine batch calls inside loops — all binding forms."""
+
+from repro.engine.core import ShapeEngine, default_engine
+
+
+def local_binding(shapes):
+    engine = ShapeEngine()
+    out = []
+    for row in shapes:
+        out.append(engine.evaluate([row], "A100"))
+    return out
+
+
+def inline_factory(shapes):
+    return [default_engine().tflops([row], "A100") for row in shapes]
+
+
+class Holder:
+    def __init__(self):
+        self.engine = ShapeEngine()
+
+    def run(self, shapes):
+        total = 0.0
+        for row in shapes:
+            total += float(self.engine.latency([row], "A100")[0])
+        return total

@@ -42,6 +42,27 @@ class TestScalarLoopRule:
         assert "self/scalar-eval-in-loop" not in rule_ids(report)
 
 
+class TestEngineLoopRule:
+    def test_flags_engine_calls_in_loops(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "engine_loop_violation.py"])
+        hits = [
+            d for d in report.findings()
+            if d.rule_id == "self/engine-eval-in-loop"
+        ]
+        # local ShapeEngine binding, inline default_engine() call in a
+        # comprehension, and self-attribute in a method loop
+        assert len(hits) == 3
+        assert all(d.severity == Severity.WARNING for d in hits)
+
+    def test_pragma_suppresses(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "engine_loop_allowed.py"])
+        assert report.exit_code == 0
+
+    def test_clean_patterns_pass(self, fixture_linter):
+        report = fixture_linter.lint([FIXTURES / "engine_loop_clean.py"])
+        assert "self/engine-eval-in-loop" not in rule_ids(report)
+
+
 class TestNondetKeyRule:
     def test_flags_time_and_environ_in_keyish_functions(self, fixture_linter):
         report = fixture_linter.lint([FIXTURES / "cache_key_violation.py"])

@@ -182,7 +182,7 @@ class TestDiskCache:
 
     def test_corrupt_file_is_a_miss(self, tmp_path):
         disk = DiskCache(tmp_path)
-        (tmp_path / "cafe.npz").write_bytes(b"not an npz")
+        (tmp_path / "cafe.soa").write_bytes(b"not a soa entry")
         assert disk.get("cafe", "whatever") is None
 
     def test_clear_removes_files(self, tmp_path):

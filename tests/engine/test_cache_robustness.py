@@ -1,6 +1,6 @@
 """Robustness tests for the cache layer: corruption, races, degradation.
 
-Satellite of the resilience PR: truncated ``.npz`` files, garbage
+Satellite of the resilience PR: truncated ``.soa`` entries, garbage
 bytes, stale ``model_version`` keys, concurrent multi-thread hammering,
 and the engine's memory-only degradation when disk writes fail.
 """
@@ -11,7 +11,9 @@ import numpy as np
 import pytest
 
 from repro.engine.cache import (
+    ENTRY_SUFFIX,
     QUARANTINE_SUFFIX,
+    SOA_MAGIC,
     DiskCache,
     LRUCache,
 )
@@ -30,7 +32,7 @@ def put_entry(disk, digest="d" * 8, key="key-A"):
 
 
 class TestCorruptEntryQuarantine:
-    def test_truncated_npz_quarantined(self, tmp_path):
+    def test_truncated_entry_quarantined(self, tmp_path):
         disk = DiskCache(tmp_path)
         digest, key = put_entry(disk)
         path = disk._path(digest)
@@ -47,17 +49,32 @@ class TestCorruptEntryQuarantine:
     def test_garbage_bytes_quarantined(self, tmp_path):
         disk = DiskCache(tmp_path)
         digest, key = put_entry(disk)
-        disk._path(digest).write_bytes(b"\x00\xffnot an npz archive at all")
+        disk._path(digest).write_bytes(b"\x00\xffnot a soa entry at all")
 
         assert disk.get(digest, key) is None
         assert disk.stats.quarantined == 1
 
-    def test_missing_meta_field_quarantined(self, tmp_path):
+    def test_torn_header_quarantined(self, tmp_path):
         disk = DiskCache(tmp_path)
         digest = "c" * 8
-        # A valid npz that simply lacks the __meta__ array.
-        np.savez(disk._path(digest).with_suffix(""), x=np.arange(3))
+        # Valid magic, but the declared header length runs past EOF —
+        # the classic crash-mid-write tear.
+        disk._path(digest).write_bytes(
+            SOA_MAGIC + (1 << 20).to_bytes(8, "little") + b"{}"
+        )
         assert disk.get(digest, "key") is None
+        assert disk.stats.quarantined == 1
+
+    def test_data_checksum_mismatch_quarantined(self, tmp_path):
+        # Flipping one payload bit must not serve silently wrong arrays:
+        # the data-section sha256 catches it and the entry is quarantined.
+        disk = DiskCache(tmp_path)
+        digest, key = put_entry(disk)
+        path = disk._path(digest)
+        payload = bytearray(path.read_bytes())
+        payload[-1] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        assert disk.get(digest, key) is None
         assert disk.stats.quarantined == 1
 
     def test_quarantined_file_not_counted_as_live(self, tmp_path):
@@ -98,7 +115,7 @@ class TestAtomicWrites:
     def test_no_tmp_litter_after_put(self, tmp_path):
         disk = DiskCache(tmp_path)
         put_entry(disk)
-        assert list(tmp_path.glob("*.tmp.npz")) == []
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_failed_write_raises_cache_error(self, tmp_path, monkeypatch):
         # Route the entry into a directory that no longer exists, as a
@@ -107,7 +124,7 @@ class TestAtomicWrites:
         monkeypatch.setattr(
             DiskCache,
             "_path",
-            lambda self, digest: tmp_path / "gone" / f"{digest}.npz",
+            lambda self, digest: tmp_path / "gone" / f"{digest}{ENTRY_SUFFIX}",
         )
         with pytest.raises(CacheError, match="cannot write"):
             put_entry(disk)
@@ -136,7 +153,7 @@ class TestAtomicWrites:
         for t in threads:
             t.join()
         assert errors == []
-        assert list(tmp_path.glob("*.tmp.npz")) == []
+        assert list(tmp_path.glob("*.tmp")) == []
         loaded = disk.get("same" * 4, "key-A")
         assert loaded is not None
         assert loaded["__meta__"]["writer"] in range(6)
@@ -208,7 +225,7 @@ class TestEngineDegradation:
     def test_engine_quarantines_then_recomputes(self, tmp_path):
         first = ShapeEngine(disk_dir=tmp_path)
         first.evaluate(SHAPES, get_gpu("A100"), DType.BF16)
-        entries = list(tmp_path.glob("*.npz"))
+        entries = list(tmp_path.glob(f"*{ENTRY_SUFFIX}"))
         assert len(entries) == 1
         entries[0].write_bytes(b"bitrot")
 

@@ -1,6 +1,6 @@
 """Caching must be invisible in the numbers.
 
-The engine's two cache levels (in-memory LRU, on-disk ``.npz`` store)
+The engine's two cache levels (in-memory LRU, on-disk ``.soa`` store)
 and the global scalar memo are pure memoization: an experiment run
 with a cold disk cache, a warm disk cache, no disk cache at all, or
 the scalar memo disabled must produce *bit-identical* ResultTables.

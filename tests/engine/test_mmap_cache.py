@@ -1,0 +1,128 @@
+"""mmap-shared disk cache under concurrency.
+
+The ``.soa`` store's contract across processes: concurrent readers
+share one mapped file, concurrent writers race safely (atomic
+``os.replace``), a reader never sees a torn entry (checksum-verified,
+quarantined on mismatch), and held zero-copy views survive a
+quarantine rename.  These tests exercise that contract with real
+processes hammering one cache directory.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import ENTRY_SUFFIX, QUARANTINE_SUFFIX, DiskCache
+from repro.engine.core import DISK_CACHE_ENV
+
+DIGEST = "a" * 16
+KEY = "shared-key"
+
+
+def _payload(seed: int = 0):
+    return {
+        "latency_s": np.linspace(0.1, 1.0, 64) + seed,
+        "shapes": np.arange(256, dtype=np.int64).reshape(64, 4) + seed,
+    }
+
+
+def _reader_proc(cache_dir, iterations, out):
+    cache = DiskCache(cache_dir)
+    errors = 0
+    hits = 0
+    for _ in range(iterations):
+        entry = cache.get(DIGEST, KEY)
+        if entry is None:
+            continue
+        entry.pop("__meta__", None)
+        # A served entry must always be internally consistent — the
+        # checksum gate means a torn write can never surface here.
+        if entry["shapes"].shape != (64, 4):
+            errors += 1
+        elif not np.isfinite(entry["latency_s"]).all():
+            errors += 1
+        else:
+            hits += 1
+    out.put(("reader", hits, errors))
+
+
+def _writer_proc(cache_dir, iterations, seed, out):
+    cache = DiskCache(cache_dir)
+    for i in range(iterations):
+        cache.put(DIGEST, KEY, _payload(seed), {"writer": seed, "i": i})
+    out.put(("writer", iterations, 0))
+
+
+class TestMultiProcessCache:
+    def test_concurrent_readers_and_writers_race_safely(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(DIGEST, KEY, _payload(), {"writer": -1})
+        out = mp.Queue()
+        procs = [
+            mp.Process(target=_reader_proc, args=(str(tmp_path), 200, out))
+            for _ in range(3)
+        ] + [
+            mp.Process(target=_writer_proc, args=(str(tmp_path), 50, s, out))
+            for s in (1, 2)
+        ]
+        for p in procs:
+            p.start()
+        results = [out.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        reader_hits = sum(h for kind, h, _ in results if kind == "reader")
+        errors = sum(e for _, _, e in results)
+        assert errors == 0
+        assert reader_hits > 0  # readers actually observed entries
+        # No torn temp files or quarantined entries left behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(f"*{QUARANTINE_SUFFIX}*")) == []
+        # The final entry is intact for a fresh process.
+        fresh = DiskCache(tmp_path).get(DIGEST, KEY)
+        assert fresh is not None
+        assert fresh["shapes"].shape == (64, 4)
+
+    def test_held_views_survive_quarantine_rename(self, tmp_path):
+        writer = DiskCache(tmp_path)
+        writer.put(DIGEST, KEY, _payload(), {})
+        reader = DiskCache(tmp_path)
+        held = reader.get(DIGEST, KEY)
+        assert held is not None
+        held.pop("__meta__")
+
+        # Corrupt the entry on disk while the views are alive.
+        (path,) = tmp_path.glob(f"*{ENTRY_SUFFIX}")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(data)
+
+        other = DiskCache(tmp_path)
+        assert other.get(DIGEST, KEY) is None
+        assert other.stats.quarantined == 1
+        assert list(tmp_path.glob(f"*{ENTRY_SUFFIX}")) == []
+        assert len(list(tmp_path.glob(f"*{QUARANTINE_SUFFIX}*"))) == 1
+
+        # The rename must not invalidate the zero-copy views: the
+        # mapping is backed by the inode, not the directory entry.
+        assert held["shapes"].shape == (64, 4)
+        assert held["latency_s"].size == 64
+
+    def test_views_are_zero_copy_and_read_only(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(DIGEST, KEY, _payload(), {})
+        entry = cache.get(DIGEST, KEY)
+        entry.pop("__meta__")
+        for arr in entry.values():
+            assert arr.base is not None  # a view over the mapping
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[0] = 0
+
+    def test_conftest_isolates_cache_dir(self):
+        # The autouse fixture must guarantee tests never inherit a
+        # developer's warm shared cache via the environment.
+        assert os.environ.get(DISK_CACHE_ENV) is None or "engine-cache" in (
+            os.environ[DISK_CACHE_ENV]
+        )
