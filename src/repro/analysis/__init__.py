@@ -8,6 +8,11 @@ Two prongs over one diagnostics currency (see
   quantified through the memoized engine (``repro lint <config>``).
 - :class:`SelfLinter` checks the ``repro`` source tree itself for
   engine-misuse and cache-correctness hazards (``repro lint --self``).
+
+A third, flow-sensitive prong lives in :mod:`repro.analysis.flow`
+(:class:`FlowLinter`): CFG + abstract-interpretation rules for
+unit/dimension consistency, lock/async discipline, and observability
+hygiene (``repro lint --flow``; also folded into ``--self``).
 """
 
 from repro.analysis.diagnostics import (
@@ -28,11 +33,13 @@ from repro.analysis.fixit import (
     rank_candidates,
     strictly_better,
 )
+from repro.analysis.flow import FlowLinter
 from repro.analysis.selflint import SelfLinter
 from repro.analysis.shape_rules import ShapeLinter
 
 __all__ = [
     "FixIt",
+    "FlowLinter",
     "GemmShape",
     "LintDiagnostic",
     "LintReport",

@@ -195,9 +195,27 @@ class LintReport:
         return sum(1 for d in self.diagnostics if d.severity == severity)
 
     def findings(self, min_severity: Severity = Severity.INFO) -> List[LintDiagnostic]:
-        """Diagnostics at or above a severity, worst first."""
+        """Diagnostics at or above a severity, worst first.
+
+        The order is fully deterministic regardless of rule-family
+        registration or dict iteration order: severity (worst first),
+        then path, line, column, rule id, and finally message text as
+        the tiebreak for co-located findings.
+        """
         kept = [d for d in self.diagnostics if d.severity >= min_severity]
-        return sorted(kept, key=lambda d: (-d.severity, d.rule_id))
+
+        def key(d: LintDiagnostic) -> Any:
+            loc = d.location
+            return (
+                -d.severity,
+                loc.file or loc.config_path or "",
+                loc.line or 0,
+                loc.column or 0,
+                d.rule_id,
+                d.message,
+            )
+
+        return sorted(kept, key=key)
 
     def render_text(self, min_severity: Severity = Severity.INFO) -> str:
         lines = [f"lint: {self.target}"]
@@ -224,5 +242,89 @@ class LintReport:
                 for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO, Severity.OK)
             },
             "diagnostics": [d.to_dict() for d in self.findings(min_severity)],
+        }
+        return json.dumps(payload, indent=2)
+
+    #: SARIF severity levels by :class:`Severity`.
+    _SARIF_LEVELS = {
+        Severity.ERROR: "error",
+        Severity.WARNING: "warning",
+        Severity.INFO: "note",
+        Severity.OK: "none",
+    }
+
+    def to_sarif(self, min_severity: Severity = Severity.INFO) -> str:
+        """Minimal SARIF 2.1.0 log for CI inline annotations.
+
+        One run, one driver (``repro-lint``), one result per finding.
+        Source findings carry a ``physicalLocation``; config-path
+        findings (shape lint) carry a ``logicalLocation`` instead.
+        """
+        shown = self.findings(min_severity)
+        rules: List[Dict[str, Any]] = []
+        rule_index: Dict[str, int] = {}
+        for diag in shown:
+            if diag.rule_id not in rule_index:
+                rule_index[diag.rule_id] = len(rules)
+                rule: Dict[str, Any] = {
+                    "id": diag.rule_id,
+                    "shortDescription": {"text": diag.rule_id},
+                }
+                if diag.paper_ref:
+                    rule["properties"] = {"paper_ref": diag.paper_ref}
+                rules.append(rule)
+
+        results: List[Dict[str, Any]] = []
+        for diag in shown:
+            message = diag.message
+            if diag.fixit is not None:
+                message += f" | fix: {diag.fixit.describe()}"
+            result: Dict[str, Any] = {
+                "ruleId": diag.rule_id,
+                "ruleIndex": rule_index[diag.rule_id],
+                "level": self._SARIF_LEVELS[diag.severity],
+                "message": {"text": message},
+            }
+            loc = diag.location
+            if loc.file is not None:
+                region: Dict[str, Any] = {}
+                if loc.line is not None:
+                    region["startLine"] = loc.line
+                if loc.column is not None:
+                    # SARIF columns are 1-based; ast columns are 0-based.
+                    region["startColumn"] = loc.column + 1
+                physical: Dict[str, Any] = {
+                    "artifactLocation": {"uri": loc.file.replace("\\", "/")}
+                }
+                if region:
+                    physical["region"] = region
+                result["locations"] = [{"physicalLocation": physical}]
+            elif loc.config_path is not None:
+                result["locations"] = [
+                    {
+                        "logicalLocations": [
+                            {"fullyQualifiedName": loc.config_path}
+                        ]
+                    }
+                ]
+            results.append(result)
+
+        payload = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": (
+                                "https://github.com/repro/repro"
+                            ),
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
         }
         return json.dumps(payload, indent=2)

@@ -1,0 +1,363 @@
+"""Intraprocedural control-flow graphs over Python ``ast``.
+
+:func:`build_cfg` lowers one function body into basic blocks of
+*instructions* — plain statements plus a few pseudo-instructions the
+dataflow analyses need (``with``-enter/exit carrying the context
+expression, loop-iteration bindings, branch tests).  Edges cover the
+full statement grammar the satellite tests exercise: ``if``/``elif``,
+``while``/``for`` with ``else``, ``break``/``continue``, early
+``return``/``raise``, ``try``/``except``/``else``/``finally``,
+``with``, and ``match``.
+
+Exception edges are conservative: every block created inside a ``try``
+body gets an edge to every handler entry (any statement may raise), and
+``finally`` blocks sit on both the normal and the exceptional route.
+Conservative extra edges are safe for the analyses built on top — the
+must-hold lock analysis joins by intersection and the unit environment
+joins toward unknown, so a spurious path can only *suppress* a
+diagnostic, never invent one.
+
+Comprehensions are expressions, not statements: they stay inside the
+instruction that contains them (the unit analysis descends into them
+as opaque sub-expressions).  The CFG is deliberately statement-grained.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BasicBlock", "CFG", "Instr", "build_cfg"]
+
+#: Instruction kinds (``Instr.kind``).
+KIND_STMT = "stmt"
+KIND_BRANCH = "branch"  # node is the test expression
+KIND_LOOP_ITER = "loop_iter"  # node is the For/AsyncFor statement
+KIND_WITH_ENTER = "with_enter"  # node is the withitem
+KIND_WITH_EXIT = "with_exit"  # node is the withitem
+KIND_MATCH = "match"  # node is the Match statement's subject
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One atomic unit of a basic block.
+
+    ``node`` is the underlying AST node; ``kind`` distinguishes plain
+    statements from the pseudo-instructions (:data:`KIND_WITH_ENTER`
+    etc.) that carry structure the flat statement list would lose.
+    """
+
+    node: ast.AST
+    kind: str = KIND_STMT
+
+    @property
+    def lineno(self) -> int:
+        return int(getattr(self.node, "lineno", 0))
+
+    @property
+    def col(self) -> int:
+        return int(getattr(self.node, "col_offset", 0))
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions with its CFG edges."""
+
+    bid: int
+    instrs: List[Instr] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """One function's control-flow graph.
+
+    ``entry`` and ``exit`` are synthetic empty blocks; every
+    ``return``/``raise``/fall-off-the-end path reaches ``exit``.
+    """
+
+    func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    blocks: Dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    @property
+    def node_count(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(b.succs) for b in self.blocks.values())
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def rpo(self) -> List[int]:
+        """Reverse post-order from the entry (unreachable blocks last)."""
+        seen = set()
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            stack = [(bid, iter(self.blocks[bid].succs))]
+            seen.add(bid)
+            while stack:
+                cur, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, iter(self.blocks[nxt].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(cur)
+                    stack.pop()
+
+        visit(self.entry)
+        for bid in self.blocks:
+            if bid not in seen:
+                seen.add(bid)
+                order.append(bid)
+        return list(reversed(order))
+
+
+class _Builder:
+    """Stateful lowering of one function body into a :class:`CFG`."""
+
+    def __init__(self, func: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self.func = func
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._next = 0
+        self.entry = self._new()
+        self.exit = self._new()
+        #: (continue_target, break_target) stack for loop bodies.
+        self._loops: List[Tuple[int, int]] = []
+        #: handler-entry block ids for enclosing try statements.
+        self._handlers: List[List[int]] = []
+
+    # -- graph primitives ---------------------------------------------------
+
+    def _new(self) -> int:
+        bid = self._next
+        self._next += 1
+        self.blocks[bid] = BasicBlock(bid)
+        return bid
+
+    def _edge(self, a: int, b: int) -> None:
+        if b not in self.blocks[a].succs:
+            self.blocks[a].succs.append(b)
+            self.blocks[b].preds.append(a)
+
+    def _emit(self, bid: int, node: ast.AST, kind: str = KIND_STMT) -> None:
+        self.blocks[bid].instrs.append(Instr(node, kind))
+        # Any instruction inside a try body may transfer to any handler.
+        for handlers in self._handlers:
+            for h in handlers:
+                self._edge(bid, h)
+
+    # -- statement lowering -------------------------------------------------
+
+    def build(self) -> CFG:
+        end = self._stmts(self.func.body, self.entry)
+        if end is not None:
+            self._edge(end, self.exit)
+        return CFG(self.func, self.blocks, self.entry, self.exit)
+
+    def _stmts(self, stmts: List[ast.stmt], cur: Optional[int]) -> Optional[int]:
+        """Lower a statement list; returns the live tail block (or None)."""
+        for stmt in stmts:
+            if cur is None:
+                # Unreachable code still gets blocks so diagnostics can
+                # point into it, but nothing flows in.
+                cur = self._new()
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, cur)
+        match_type = getattr(ast, "Match", None)
+        if match_type is not None and isinstance(stmt, match_type):
+            return self._match(stmt, cur)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._emit(cur, stmt)
+            self._edge(cur, self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self._emit(cur, stmt)
+            if self._loops:
+                self._edge(cur, self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self._emit(cur, stmt)
+            if self._loops:
+                self._edge(cur, self._loops[-1][0])
+            return None
+        # Everything else (including nested def/class, which are opaque
+        # at this level) is a straight-line instruction.
+        self._emit(cur, stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: int) -> Optional[int]:
+        self._emit(cur, stmt.test, KIND_BRANCH)
+        after = self._new()
+        then_entry = self._new()
+        self._edge(cur, then_entry)
+        then_end = self._stmts(stmt.body, then_entry)
+        if then_end is not None:
+            self._edge(then_end, after)
+        if stmt.orelse:
+            else_entry = self._new()
+            self._edge(cur, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+            if else_end is not None:
+                self._edge(else_end, after)
+        else:
+            self._edge(cur, after)
+        return after if self.blocks[after].preds else None
+
+    def _while(self, stmt: ast.While, cur: int) -> Optional[int]:
+        header = self._new()
+        after = self._new()
+        self._edge(cur, header)
+        self._emit(header, stmt.test, KIND_BRANCH)
+        body_entry = self._new()
+        self._edge(header, body_entry)
+        self._loops.append((header, after))
+        try:
+            body_end = self._stmts(stmt.body, body_entry)
+        finally:
+            self._loops.pop()
+        if body_end is not None:
+            self._edge(body_end, header)
+        if stmt.orelse:
+            else_entry = self._new()
+            self._edge(header, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+            if else_end is not None:
+                self._edge(else_end, after)
+        else:
+            self._edge(header, after)
+        return after if self.blocks[after].preds else None
+
+    def _for(self, stmt: "ast.For | ast.AsyncFor", cur: int) -> Optional[int]:
+        header = self._new()
+        after = self._new()
+        self._edge(cur, header)
+        self._emit(header, stmt, KIND_LOOP_ITER)
+        body_entry = self._new()
+        self._edge(header, body_entry)
+        self._loops.append((header, after))
+        try:
+            body_end = self._stmts(stmt.body, body_entry)
+        finally:
+            self._loops.pop()
+        if body_end is not None:
+            self._edge(body_end, header)
+        if stmt.orelse:
+            else_entry = self._new()
+            self._edge(header, else_entry)
+            else_end = self._stmts(stmt.orelse, else_entry)
+            if else_end is not None:
+                self._edge(else_end, after)
+        else:
+            self._edge(header, after)
+        return after if self.blocks[after].preds else None
+
+    def _try(self, stmt: ast.Try, cur: int) -> Optional[int]:
+        handler_entries = [self._new() for _ in stmt.handlers]
+        # Entering the try may already raise at the first statement.
+        for h in handler_entries:
+            self._edge(cur, h)
+        self._handlers.append(handler_entries)
+        try:
+            body_end = self._stmts(stmt.body, cur)
+        finally:
+            self._handlers.pop()
+
+        if stmt.orelse and body_end is not None:
+            body_end = self._stmts(stmt.orelse, body_end)
+
+        tails: List[int] = []
+        if body_end is not None:
+            tails.append(body_end)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_end = self._stmts(handler.body, entry)
+            if handler_end is not None:
+                tails.append(handler_end)
+
+        if stmt.finalbody:
+            final_entry = self._new()
+            for tail in tails:
+                self._edge(tail, final_entry)
+            # The exceptional route also runs finally before unwinding.
+            for h in handler_entries:
+                self._edge(h, final_entry)
+            if not tails and not handler_entries:
+                self._edge(cur, final_entry)
+            final_end = self._stmts(stmt.finalbody, final_entry)
+            if final_end is None:
+                return None
+            self._edge(final_end, self.exit)  # unwinding continues
+            after = self._new()
+            self._edge(final_end, after)
+            return after
+        if not tails:
+            return None
+        after = self._new()
+        for tail in tails:
+            self._edge(tail, after)
+        return after
+
+    def _with(self, stmt: "ast.With | ast.AsyncWith", cur: int) -> Optional[int]:
+        for item in stmt.items:
+            self._emit(cur, item, KIND_WITH_ENTER)
+        end = self._stmts(stmt.body, cur)
+        if end is None:
+            return None
+        for item in reversed(stmt.items):
+            self._emit(end, item, KIND_WITH_EXIT)
+        return end
+
+    def _match(self, stmt: ast.AST, cur: int) -> Optional[int]:
+        self._emit(cur, stmt.subject, KIND_MATCH)  # type: ignore[attr-defined]
+        after = self._new()
+        fell_through = True
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            case_entry = self._new()
+            self._edge(cur, case_entry)
+            case_end = self._stmts(case.body, case_entry)
+            if case_end is not None:
+                self._edge(case_end, after)
+            # A bare wildcard case with no guard is exhaustive.
+            if self._is_wildcard(case):
+                fell_through = False
+        if fell_through:
+            self._edge(cur, after)
+        return after if self.blocks[after].preds else None
+
+    @staticmethod
+    def _is_wildcard(case: ast.AST) -> bool:
+        pattern = case.pattern  # type: ignore[attr-defined]
+        match_as = getattr(ast, "MatchAs", None)
+        return (
+            match_as is not None
+            and isinstance(pattern, match_as)
+            and pattern.pattern is None
+            and getattr(case, "guard", None) is None
+        )
+
+
+def build_cfg(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """Build the intraprocedural CFG of one function definition."""
+    return _Builder(func).build()

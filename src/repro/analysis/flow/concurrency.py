@@ -1,0 +1,447 @@
+"""Lock-discipline and async-hygiene rules over the CFG fixpoint.
+
+The lattice is the *must-hold* lock set: the canonical dotted names of
+the locks provably held on **every** path into an instruction
+(``with self._lock:`` / ``.acquire()`` add, block exit / ``.release()``
+remove, joins intersect).  Three rules consume it:
+
+- ``flow/unguarded-shared-write`` — inside a class that owns
+  ``threading`` locks, an attribute written *both* with and without a
+  lock held.  Consistently-unlocked attributes (single-threaded state,
+  flags set before threads start) do not fire; the bug signature is the
+  mixed discipline.
+- ``flow/lock-across-await`` — a ``threading`` lock (sync ``with`` /
+  ``acquire``) held across an ``await``: the coroutine parks while
+  every other task contending for that lock deadlocks the event-loop
+  thread.
+- ``flow/blocking-in-async`` — ``time.sleep``, file I/O, subprocess
+  calls, or a synchronous ``Engine.evaluate*`` in a coroutine body;
+  these stall the event loop (dispatch to an executor instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.diagnostics import LintDiagnostic, Location, Severity
+from repro.analysis.flow.cfg import (
+    KIND_WITH_ENTER,
+    KIND_WITH_EXIT,
+    Instr,
+    build_cfg,
+)
+from repro.analysis.flow.fixpoint import DataflowAnalysis, run_fixpoint
+
+__all__ = [
+    "RULE_BLOCKING_ASYNC",
+    "RULE_LOCK_AWAIT",
+    "RULE_UNGUARDED_WRITE",
+    "ConcurrencyChecker",
+]
+
+RULE_UNGUARDED_WRITE = "flow/unguarded-shared-write"
+RULE_LOCK_AWAIT = "flow/lock-across-await"
+RULE_BLOCKING_ASYNC = "flow/blocking-in-async"
+
+#: Constructors that make an attribute a known lock.
+_LOCK_CTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Name fragments that mark a dotted expression as lock-like even when
+#: its constructor is out of view (module globals, parameters).
+_LOCKISH = ("lock", "cond", "mutex", "semaphore")
+
+#: Method calls that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popleft",
+        "appendleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "rotate",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Blocking calls by dotted name.
+_BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+    }
+)
+
+#: Blocking calls by method name (receiver-independent).
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Synchronous engine entry points that must not run on the event loop.
+_ENGINE_METHODS = frozenset({"evaluate", "evaluate_grid", "latency", "tflops"})
+
+#: Must-hold state: dotted lock names held on every path (None=bottom).
+LockState = Optional[FrozenSet[str]]
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lockish(path: str) -> bool:
+    leaf = path.rsplit(".", 1)[-1].lower()
+    return any(fragment in leaf for fragment in _LOCKISH)
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function bodies."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        for child in ast.iter_child_nodes(cur):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+class _LockAnalysis(DataflowAnalysis[LockState]):
+    """Must-hold analysis for synchronous (threading) locks.
+
+    ``async with`` entries are excluded: asyncio primitives are safe to
+    hold across ``await`` and are not threading locks.
+    """
+
+    def __init__(self, async_with_items: FrozenSet[int]) -> None:
+        self._async_items = async_with_items
+
+    def initial(self) -> LockState:
+        return frozenset()
+
+    def bottom(self) -> LockState:
+        return None
+
+    def join(self, a: LockState, b: LockState) -> LockState:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer(self, instr: Instr, state: LockState) -> LockState:
+        held = state if state is not None else frozenset()
+        node = instr.node
+        if instr.kind in (KIND_WITH_ENTER, KIND_WITH_EXIT):
+            if not isinstance(node, ast.withitem) or id(node) in self._async_items:
+                return held
+            path = _dotted(node.context_expr)
+            if path is None or not _is_lockish(path):
+                return held
+            if instr.kind == KIND_WITH_ENTER:
+                return held | {path}
+            return held - {path}
+        for sub in _walk_shallow(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("acquire", "release")
+            ):
+                receiver = _dotted(sub.func.value)
+                if receiver is not None and _is_lockish(receiver):
+                    if sub.func.attr == "acquire":
+                        held = held | {receiver}
+                    else:
+                        held = held - {receiver}
+        return held
+
+
+def _async_with_items(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> FrozenSet[int]:
+    out: Set[int] = set()
+    for node in _walk_shallow(func):
+        if isinstance(node, ast.AsyncWith):
+            out.update(id(item) for item in node.items)
+    return frozenset(out)
+
+
+def _held_at_instrs(
+    func: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> List[Tuple[Instr, FrozenSet[str]]]:
+    """(instruction, must-hold set *before* it) for every instruction."""
+    cfg = build_cfg(func)
+    analysis = _LockAnalysis(_async_with_items(func))
+    states = run_fixpoint(cfg, analysis)
+    out: List[Tuple[Instr, FrozenSet[str]]] = []
+    for bid in sorted(cfg.blocks):
+        state = states.get(bid)
+        held: LockState = state if state is not None else frozenset()
+        for instr in cfg.blocks[bid].instrs:
+            assert held is not None
+            out.append((instr, held))
+            held = analysis.transfer(instr, held)
+    return out
+
+
+#: One attribute write: (attr, lineno, col, locks held, description).
+_Write = Tuple[str, int, int, FrozenSet[str], str]
+
+
+def _self_attr_root(node: ast.AST) -> Optional[str]:
+    """``self.X...`` → ``X`` for attribute/subscript chains off self."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _writes_in(node: ast.AST, held: FrozenSet[str]) -> List[_Write]:
+    out: List[_Write] = []
+
+    def record(attr: Optional[str], at: ast.AST, what: str) -> None:
+        if attr is None:
+            return
+        out.append(
+            (
+                attr,
+                int(getattr(at, "lineno", 0)),
+                int(getattr(at, "col_offset", 0)),
+                held,
+                what,
+            )
+        )
+
+    for sub in _walk_shallow(node):
+        if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        record(
+                            _self_attr_root(element), element, "assignment"
+                        )
+                else:
+                    record(_self_attr_root(target), target, "assignment")
+        elif isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                record(_self_attr_root(target), target, "deletion")
+        elif isinstance(sub, ast.Call):
+            if (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATOR_METHODS
+            ):
+                record(
+                    _self_attr_root(sub.func.value),
+                    sub,
+                    f".{sub.func.attr}() mutation",
+                )
+            elif (
+                isinstance(sub.func, ast.Name)
+                and sub.func.id == "setattr"
+                and sub.args
+            ):
+                record(_self_attr_root(sub.args[0]), sub, "setattr")
+    return out
+
+
+def _lock_attrs_of_class(cls: ast.ClassDef) -> Set[str]:
+    """Attributes assigned a ``threading`` lock in ``__init__``."""
+    out: Set[str] = set()
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "__init__"
+        ):
+            for sub in _walk_shallow(stmt):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                value = sub.value
+                if not isinstance(value, ast.Call):
+                    continue
+                fn = value.func
+                ctor = (
+                    fn.id
+                    if isinstance(fn, ast.Name)
+                    else fn.attr if isinstance(fn, ast.Attribute) else None
+                )
+                if ctor not in _LOCK_CTORS:
+                    continue
+                for target in sub.targets:
+                    attr = _self_attr_root(target)
+                    if attr is not None:
+                        out.add(attr)
+    return out
+
+
+def _is_blocking_call(node: ast.Call) -> Optional[str]:
+    """A human-readable description when the call blocks, else None."""
+    fn = node.func
+    dotted = _dotted(fn)
+    if dotted in _BLOCKING_DOTTED:
+        return f"{dotted}()"
+    if isinstance(fn, ast.Name) and fn.id == "open":
+        return "open()"
+    if isinstance(fn, ast.Attribute):
+        if fn.attr in _BLOCKING_METHODS:
+            return f".{fn.attr}()"
+        if fn.attr in _ENGINE_METHODS:
+            receiver = (_dotted(fn.value) or "").lower()
+            if "engine" in receiver:
+                return f"{_dotted(fn.value)}.{fn.attr}()"
+    return None
+
+
+class ConcurrencyChecker:
+    """Runs the concurrency rule family over one parsed module."""
+
+    def __init__(
+        self,
+        rel_path: str,
+        lines: Sequence[str],
+        suppressed: Callable[[Sequence[str], int, str], bool],
+    ) -> None:
+        self.rel_path = rel_path
+        self.lines = lines
+        self.suppressed = suppressed
+
+    def _diag(
+        self, rule: str, message: str, lineno: int, col: int
+    ) -> Optional[LintDiagnostic]:
+        if self.suppressed(self.lines, lineno, rule):
+            return None
+        return LintDiagnostic(
+            rule,
+            Severity.ERROR,
+            message,
+            Location(file=self.rel_path, line=lineno, column=col),
+            paper_ref="Sec VI (serving)",
+        )
+
+    def check_module(self, tree: ast.Module) -> List[LintDiagnostic]:
+        out: List[LintDiagnostic] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                out.extend(self._check_class_writes(node))
+            elif isinstance(node, ast.AsyncFunctionDef):
+                out.extend(self._check_async_body(node))
+        return [d for d in out if d is not None]
+
+    # -- rule: mixed locked/unlocked shared-attribute writes ------------------
+
+    def _check_class_writes(self, cls: ast.ClassDef) -> List[LintDiagnostic]:
+        lock_attrs = _lock_attrs_of_class(cls)
+        if not lock_attrs:
+            return []
+        writes: Dict[str, List[_Write]] = {}
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue
+            for instr, held in _held_at_instrs(stmt):
+                for write in _writes_in(instr.node, held):
+                    attr = write[0]
+                    if attr in lock_attrs:
+                        continue
+                    writes.setdefault(attr, []).append(write)
+
+        out: List[LintDiagnostic] = []
+        for attr in sorted(writes):
+            sites = writes[attr]
+            locked = [w for w in sites if w[3]]
+            unlocked = [w for w in sites if not w[3]]
+            if not locked or not unlocked:
+                continue  # consistent discipline either way
+            guard = sorted({name for w in locked for name in w[3]})
+            guarded_lines = sorted({w[1] for w in locked})
+            for _, lineno, col, _, what in unlocked:
+                diag = self._diag(
+                    RULE_UNGUARDED_WRITE,
+                    f"{cls.name}.{attr} {what} without holding "
+                    f"{'/'.join(guard)} — the same attribute is written "
+                    f"under the lock at line "
+                    f"{', '.join(map(str, guarded_lines))}",
+                    lineno,
+                    col,
+                )
+                if diag is not None:
+                    out.append(diag)
+        return out
+
+    # -- rules: async-body hygiene --------------------------------------------
+
+    def _check_async_body(
+        self, func: ast.AsyncFunctionDef
+    ) -> List[LintDiagnostic]:
+        out: List[LintDiagnostic] = []
+        for instr, held in _held_at_instrs(func):
+            if held:
+                for sub in _walk_shallow(instr.node):
+                    if isinstance(sub, ast.Await):
+                        diag = self._diag(
+                            RULE_LOCK_AWAIT,
+                            f"await while holding threading lock "
+                            f"{'/'.join(sorted(held))} in {func.name} — "
+                            "the event-loop thread deadlocks any other "
+                            "task contending for it; release before "
+                            "awaiting or use asyncio primitives",
+                            int(getattr(sub, "lineno", instr.lineno)),
+                            int(getattr(sub, "col_offset", instr.col)),
+                        )
+                        if diag is not None:
+                            out.append(diag)
+        for sub in _walk_shallow(func):
+            if isinstance(sub, ast.Call):
+                blocking = _is_blocking_call(sub)
+                if blocking is not None:
+                    diag = self._diag(
+                        RULE_BLOCKING_ASYNC,
+                        f"blocking call {blocking} inside async "
+                        f"{func.name} stalls the event loop; use "
+                        "asyncio.sleep / run_in_executor instead",
+                        sub.lineno,
+                        sub.col_offset,
+                    )
+                    if diag is not None:
+                        out.append(diag)
+        return out

@@ -1,0 +1,107 @@
+"""Forward abstract interpretation: join-lattice fixpoint over a CFG.
+
+A :class:`DataflowAnalysis` supplies the lattice (``initial`` /
+``bottom`` / ``join``) and the per-instruction ``transfer`` function;
+:func:`run_fixpoint` iterates a worklist in reverse post-order until the
+block-entry states stabilize.
+
+Termination is guaranteed for monotone transfer functions over
+finite-height lattices (both analyses built here qualify: the unit
+environment joins conflicting bindings toward *unknown*, and the
+must-hold lock set only shrinks under intersection).  A buggy or
+non-monotone analysis must still fail loudly rather than hang ``repro
+lint``, so the iteration count is hard-bounded; exceeding the bound
+raises :class:`FixpointLimitError` (tested with a deliberately
+divergent analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, TypeVar
+
+from repro.analysis.flow.cfg import CFG, BasicBlock, Instr
+from repro.errors import ReproError
+
+__all__ = ["DataflowAnalysis", "FixpointLimitError", "run_fixpoint"]
+
+S = TypeVar("S")
+
+#: Block re-processings allowed per CFG block before declaring
+#: divergence.  Both shipped lattices stabilize in a handful of passes;
+#: the generous multiplier keeps pathological-but-terminating CFGs
+#: (deep loop nests over wide join chains) inside the bound.
+MAX_VISITS_PER_BLOCK = 64
+
+
+class FixpointLimitError(ReproError):
+    """The fixpoint iteration exceeded its bounded-visit guard."""
+
+
+class DataflowAnalysis(Generic[S]):
+    """Base class for a forward dataflow analysis over one CFG."""
+
+    def initial(self) -> S:
+        """State at the function entry."""
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        """State for not-yet-reached blocks (identity of ``join``)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two path states."""
+        raise NotImplementedError
+
+    def transfer(self, instr: Instr, state: S) -> S:
+        """Abstract effect of one instruction."""
+        raise NotImplementedError
+
+    def transfer_block(self, block: BasicBlock, state: S) -> S:
+        out = state
+        for instr in block.instrs:
+            out = self.transfer(instr, out)
+        return out
+
+
+def run_fixpoint(
+    cfg: CFG,
+    analysis: "DataflowAnalysis[S]",
+    max_visits_per_block: int = MAX_VISITS_PER_BLOCK,
+) -> Dict[int, S]:
+    """Solve the analysis to fixpoint; returns block-entry states.
+
+    Raises :class:`FixpointLimitError` when any block is re-processed
+    more than ``max_visits_per_block`` times — the bounded-iteration
+    guard that keeps a non-monotone transfer function from hanging the
+    linter.
+    """
+    entry_state: Dict[int, S] = {bid: analysis.bottom() for bid in cfg.blocks}
+    entry_state[cfg.entry] = analysis.initial()
+    order = cfg.rpo()
+    position = {bid: i for i, bid in enumerate(order)}
+    worklist: List[int] = list(order)
+    queued = set(worklist)
+    visits: Dict[int, int] = {bid: 0 for bid in cfg.blocks}
+
+    while worklist:
+        # Pop in RPO order so acyclic regions converge in one pass.
+        worklist.sort(key=lambda bid: position[bid])
+        bid = worklist.pop(0)
+        queued.discard(bid)
+        visits[bid] += 1
+        if visits[bid] > max_visits_per_block:
+            func = getattr(cfg.func, "name", "<function>")
+            raise FixpointLimitError(
+                f"dataflow fixpoint did not converge in {func} "
+                f"(block {bid} visited more than {max_visits_per_block} "
+                "times); the transfer function is not monotone"
+            )
+        out = analysis.transfer_block(cfg.blocks[bid], entry_state[bid])
+        for succ in cfg.blocks[bid].succs:
+            joined = analysis.join(entry_state[succ], out)
+            if joined != entry_state[succ]:
+                entry_state[succ] = joined
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return entry_state

@@ -1,0 +1,193 @@
+"""Observability-discipline rules: spans and metrics must stay legible.
+
+``repro report`` aggregates trace spans by *phase* — the first dotted
+segment of the span name — and the metrics registry is the single
+source of truth for counters.  Three rules keep that contract:
+
+- ``flow/span-discarded`` — a ``span(...)`` call used as a bare
+  expression statement: the context manager is created and immediately
+  dropped without ``with``, so the span never records a duration.
+- ``flow/unknown-span-phase`` — a literal span/metric name whose phase
+  prefix is not in :data:`KNOWN_PHASES`; the trace report would bucket
+  it into an orphan phase nobody reads.
+- ``flow/metric-direct`` — instantiating ``Counter``/``Gauge``/
+  ``Histogram`` imported from ``repro.observability`` directly instead
+  of going through the ``metrics()`` registry helpers; direct instances
+  are invisible to ``render_metrics`` and trace reports.
+
+The observability package itself is exempt (it defines the helpers).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.analysis.diagnostics import LintDiagnostic, Location, Severity
+
+__all__ = [
+    "KNOWN_PHASES",
+    "RULE_METRIC_DIRECT",
+    "RULE_SPAN_DISCARDED",
+    "RULE_UNKNOWN_PHASE",
+    "ObservabilityChecker",
+]
+
+RULE_SPAN_DISCARDED = "flow/span-discarded"
+RULE_UNKNOWN_PHASE = "flow/unknown-span-phase"
+RULE_METRIC_DIRECT = "flow/metric-direct"
+
+#: Phase prefixes ``repro report`` knows how to aggregate (singular and
+#: plural forms both appear in the tree: ``tasks.retries``,
+#: ``fault.fired``).
+KNOWN_PHASES = frozenset(
+    {
+        "engine",
+        "runner",
+        "serve",
+        "task",
+        "tasks",
+        "calibration",
+        "autotune",
+        "profile",
+        "fault",
+        "faults",
+        "journal",
+        "cache",
+    }
+)
+
+#: Registry method calls whose first argument is a metric name.
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Span-creating callables (module helper or recorder method).
+_SPAN_NAMES = frozenset({"span", "_span"})
+_EVENT_NAMES = frozenset({"event", "_event"})
+
+#: Metric classes that must be built via the registry.
+_METRIC_CLASSES = frozenset({"Counter", "Gauge", "Histogram"})
+
+
+def _literal_name(node: ast.expr) -> Optional[str]:
+    """The literal (or literal-prefixed f-string) name argument."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if (
+        isinstance(node, ast.JoinedStr)
+        and node.values
+        and isinstance(node.values[0], ast.Constant)
+        and isinstance(node.values[0].value, str)
+        and "." in node.values[0].value
+    ):
+        return node.values[0].value
+    return None
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class ObservabilityChecker:
+    """Runs the observability rule family over one parsed module."""
+
+    def __init__(
+        self,
+        rel_path: str,
+        lines: Sequence[str],
+        suppressed: Callable[[Sequence[str], int, str], bool],
+    ) -> None:
+        self.rel_path = rel_path
+        self.lines = lines
+        self.suppressed = suppressed
+
+    def _diag(
+        self, rule: str, severity: Severity, message: str, lineno: int, col: int
+    ) -> Optional[LintDiagnostic]:
+        if self.suppressed(self.lines, lineno, rule):
+            return None
+        return LintDiagnostic(
+            rule,
+            severity,
+            message,
+            Location(file=self.rel_path, line=lineno, column=col),
+        )
+
+    def _metric_class_aliases(self, tree: ast.Module) -> Set[str]:
+        """Local names bound to observability metric classes by import."""
+        out: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module == "repro.observability"
+                or node.module.startswith("repro.observability.")
+            ):
+                for alias in node.names:
+                    if alias.name in _METRIC_CLASSES:
+                        out.add(alias.asname or alias.name)
+        return out
+
+    def check_module(self, tree: ast.Module) -> List[LintDiagnostic]:
+        if "observability" in self.rel_path.replace("\\", "/").split("/"):
+            return []
+        metric_classes = self._metric_class_aliases(tree)
+        out: List[LintDiagnostic] = []
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                callee = _callee_name(node.value)
+                if callee in _SPAN_NAMES:
+                    diag = self._diag(
+                        RULE_SPAN_DISCARDED,
+                        Severity.ERROR,
+                        f"{callee}(...) creates a span context manager and "
+                        "discards it — the span never records; enter it "
+                        "with `with ... as sp:`",
+                        node.lineno,
+                        node.col_offset,
+                    )
+                    if diag is not None:
+                        out.append(diag)
+
+            if isinstance(node, ast.Call):
+                callee = _callee_name(node)
+                is_named_sink = callee in _SPAN_NAMES or callee in _EVENT_NAMES
+                is_metric_method = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _METRIC_METHODS
+                )
+                if (is_named_sink or is_metric_method) and node.args:
+                    name = _literal_name(node.args[0])
+                    if name is not None and "." in name:
+                        phase = name.split(".", 1)[0]
+                        if phase not in KNOWN_PHASES:
+                            diag = self._diag(
+                                RULE_UNKNOWN_PHASE,
+                                Severity.WARNING,
+                                f"span/metric name {name!r} has phase "
+                                f"{phase!r}, unknown to the trace report "
+                                "(known: "
+                                f"{', '.join(sorted(KNOWN_PHASES))}); "
+                                "pick a known phase or extend "
+                                "KNOWN_PHASES deliberately",
+                                node.args[0].lineno,
+                                node.args[0].col_offset,
+                            )
+                            if diag is not None:
+                                out.append(diag)
+                if callee in metric_classes and isinstance(node.func, ast.Name):
+                    diag = self._diag(
+                        RULE_METRIC_DIRECT,
+                        Severity.WARNING,
+                        f"direct {callee}(...) instantiation bypasses the "
+                        "metrics registry; use "
+                        f"metrics().{callee.lower()}(name) so the "
+                        "instrument shows up in render_metrics",
+                        node.lineno,
+                        node.col_offset,
+                    )
+                    if diag is not None:
+                        out.append(diag)
+        return out

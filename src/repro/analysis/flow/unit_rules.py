@@ -1,0 +1,606 @@
+"""Flow-sensitive unit/dimension checking of the perf-model arithmetic.
+
+Every function in the linted tree is lowered to a CFG and abstractly
+interpreted over the dimension lattice of
+:mod:`repro.analysis.flow.units`: assignments propagate the inferred
+dimension of their right-hand side, joins at control-flow merges keep a
+binding only when every incoming path agrees, and three rule families
+fire on the way:
+
+- ``flow/unit-mismatch`` — ``+``/``-`` (or ``min``/``max``) over
+  operands with *different known* dimensions, and a keyword argument
+  whose name implies a dimension (``latency_s=...``) receiving a value
+  of a different known dimension.
+- ``flow/unit-compare`` — an ordering/equality comparison between
+  different known dimensions (seconds compared against bytes).
+- ``flow/unit-return`` — a function whose declared dimension (units
+  registry, name suffix, or ``# unit:`` pragma on the ``def`` line)
+  returns a value of a different known dimension.
+
+Unknown dimensions never fire anything: the checker is precise rather
+than complete so it can block CI.  Multiplication and division compose
+exponents; an unknown factor is treated as a scalar (loop counts and
+literals scale quantities without re-dimensioning them).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import LintDiagnostic, Location, Severity
+from repro.analysis.flow.cfg import (
+    KIND_BRANCH,
+    KIND_LOOP_ITER,
+    KIND_MATCH,
+    KIND_WITH_ENTER,
+    KIND_WITH_EXIT,
+    CFG,
+    Instr,
+    build_cfg,
+)
+from repro.analysis.flow.fixpoint import DataflowAnalysis, run_fixpoint
+from repro.analysis.flow.units import (
+    FUNCTION_UNITS,
+    UNINFERRED_CALLS,
+    Dim,
+    infer_name,
+    parse_unit_pragma,
+)
+
+__all__ = [
+    "RULE_UNIT_COMPARE",
+    "RULE_UNIT_MISMATCH",
+    "RULE_UNIT_RETURN",
+    "UnitChecker",
+]
+
+RULE_UNIT_MISMATCH = "flow/unit-mismatch"
+RULE_UNIT_COMPARE = "flow/unit-compare"
+RULE_UNIT_RETURN = "flow/unit-return"
+
+#: Calls transparent to dimension (value in == value out).
+_PASSTHROUGH_CALLS = frozenset(
+    {"float", "int", "abs", "round", "asarray", "ascontiguousarray", "full_like"}
+)
+
+#: min/max-style joins: operands must share a dimension.
+_JOIN_CALLS = frozenset({"max", "min", "maximum", "minimum"})
+
+#: Zero-argument reductions transparent to the receiver's dimension.
+_AGG_METHODS = frozenset({"sum", "min", "max", "mean", "item", "copy"})
+
+#: Methods transparent to dimension regardless of arguments (dtype
+#: casts, reshapes): the receiver's dimension passes through.
+_PASSTHROUGH_METHODS = frozenset(
+    {"astype", "reshape", "ravel", "flatten", "clip", "squeeze"}
+)
+
+#: Comparison ops that require commensurable operands.
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+#: Environment: dotted name -> known dimension (absent = unknown).
+Env = Dict[str, Dim]
+#: Sink receives (rule_id, message, lineno, col).
+Sink = Callable[[str, str, int, int], None]
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string, or None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _null_sink(rule: str, message: str, lineno: int, col: int) -> None:
+    return None
+
+
+class _Interp:
+    """Shared expression/statement interpreter over one function."""
+
+    def __init__(
+        self,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+        lines: Sequence[str],
+    ) -> None:
+        self.func = func
+        self.lines = lines
+        self.declared_return = self._declared_return()
+        self.is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in ast.walk(func)
+            if not isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            or n is func
+        )
+
+    # -- seeding -------------------------------------------------------------
+
+    def _pragma_at(self, lineno: int) -> Optional[Dict[Optional[str], Dim]]:
+        if 1 <= lineno <= len(self.lines):
+            return parse_unit_pragma(self.lines[lineno - 1])
+        return None
+
+    def _declared_return(self) -> Optional[Dim]:
+        pragma = self._pragma_at(self.func.lineno)
+        if pragma and None in pragma:
+            return pragma[None]
+        registered = FUNCTION_UNITS.get(self.func.name)
+        if registered is not None:
+            return registered
+        return infer_name(self.func.name)
+
+    def initial_env(self) -> Env:
+        env: Env = {}
+        args = self.func.args
+        params = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        pragma = self._pragma_at(self.func.lineno) or {}
+        for param in params:
+            dim = pragma.get(param.arg)
+            if dim is None:
+                dim = infer_name(param.arg)
+            if dim is not None:
+                env[param.arg] = dim
+        return env
+
+    # -- expression evaluation -----------------------------------------------
+
+    def eval(self, node: Optional[ast.expr], env: Env, sink: Sink) -> Optional[Dim]:
+        if node is None:
+            return None
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node, env, sink)
+        # Unhandled expression kinds: walk children for nested
+        # mismatches, contribute no dimension themselves.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, env, sink)
+        return None
+
+    def _eval_Constant(self, node: ast.Constant, env: Env, sink: Sink) -> Optional[Dim]:
+        return None
+
+    def _eval_Name(self, node: ast.Name, env: Env, sink: Sink) -> Optional[Dim]:
+        known = env.get(node.id)
+        if known is not None:
+            return known
+        return infer_name(node.id)
+
+    def _eval_Attribute(self, node: ast.Attribute, env: Env, sink: Sink) -> Optional[Dim]:
+        path = _dotted(node)
+        if path is not None:
+            known = env.get(path)
+            if known is not None:
+                return known
+        else:
+            self.eval(node.value, env, sink)
+        return infer_name(node.attr)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env: Env, sink: Sink) -> Optional[Dim]:
+        operand = self.eval(node.operand, env, sink)
+        if isinstance(node.op, (ast.USub, ast.UAdd)):
+            return operand
+        return None
+
+    def _eval_BinOp(self, node: ast.BinOp, env: Env, sink: Sink) -> Optional[Dim]:
+        left = self.eval(node.left, env, sink)
+        right = self.eval(node.right, env, sink)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                sink(
+                    RULE_UNIT_MISMATCH,
+                    f"mixed-unit arithmetic: ({left}) "
+                    f"{'+' if isinstance(op, ast.Add) else '-'} ({right})",
+                    node.lineno,
+                    node.col_offset,
+                )
+                return None
+            return left if left is not None else right
+        if isinstance(op, ast.Mult):
+            if left is not None and right is not None:
+                return left.mul(right)
+            return left if left is not None else right
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is not None and right is not None:
+                return left.div(right)
+            if left is not None:
+                return left
+            # unknown / known stays unknown: an unknown numerator is
+            # usually a dimensioned quantity, not a scalar (tokens /
+            # latency_s), so guessing known^-1 invents false mismatches.
+            return None
+        if isinstance(op, ast.Mod):
+            return left
+        if isinstance(op, ast.Pow):
+            if (
+                left is not None
+                and isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)
+            ):
+                return left.pow(node.right.value)
+            return None
+        return None
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env: Env, sink: Sink) -> Optional[Dim]:
+        dims = [self.eval(v, env, sink) for v in node.values]
+        known = [d for d in dims if d is not None]
+        if known and all(d == known[0] for d in known):
+            return known[0]
+        return None
+
+    def _eval_IfExp(self, node: ast.IfExp, env: Env, sink: Sink) -> Optional[Dim]:
+        self.eval(node.test, env, sink)
+        body = self.eval(node.body, env, sink)
+        orelse = self.eval(node.orelse, env, sink)
+        if body is not None and orelse is not None:
+            return body if body == orelse else None
+        return body if body is not None else orelse
+
+    def _eval_Compare(self, node: ast.Compare, env: Env, sink: Sink) -> Optional[Dim]:
+        left_dim = self.eval(node.left, env, sink)
+        for op, comparator in zip(node.ops, node.comparators):
+            right_dim = self.eval(comparator, env, sink)
+            if (
+                isinstance(op, _ORDERED_CMP)
+                and left_dim is not None
+                and right_dim is not None
+                and left_dim != right_dim
+            ):
+                sink(
+                    RULE_UNIT_COMPARE,
+                    f"comparison across units: ({left_dim}) vs ({right_dim})",
+                    node.lineno,
+                    node.col_offset,
+                )
+            left_dim = right_dim
+        return None
+
+    def _eval_Subscript(self, node: ast.Subscript, env: Env, sink: Sink) -> Optional[Dim]:
+        # Indexing/slicing an array of seconds yields seconds.
+        if isinstance(node.slice, ast.expr):
+            self.eval(node.slice, env, sink)
+        return self.eval(node.value, env, sink)
+
+    def _eval_Await(self, node: ast.Await, env: Env, sink: Sink) -> Optional[Dim]:
+        return self.eval(node.value, env, sink)
+
+    def _eval_Starred(self, node: ast.Starred, env: Env, sink: Sink) -> Optional[Dim]:
+        return self.eval(node.value, env, sink)
+
+    def _eval_Call(self, node: ast.Call, env: Env, sink: Sink) -> Optional[Dim]:
+        fname: Optional[str] = None
+        receiver_dim: Optional[Dim] = None
+        if isinstance(node.func, ast.Name):
+            fname = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            fname = node.func.attr
+            receiver_dim = self._eval_Attribute(node.func, env, sink)
+            # The attribute's own name inference applies to values, not
+            # methods; only the registry speaks for call results below.
+            receiver_dim = self.eval(node.func.value, env, sink)
+        else:
+            self.eval(node.func, env, sink)
+
+        arg_dims = [self.eval(arg, env, sink) for arg in node.args]
+        for kw in node.keywords:
+            value_dim = self.eval(kw.value, env, sink)
+            if kw.arg is None:
+                continue
+            implied = infer_name(kw.arg)
+            if (
+                implied is not None
+                and value_dim is not None
+                and implied != value_dim
+            ):
+                sink(
+                    RULE_UNIT_MISMATCH,
+                    f"keyword argument {kw.arg}= implies ({implied}) but "
+                    f"receives ({value_dim})",
+                    kw.value.lineno,
+                    kw.value.col_offset,
+                )
+
+        if fname is None:
+            return None
+        if fname in UNINFERRED_CALLS:
+            return None
+        if fname == "where" and len(arg_dims) == 3:
+            # np.where(cond, a, b): the branches must agree to keep a
+            # known dimension (an optimistic join, like IfExp).
+            known = [d for d in arg_dims[1:] if d is not None]
+            if known and all(d == known[0] for d in known):
+                return known[0]
+            return None
+        if (
+            fname in _AGG_METHODS
+            and isinstance(node.func, ast.Attribute)
+            and not node.args
+        ):
+            return receiver_dim
+        if fname in _PASSTHROUGH_METHODS and isinstance(node.func, ast.Attribute):
+            return receiver_dim
+        if fname in _JOIN_CALLS and len(arg_dims) >= 2:
+            known = [d for d in arg_dims if d is not None]
+            if len(known) >= 2 and any(d != known[0] for d in known[1:]):
+                sink(
+                    RULE_UNIT_MISMATCH,
+                    f"{fname}() over mixed units: "
+                    + " vs ".join(f"({d})" for d in known),
+                    node.lineno,
+                    node.col_offset,
+                )
+                return None
+            return known[0] if known else None
+        if fname in _PASSTHROUGH_CALLS and arg_dims:
+            return arg_dims[0]
+        registered = FUNCTION_UNITS.get(fname)
+        if registered is not None:
+            return registered
+        return infer_name(fname)
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr, env: Env, sink: Sink) -> Optional[Dim]:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                self.eval(value.value, env, sink)
+        return None
+
+    # -- statement transfer --------------------------------------------------
+
+    def exec_instr(self, instr: Instr, env: Env, sink: Sink) -> Env:
+        node = instr.node
+        if instr.kind in (KIND_BRANCH, KIND_MATCH):
+            self.eval(node, env, sink)  # type: ignore[arg-type]
+            return env
+        if instr.kind == KIND_LOOP_ITER:
+            return self._exec_loop_iter(node, env, sink)  # type: ignore[arg-type]
+        if instr.kind in (KIND_WITH_ENTER, KIND_WITH_EXIT):
+            item = node
+            if instr.kind == KIND_WITH_ENTER and isinstance(item, ast.withitem):
+                self.eval(item.context_expr, env, sink)
+                if item.optional_vars is not None:
+                    env = self._bind(env, item.optional_vars, None, sink)
+            return env
+        if isinstance(node, ast.Assign):
+            return self._exec_assign(node, env, sink)
+        if isinstance(node, ast.AnnAssign):
+            return self._exec_ann_assign(node, env, sink)
+        if isinstance(node, ast.AugAssign):
+            return self._exec_aug_assign(node, env, sink)
+        if isinstance(node, ast.Return):
+            self._exec_return(node, env, sink)
+            return env
+        if isinstance(node, ast.Expr):
+            self.eval(node.value, env, sink)
+            return env
+        if isinstance(node, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env, sink)
+            return env
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    env = dict(env)
+                    env.pop(target.id, None)
+            return env
+        return env
+
+    def _target_path(self, target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return _dotted(target)
+        return None
+
+    def _bind(
+        self, env: Env, target: ast.expr, dim: Optional[Dim], sink: Sink
+    ) -> Env:
+        path = self._target_path(target)
+        if path is None:
+            return env
+        leaf = path.rsplit(".", 1)[-1]
+        implied = infer_name(leaf)
+        if dim is not None and implied is not None and dim != implied:
+            sink(
+                RULE_UNIT_MISMATCH,
+                f"assignment to {path} (named as {implied}) receives "
+                f"({dim})",
+                target.lineno,
+                target.col_offset,
+            )
+        env = dict(env)
+        if dim is not None:
+            env[path] = dim
+        elif implied is not None:
+            env[path] = implied
+        else:
+            env.pop(path, None)
+        return env
+
+    def _exec_assign(self, node: ast.Assign, env: Env, sink: Sink) -> Env:
+        value_dim = self.eval(node.value, env, sink)
+        pragma = self._pragma_at(node.lineno) or {}
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    path = self._target_path(element)
+                    dim = pragma.get(path) if path is not None else None
+                    env = self._bind(env, element, dim, sink)
+                continue
+            path = self._target_path(target)
+            dim = value_dim
+            if None in pragma:
+                dim = pragma[None]
+            elif path is not None and path in pragma:
+                dim = pragma[path]
+            env = self._bind(env, target, dim, sink)
+        return env
+
+    def _exec_ann_assign(self, node: ast.AnnAssign, env: Env, sink: Sink) -> Env:
+        if node.value is None:
+            return env
+        value_dim = self.eval(node.value, env, sink)
+        pragma = self._pragma_at(node.lineno) or {}
+        if None in pragma:
+            value_dim = pragma[None]
+        return self._bind(env, node.target, value_dim, sink)
+
+    def _exec_aug_assign(self, node: ast.AugAssign, env: Env, sink: Sink) -> Env:
+        value_dim = self.eval(node.value, env, sink)
+        path = self._target_path(node.target)
+        target_dim: Optional[Dim] = None
+        if path is not None:
+            target_dim = env.get(path)
+            if target_dim is None:
+                target_dim = infer_name(path.rsplit(".", 1)[-1])
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if (
+                target_dim is not None
+                and value_dim is not None
+                and target_dim != value_dim
+            ):
+                sink(
+                    RULE_UNIT_MISMATCH,
+                    f"augmented assignment mixes units: {path} "
+                    f"({target_dim}) "
+                    f"{'+=' if isinstance(node.op, ast.Add) else '-='} "
+                    f"({value_dim})",
+                    node.lineno,
+                    node.col_offset,
+                )
+            return env
+        if isinstance(node.op, ast.Mult) and path is not None:
+            if target_dim is not None and value_dim is not None:
+                env = dict(env)
+                env[path] = target_dim.mul(value_dim)
+            return env
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)) and path is not None:
+            if target_dim is not None and value_dim is not None:
+                env = dict(env)
+                env[path] = target_dim.div(value_dim)
+            return env
+        return env
+
+    def _exec_loop_iter(
+        self, node: "ast.For | ast.AsyncFor", env: Env, sink: Sink
+    ) -> Env:
+        iter_dim = self.eval(node.iter, env, sink)
+        if isinstance(node.target, ast.Name):
+            return self._bind(env, node.target, iter_dim, sink)
+        if isinstance(node.target, (ast.Tuple, ast.List)):
+            for element in node.target.elts:
+                env = self._bind(env, element, None, sink)
+        return env
+
+    def _exec_return(self, node: ast.Return, env: Env, sink: Sink) -> None:
+        value_dim = self.eval(node.value, env, sink)
+        if (
+            value_dim is not None
+            and self.declared_return is not None
+            and value_dim != self.declared_return
+            and not self.is_generator
+        ):
+            sink(
+                RULE_UNIT_RETURN,
+                f"{self.func.name} is declared/named to return "
+                f"({self.declared_return}) but this return has "
+                f"({value_dim})",
+                node.lineno,
+                node.col_offset,
+            )
+
+
+class _UnitAnalysis(DataflowAnalysis[Optional[Env]]):
+    """The silent (diagnostic-free) fixpoint wrapper over :class:`_Interp`."""
+
+    def __init__(self, interp: _Interp) -> None:
+        self.interp = interp
+
+    def initial(self) -> Optional[Env]:
+        return self.interp.initial_env()
+
+    def bottom(self) -> Optional[Env]:
+        return None
+
+    def join(self, a: Optional[Env], b: Optional[Env]) -> Optional[Env]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return {
+            name: dim
+            for name, dim in a.items()
+            if b.get(name) == dim
+        }
+
+    def transfer(self, instr: Instr, state: Optional[Env]) -> Optional[Env]:
+        env = state if state is not None else {}
+        return self.interp.exec_instr(instr, env, _null_sink)
+
+
+class UnitChecker:
+    """Runs the unit rule family over one parsed module."""
+
+    def __init__(
+        self,
+        rel_path: str,
+        lines: Sequence[str],
+        suppressed: Callable[[Sequence[str], int, str], bool],
+    ) -> None:
+        self.rel_path = rel_path
+        self.lines = lines
+        self.suppressed = suppressed
+
+    def check_module(self, tree: ast.Module) -> List[LintDiagnostic]:
+        out: List[LintDiagnostic] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.extend(self.check_function(node))
+        return out
+
+    def check_function(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> List[LintDiagnostic]:
+        interp = _Interp(func, self.lines)
+        cfg: CFG = build_cfg(func)
+        states = run_fixpoint(cfg, _UnitAnalysis(interp))
+        findings: List[Tuple[str, str, int, int]] = []
+
+        def sink(rule: str, message: str, lineno: int, col: int) -> None:
+            findings.append((rule, message, lineno, col))
+
+        # Replay each block exactly once from its fixpoint entry state,
+        # this time with the diagnostic sink attached.
+        for bid in sorted(cfg.blocks):
+            env = states.get(bid) or {}
+            for instr in cfg.blocks[bid].instrs:
+                env = interp.exec_instr(instr, env, sink)
+
+        out: List[LintDiagnostic] = []
+        seen = set()
+        for rule, message, lineno, col in findings:
+            key = (rule, lineno, col, message)
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.suppressed(self.lines, lineno, rule):
+                continue
+            out.append(
+                LintDiagnostic(
+                    rule,
+                    Severity.ERROR,
+                    message + " — annotate with `# unit: ...` if intended",
+                    Location(file=self.rel_path, line=lineno, column=col),
+                    paper_ref="Sec III-C/V",
+                )
+            )
+        return out

@@ -1,0 +1,310 @@
+"""The dimension lattice and the registry of known physical quantities.
+
+The perf model is arithmetic over four base dimensions — ``flops``,
+``bytes``, ``seconds``, ``elements`` — and their ratios
+(``bytes/second`` bandwidth, ``flops/byte`` arithmetic intensity,
+``flops/second`` throughput).  A :class:`Dim` is an exponent vector
+over those bases; ``dimensionless`` is the empty vector (efficiencies,
+fractions, ratios of like quantities).
+
+The abstract value of an expression is ``Optional[Dim]``: ``None``
+means *unknown*, the lattice top.  Unknown is deliberately treated as
+a pure scalar under ``*`` and ``/`` (loop counts, tile counts and
+literal constants multiply quantities without changing their
+dimension) and as the identity under ``+``/``-`` joins — the checker
+is tuned for precision over recall so it can gate CI.
+
+Seeding comes from three places, in priority order:
+
+1. ``# unit:`` pragmas in the source (``x = ...  # unit: bytes/second``
+   or ``a, b = f()  # unit: a=flops/second``) — the escape hatch for
+   values whose dimension the inference cannot see (tuple returns,
+   opaque helpers).
+2. :data:`FUNCTION_UNITS` — return dimensions of the model's named
+   formula/level functions (``gemm_flops``, ``kv_cache_bytes``, …).
+3. Name conventions — exact names (:data:`NAME_UNITS`) and unit
+   suffixes (:data:`SUFFIX_UNITS`, e.g. ``_s``, ``_bytes``,
+   ``_tflops``) applied to variables, attributes, parameters and
+   function names.  Scale prefixes (``_ms``, ``_gb``, ``_tflops``) map
+   to the same dimension as the base unit: the checker tracks
+   dimensions, not magnitudes, so a missing ``/ 1e9`` is out of scope
+   but a bytes-for-flops swap is not.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Dim",
+    "DIMENSIONLESS",
+    "FLOPS",
+    "BYTES",
+    "SECONDS",
+    "ELEMENTS",
+    "FUNCTION_UNITS",
+    "NAME_UNITS",
+    "SUFFIX_UNITS",
+    "UNINFERRED_CALLS",
+    "UNIT_PRAGMA",
+    "infer_name",
+    "parse_dim",
+    "parse_unit_pragma",
+]
+
+_BASES = ("flops", "bytes", "seconds", "elements")
+
+#: Aliases accepted by :func:`parse_dim`, singular and plural.
+_BASE_ALIASES = {
+    "flop": "flops",
+    "flops": "flops",
+    "byte": "bytes",
+    "bytes": "bytes",
+    "second": "seconds",
+    "seconds": "seconds",
+    "s": "seconds",
+    "element": "elements",
+    "elements": "elements",
+    "elem": "elements",
+    "elems": "elements",
+}
+
+
+@dataclass(frozen=True)
+class Dim:
+    """An exponent vector over the base dimensions.
+
+    ``powers`` holds only non-zero exponents, sorted by base name, so
+    equal dimensions compare equal structurally.
+    """
+
+    powers: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(**exponents: int) -> "Dim":
+        return Dim(
+            tuple(
+                sorted((base, exp) for base, exp in exponents.items() if exp)
+            )
+        )
+
+    def mul(self, other: "Dim") -> "Dim":
+        merged = dict(self.powers)
+        for base, exp in other.powers:
+            merged[base] = merged.get(base, 0) + exp
+        return Dim(tuple(sorted((b, e) for b, e in merged.items() if e)))
+
+    def div(self, other: "Dim") -> "Dim":
+        return self.mul(other.pow(-1))
+
+    def pow(self, k: int) -> "Dim":
+        return Dim(tuple((base, exp * k) for base, exp in self.powers))
+
+    @property
+    def dimensionless(self) -> bool:
+        return not self.powers
+
+    def __str__(self) -> str:
+        if not self.powers:
+            return "dimensionless"
+        num = [
+            base if exp == 1 else f"{base}^{exp}"
+            for base, exp in self.powers
+            if exp > 0
+        ]
+        den = [
+            base if exp == -1 else f"{base}^{-exp}"
+            for base, exp in self.powers
+            if exp < 0
+        ]
+        if not num:
+            num = ["1"]
+        text = "*".join(num)
+        if den:
+            text += "/" + "/".join(den)
+        return text
+
+
+DIMENSIONLESS = Dim()
+FLOPS = Dim.of(flops=1)
+BYTES = Dim.of(bytes=1)
+SECONDS = Dim.of(seconds=1)
+ELEMENTS = Dim.of(elements=1)
+
+_THROUGHPUT = FLOPS.div(SECONDS)
+_BANDWIDTH = BYTES.div(SECONDS)
+_INTENSITY = FLOPS.div(BYTES)
+_PER_SECOND = DIMENSIONLESS.div(SECONDS)
+
+#: Method names that must never be unit-inferred from their suffix:
+#: ``int.from_bytes`` returns an integer, not a byte count.
+UNINFERRED_CALLS = frozenset({"from_bytes", "to_bytes"})
+
+
+def parse_dim(text: str) -> Dim:
+    """Parse ``"bytes/second"``, ``"flops"``, ``"dimensionless"``, …
+
+    Grammar: ``term {*term} {/term}`` where a term is a base-dimension
+    alias with an optional ``^k`` integer exponent.
+    """
+    cleaned = text.strip().lower()
+    if cleaned in ("dimensionless", "1", "none", "scalar", "ratio"):
+        return DIMENSIONLESS
+    exponents: Dict[str, int] = {}
+    sign = 1
+    for piece in re.split(r"([*/])", cleaned):
+        piece = piece.strip()
+        if piece == "*" or piece == "":
+            continue
+        if piece == "/":
+            sign = -1
+            continue
+        match = re.fullmatch(r"([a-z]+)(?:\^(-?\d+))?", piece)
+        if not match:
+            raise ConfigError(f"cannot parse dimension term {piece!r} in {text!r}")
+        base = _BASE_ALIASES.get(match.group(1))
+        if base is None:
+            raise ConfigError(
+                f"unknown base dimension {match.group(1)!r} in {text!r} "
+                f"(expected one of {', '.join(_BASES)})"
+            )
+        exp = int(match.group(2) or 1) * sign
+        exponents[base] = exponents.get(base, 0) + exp
+        # '/' binds every following term, matching "flops/byte/second".
+    return Dim.of(**exponents)
+
+
+#: ``# unit: <dim>`` or ``# unit: name=<dim>[, name=<dim>...]``.
+UNIT_PRAGMA = re.compile(r"#\s*unit:\s*([^#]+)")
+
+
+def parse_unit_pragma(line: str) -> "Optional[Dict[Optional[str], Dim]]":
+    """Extract unit annotations from one source line.
+
+    Returns ``{None: dim}`` for the bare form (annotates the single
+    assignment target or the function return) or ``{name: dim, ...}``
+    for the named form.  ``None`` when the line has no pragma.
+    """
+    match = UNIT_PRAGMA.search(line)
+    if not match:
+        return None
+    body = match.group(1).strip()
+    out: Dict[Optional[str], Dim] = {}
+    for clause in body.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if "=" in clause:
+            name, _, dim_text = clause.partition("=")
+            out[name.strip()] = parse_dim(dim_text)
+        else:
+            out[None] = parse_dim(clause)
+    return out or None
+
+
+# -- the quantity registry ---------------------------------------------------
+
+#: Return dimensions of known functions/methods, by bare (unqualified)
+#: name.  These seed the interprocedural boundary: calls are otherwise
+#: opaque.  Names are specific enough that a bare-name match is safe
+#: across the codebase.
+FUNCTION_UNITS: Dict[str, Dim] = {
+    # FLOP counts (repro.core.formulas, repro.gpu.roofline, gemms).
+    "gemm_flops": FLOPS,
+    "forward_flops_per_layer": FLOPS,
+    "forward_flops_per_layer_general": FLOPS,
+    "forward_flops_model": FLOPS,
+    "training_flops_per_token": FLOPS,
+    # Byte counts (traffic, footprints).
+    "gemm_min_bytes": BYTES,
+    "effective_dram_bytes": BYTES,
+    "kv_cache_bytes": BYTES,
+    "weight_memory_bytes": BYTES,
+    "activation_memory_bytes": BYTES,
+    "activation_bytes_per_layer": BYTES,
+    # Rates.
+    "mem_bw_bytes_per_s": _BANDWIDTH,
+    "matrix_peak_tflops": _THROUGHPUT,
+    "vector_peak_tflops": _THROUGHPUT,
+    "teraflops": _THROUGHPUT,
+    "attainable_tflops": _THROUGHPUT,
+    # Arithmetic intensity.
+    "arithmetic_intensity": _INTENSITY,
+    "ridge_intensity": _INTENSITY,
+    # Times.
+    "model_latency": SECONDS,
+    "layer_latency": SECONDS,
+    "generate_latency": SECONDS,
+    "modeled_latency": SECONDS,
+    "monotonic": SECONDS,
+    "perf_counter": SECONDS,
+    # Dimensionless efficiencies/fractions.
+    "wave_efficiency": DIMENSIONLESS,
+    "gemm_alignment_efficiency": DIMENSIONLESS,
+    "dim_efficiency": DIMENSIONLESS,
+    "tile_quantization_waste": DIMENSIONLESS,
+}
+
+#: Dimensions by exact variable/attribute/parameter name.
+NAME_UNITS: Dict[str, Dim] = {
+    "tflops": _THROUGHPUT,
+    "gflops": _THROUGHPUT,
+    "flops": FLOPS,
+    "bytes": BYTES,
+    "nbytes": BYTES,
+    "bw": _BANDWIDTH,
+    "bandwidth": _BANDWIDTH,
+    "hbm_bw": _BANDWIDTH,
+    "intensity": _INTENSITY,
+    "seconds": SECONDS,
+    "latency": SECONDS,
+    "dram_bytes": BYTES,
+    "traffic": BYTES,
+}
+
+#: Dimensions by name suffix, longest match wins.  Scale variants
+#: (``_ms``, ``_gb``, ``_tflops``) share the base unit's dimension.
+SUFFIX_UNITS: Tuple[Tuple[str, Dim], ...] = (
+    ("_bytes_per_s", _BANDWIDTH),
+    ("_bytes_s", _BANDWIDTH),
+    ("_gbps", _BANDWIDTH),
+    # Generic rates: the numerator's dimension is untracked (token and
+    # element counts are deliberately unseeded), so "per second" alone.
+    ("_per_s", _PER_SECOND),
+    ("_tflops", _THROUGHPUT),
+    ("_gflops", _THROUGHPUT),
+    ("_flops", FLOPS),
+    ("_intensity", _INTENSITY),
+    ("_bytes", BYTES),
+    ("_gb", BYTES),
+    ("_mb", BYTES),
+    ("_kb", BYTES),
+    ("_seconds", SECONDS),
+    ("_sec", SECONDS),
+    ("_ms", SECONDS),
+    ("_us", SECONDS),
+    ("_ns", SECONDS),
+    ("_s", SECONDS),
+    ("_eff", DIMENSIONLESS),
+    ("_efficiency", DIMENSIONLESS),
+    ("_frac", DIMENSIONLESS),
+    ("_fraction", DIMENSIONLESS),
+    ("_waste", DIMENSIONLESS),
+    ("_util", DIMENSIONLESS),
+    ("_share", DIMENSIONLESS),
+)
+
+
+def infer_name(name: str) -> Optional[Dim]:
+    """Dimension implied by a bare name, or ``None`` for no signal."""
+    exact = NAME_UNITS.get(name)
+    if exact is not None:
+        return exact
+    for suffix, dim in SUFFIX_UNITS:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return dim
+    return None

@@ -313,19 +313,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--self",
         dest="self_lint",
         action="store_true",
-        help="run the AST self-lint pass instead of shape linting",
+        help="run the AST self-lint pass (flat walker + flow analysis) "
+        "instead of shape linting",
+    )
+    p.add_argument(
+        "--flow",
+        dest="flow_lint",
+        action="store_true",
+        help="run only the flow-sensitive pass (CFG + dataflow: units, "
+        "concurrency, observability)",
     )
     p.add_argument(
         "paths",
         nargs="*",
-        help="with --self: files/directories to lint (default: the "
-        "installed repro package)",
+        help="with --self/--flow: files/directories to lint (default: "
+        "the installed repro package)",
     )
     _add_gpu(p)
     p.add_argument("--pipeline-stages", type=int, default=1)
     p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default text)",
     )
@@ -722,15 +730,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
         "error": Severity.ERROR,
     }[args.min_severity]
 
-    if args.self_lint:
+    if args.self_lint or args.flow_lint:
+        from repro.analysis.flow import FlowLinter
+
         if args.target is not None:
-            # With --self the positional slot is a path, not a model.
+            # With --self/--flow the positional slot is a path.
             args.paths = [args.target] + list(args.paths)
-        report = SelfLinter().lint(args.paths or None)
+        paths = args.paths or None
+        if args.flow_lint and not args.self_lint:
+            report = FlowLinter().lint(paths)
+        else:
+            # --self runs both prongs: the flat walker and the
+            # flow-sensitive pass share one report (and exit code).
+            report = SelfLinter().lint(paths)
+            report.extend(FlowLinter().lint(paths).diagnostics)
     else:
         if args.target is None:
             raise ConfigError(
-                "lint needs a model preset or JSON config (or --self)"
+                "lint needs a model preset or JSON config (or --self/--flow)"
             )
         if args.paths:
             raise ConfigError(
@@ -747,6 +764,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(report.to_json(min_severity))
+    elif args.format == "sarif":
+        print(report.to_sarif(min_severity))
     else:
         print(report.render_text(min_severity))
     return report.exit_code

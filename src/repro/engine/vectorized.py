@@ -353,7 +353,7 @@ def evaluate_batch(
     # Compute time: waves of one full tile per SM.
     k_padded = _ceil_div(k, ks) * ks
     tile_flops = ((2.0 * tm) * tn) * k_padded
-    sm_rate = rate / num_sms
+    sm_rate = rate / num_sms  # unit: flops/second
     compute_s = (n_waves * tile_flops) / sm_rate
 
     # DRAM traffic with L2 reuse (vectorized effective_dram_bytes).

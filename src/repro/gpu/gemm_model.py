@@ -270,7 +270,7 @@ class GemmModel:
         # their latency-hiding benefit is inside tile.peak_fraction.)
         k_padded = -(-k // tile.k_stage) * tile.k_stage
         tile_flops = 2.0 * tile.m * tile.n * k_padded
-        sm_rate = rate / spec.num_sms
+        sm_rate = rate / spec.num_sms  # unit: flops/second
         compute_s = n_waves * tile_flops / sm_rate
 
         dram_bytes = effective_dram_bytes(

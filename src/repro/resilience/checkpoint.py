@@ -122,7 +122,9 @@ class SweepJournal:
                 f"{header.get('sweep')!r}, not {self.sweep_id!r}; "
                 "use a fresh journal path (or drop --resume)"
             )
-        self._entries = [r for r in records[1:] if r.get("kind") == _UNIT_KIND]
+        loaded = [r for r in records[1:] if r.get("kind") == _UNIT_KIND]
+        with self._lock:
+            self._entries = loaded
 
     # -- recording -----------------------------------------------------------
 

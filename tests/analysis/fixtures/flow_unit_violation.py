@@ -1,0 +1,5 @@
+"""Fixture: dimensionally-inconsistent arithmetic the flow lint must flag."""
+
+
+def mixed_total(total_bytes: float, work_flops: float) -> float:
+    return total_bytes + work_flops

@@ -104,3 +104,127 @@ class TestLintReport:
         [d] = payload["diagnostics"]
         assert d["rule_id"] == "shape/x"
         assert d["fixit"]["speedup"] == 2.0
+
+
+def src_diag(rule, sev, file, line, column, message="msg"):
+    return LintDiagnostic(
+        rule, sev, message, Location(file=file, line=line, column=column)
+    )
+
+
+class TestDeterministicOrdering:
+    CORPUS = [
+        src_diag("flow/unit-mismatch", Severity.ERROR, "b.py", 10, 4),
+        src_diag("flow/unit-mismatch", Severity.ERROR, "a.py", 10, 4),
+        src_diag("flow/unit-compare", Severity.ERROR, "a.py", 10, 4),
+        src_diag("flow/unit-mismatch", Severity.ERROR, "a.py", 10, 2),
+        src_diag("flow/unit-mismatch", Severity.ERROR, "a.py", 3, 9),
+        src_diag("self/x", Severity.WARNING, "a.py", 1, 0),
+        src_diag("flow/unit-mismatch", Severity.ERROR, "a.py", 10, 4, "zz"),
+        diag("shape/x", Severity.WARNING),
+    ]
+
+    def test_fully_deterministic_under_shuffled_insertion(self):
+        import random
+
+        baseline = LintReport("t", list(self.CORPUS)).findings()
+        for seed in range(10):
+            shuffled = list(self.CORPUS)
+            random.Random(seed).shuffle(shuffled)
+            assert LintReport("t", shuffled).findings() == baseline
+
+    def test_key_precedence(self):
+        ordered = LintReport("t", list(self.CORPUS)).findings()
+        keys = [
+            (
+                d.severity,
+                d.location.file or d.location.config_path,
+                d.location.line,
+                d.location.column,
+                d.rule_id,
+                d.message,
+            )
+            for d in ordered
+        ]
+        # severity desc, then path, line, column, rule id, message.
+        assert keys == [
+            (Severity.ERROR, "a.py", 3, 9, "flow/unit-mismatch", "msg"),
+            (Severity.ERROR, "a.py", 10, 2, "flow/unit-mismatch", "msg"),
+            (Severity.ERROR, "a.py", 10, 4, "flow/unit-compare", "msg"),
+            (Severity.ERROR, "a.py", 10, 4, "flow/unit-mismatch", "msg"),
+            (Severity.ERROR, "a.py", 10, 4, "flow/unit-mismatch", "zz"),
+            (Severity.ERROR, "b.py", 10, 4, "flow/unit-mismatch", "msg"),
+            (Severity.WARNING, "a.py", 1, 0, "self/x", "msg"),
+            (Severity.WARNING, "m.field", None, None, "shape/x", "msg"),
+        ]
+
+
+class TestSarif:
+    def test_minimal_envelope(self):
+        rep = LintReport("t", [src_diag("flow/x", Severity.ERROR, "a.py", 3, 7)])
+        log = json.loads(rep.to_sarif())
+        assert log["version"] == "2.1.0"
+        assert "sarif-2.1.0" in log["$schema"]
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_result_levels_map_severities(self):
+        rep = LintReport(
+            "t",
+            [
+                src_diag("r/e", Severity.ERROR, "a.py", 1, 0),
+                src_diag("r/w", Severity.WARNING, "a.py", 2, 0),
+                src_diag("r/i", Severity.INFO, "a.py", 3, 0),
+            ],
+        )
+        results = json.loads(rep.to_sarif())["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["error", "warning", "note"]
+
+    def test_columns_are_one_based(self):
+        rep = LintReport("t", [src_diag("r/x", Severity.ERROR, "a.py", 3, 0)])
+        [result] = json.loads(rep.to_sarif())["runs"][0]["results"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] == 1  # ast column 0 -> SARIF column 1
+
+    def test_rules_deduplicated_and_indexed(self):
+        rep = LintReport(
+            "t",
+            [
+                src_diag("r/a", Severity.ERROR, "a.py", 1, 0),
+                src_diag("r/a", Severity.ERROR, "a.py", 2, 0),
+                src_diag("r/b", Severity.ERROR, "a.py", 3, 0),
+            ],
+        )
+        run = json.loads(rep.to_sarif())["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["r/a", "r/b"]
+        for result in run["results"]:
+            assert (
+                rule_ids[result["ruleIndex"]] == result["ruleId"]
+            )
+
+    def test_config_path_becomes_logical_location(self):
+        rep = LintReport("t", [diag("shape/x", Severity.WARNING)])
+        [result] = json.loads(rep.to_sarif())["runs"][0]["results"]
+        [loc] = result["locations"]
+        assert loc["logicalLocations"][0]["fullyQualifiedName"] == "m.field"
+        assert "physicalLocation" not in loc
+
+    def test_fixit_folded_into_message(self):
+        fx = FixIt("vocab_size", 50257, 50304)
+        rep = LintReport("t", [diag("shape/x", Severity.WARNING, fixit=fx)])
+        [result] = json.loads(rep.to_sarif())["runs"][0]["results"]
+        assert "set vocab_size = 50304" in result["message"]["text"]
+
+    def test_min_severity_filters(self):
+        rep = LintReport(
+            "t",
+            [
+                src_diag("r/e", Severity.ERROR, "a.py", 1, 0),
+                src_diag("r/i", Severity.INFO, "a.py", 2, 0),
+            ],
+        )
+        run = json.loads(rep.to_sarif(Severity.WARNING))["runs"][0]
+        assert len(run["results"]) == 1
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["r/e"]

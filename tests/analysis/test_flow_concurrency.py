@@ -1,0 +1,299 @@
+"""Concurrency rule-family tests: lock discipline + async hygiene."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.concurrency import (
+    RULE_BLOCKING_ASYNC,
+    RULE_LOCK_AWAIT,
+    RULE_UNGUARDED_WRITE,
+    ConcurrencyChecker,
+)
+from repro.analysis.selflint import _suppressed
+
+
+def conc_diags(src):
+    src = textwrap.dedent(src)
+    tree = ast.parse(src)
+    checker = ConcurrencyChecker("mod.py", src.splitlines(), _suppressed)
+    return checker.check_module(tree)
+
+
+def rules_of(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestUnguardedWrite:
+    def test_mixed_discipline_fires(self):
+        diags = conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def reset(self):
+                    self._items = []
+            """
+        )
+        assert rules_of(diags) == [RULE_UNGUARDED_WRITE]
+        assert "C._items" in diags[0].message
+        assert "self._lock" in diags[0].message
+
+    def test_consistent_unlocked_attr_is_clean(self):
+        # An attribute never written under the lock is single-threaded
+        # state by convention; mixed discipline is the bug signature.
+        assert not conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._started = False
+
+                def start(self):
+                    self._started = True
+
+                def stop(self):
+                    self._started = False
+            """
+        )
+
+    def test_consistent_locked_attr_is_clean(self):
+        assert not conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def clear(self):
+                    with self._lock:
+                        self._items = []
+            """
+        )
+
+    def test_class_without_locks_is_exempt(self):
+        assert not conc_diags(
+            """
+            class C:
+                def __init__(self):
+                    self._items = []
+
+                def add(self, x):
+                    self._items.append(x)
+            """
+        )
+
+    def test_acquire_release_counts_as_held(self):
+        diags = conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = None
+
+                def locked_set(self, x):
+                    self._lock.acquire()
+                    self._data = x
+                    self._lock.release()
+
+                def raw_set(self, x):
+                    self._data = x
+            """
+        )
+        assert rules_of(diags) == [RULE_UNGUARDED_WRITE]
+        assert diags[0].location.line == 15
+
+    def test_must_hold_join_is_path_sensitive(self):
+        # The lock is only acquired on one branch, so the write after
+        # the merge is NOT provably guarded; paired with the properly
+        # locked writer it is mixed discipline.
+        diags = conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def maybe(self, flag, x):
+                    if flag:
+                        self._lock.acquire()
+                    self._items.append(x)
+            """
+        )
+        assert rules_of(diags) == [RULE_UNGUARDED_WRITE]
+        assert diags[0].location.line == 16
+
+    def test_init_writes_are_exempt(self):
+        assert not conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+            """
+        )
+
+    def test_suppression_pragma(self):
+        assert not conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def reset(self):
+                    self._items = []  # lint: allow(unguarded-shared-write)
+            """
+        )
+
+
+class TestLockAcrossAwait:
+    def test_sync_with_across_await_fires(self):
+        diags = conc_diags(
+            """
+            async def f(self, g):
+                with self._lock:
+                    await g()
+            """
+        )
+        assert rules_of(diags) == [RULE_LOCK_AWAIT]
+
+    def test_async_with_is_exempt(self):
+        # asyncio primitives are safe to hold across await.
+        assert not conc_diags(
+            """
+            async def f(self, g):
+                async with self._lock:
+                    await g()
+            """
+        )
+
+    def test_release_before_await_is_clean(self):
+        assert not conc_diags(
+            """
+            async def f(self, g):
+                self._lock.acquire()
+                x = 1
+                self._lock.release()
+                await g()
+                return x
+            """
+        )
+
+    def test_await_after_with_block_is_clean(self):
+        assert not conc_diags(
+            """
+            async def f(self, g):
+                with self._lock:
+                    x = 1
+                await g()
+                return x
+            """
+        )
+
+
+class TestBlockingInAsync:
+    def test_time_sleep(self):
+        diags = conc_diags(
+            """
+            import time
+
+            async def worker(self):
+                time.sleep(0.1)
+            """
+        )
+        assert rules_of(diags) == [RULE_BLOCKING_ASYNC]
+        assert "time.sleep()" in diags[0].message
+
+    def test_asyncio_sleep_is_fine(self):
+        assert not conc_diags(
+            """
+            import asyncio
+
+            async def worker(self):
+                await asyncio.sleep(0.1)
+            """
+        )
+
+    def test_open_and_path_io(self):
+        diags = conc_diags(
+            """
+            async def loader(path):
+                with open(path) as fh:
+                    data = fh.read()
+                text = path.read_text()
+                return data, text
+            """
+        )
+        assert sorted(rules_of(diags)) == [
+            RULE_BLOCKING_ASYNC,
+            RULE_BLOCKING_ASYNC,
+        ]
+
+    def test_sync_engine_call_in_async(self):
+        diags = conc_diags(
+            """
+            async def advise(self, cfg):
+                return self._engine.evaluate(cfg)
+            """
+        )
+        assert rules_of(diags) == [RULE_BLOCKING_ASYNC]
+
+    def test_sync_function_is_exempt(self):
+        assert not conc_diags(
+            """
+            import time
+
+            def worker(self):
+                time.sleep(0.1)
+            """
+        )
+
+    def test_nested_sync_helper_in_async_is_exempt(self):
+        # The blocking call belongs to the nested *sync* function that
+        # presumably runs in an executor, not to the coroutine body.
+        assert not conc_diags(
+            """
+            import time
+
+            async def worker(self, loop):
+                def blocking():
+                    time.sleep(0.1)
+                await loop.run_in_executor(None, blocking)
+            """
+        )

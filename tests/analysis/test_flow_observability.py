@@ -1,0 +1,190 @@
+"""Observability-discipline rule tests: spans, phases, metric registry."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.obs_rules import (
+    KNOWN_PHASES,
+    RULE_METRIC_DIRECT,
+    RULE_SPAN_DISCARDED,
+    RULE_UNKNOWN_PHASE,
+    ObservabilityChecker,
+)
+from repro.analysis.selflint import _suppressed
+
+
+def obs_diags(src, rel_path="repro/engine/core.py"):
+    src = textwrap.dedent(src)
+    tree = ast.parse(src)
+    checker = ObservabilityChecker(rel_path, src.splitlines(), _suppressed)
+    return checker.check_module(tree)
+
+
+def rules_of(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestSpanDiscarded:
+    def test_bare_span_call_fires(self):
+        diags = obs_diags(
+            """
+            def f(recorder):
+                recorder.span("engine.evaluate")
+            """
+        )
+        assert rules_of(diags) == [RULE_SPAN_DISCARDED]
+        assert diags[0].severity.name == "ERROR"
+
+    def test_module_helper_alias_fires(self):
+        diags = obs_diags(
+            """
+            def f():
+                _span("engine.evaluate")
+            """
+        )
+        assert rules_of(diags) == [RULE_SPAN_DISCARDED]
+
+    def test_with_span_is_clean(self):
+        assert not obs_diags(
+            """
+            def f(recorder):
+                with recorder.span("engine.evaluate"):
+                    pass
+            """
+        )
+
+    def test_assigned_span_is_clean(self):
+        # Storing the context manager for a later `with` is fine.
+        assert not obs_diags(
+            """
+            def f(recorder):
+                cm = recorder.span("engine.evaluate")
+                with cm:
+                    pass
+            """
+        )
+
+
+class TestUnknownPhase:
+    def test_unknown_phase_warns(self):
+        diags = obs_diags(
+            """
+            def f():
+                with _span("warmup.go"):
+                    pass
+            """
+        )
+        assert rules_of(diags) == [RULE_UNKNOWN_PHASE]
+        assert diags[0].severity.name == "WARNING"
+        assert "'warmup'" in diags[0].message
+
+    def test_known_phases_are_clean(self):
+        for phase in sorted(KNOWN_PHASES):
+            assert not obs_diags(
+                f"""
+                def f():
+                    with _span("{phase}.step"):
+                        pass
+                """
+            ), phase
+
+    def test_metric_method_names_are_checked(self):
+        diags = obs_diags(
+            """
+            def f():
+                _metrics().counter("warp.count").inc()
+            """
+        )
+        assert rules_of(diags) == [RULE_UNKNOWN_PHASE]
+
+    def test_fstring_literal_prefix_is_checked(self):
+        diags = obs_diags(
+            """
+            def f(name):
+                with _span(f"warp.{name}"):
+                    pass
+            """
+        )
+        assert rules_of(diags) == [RULE_UNKNOWN_PHASE]
+
+    def test_dynamic_name_is_not_guessed(self):
+        assert not obs_diags(
+            """
+            def f(name):
+                with _span(name):
+                    pass
+            """
+        )
+
+    def test_undotted_name_is_exempt(self):
+        # No dot means no phase to bucket by; out of this rule's scope.
+        assert not obs_diags(
+            """
+            def f():
+                with _span("evaluate"):
+                    pass
+            """
+        )
+
+
+class TestMetricDirect:
+    def test_direct_instantiation_warns(self):
+        diags = obs_diags(
+            """
+            from repro.observability.metrics import Counter
+
+            def f():
+                c = Counter("engine.calls")
+                return c
+            """
+        )
+        assert rules_of(diags) == [RULE_METRIC_DIRECT]
+
+    def test_aliased_import_is_tracked(self):
+        diags = obs_diags(
+            """
+            from repro.observability import Gauge as G
+
+            def f():
+                return G("engine.depth")
+            """
+        )
+        assert rules_of(diags) == [RULE_METRIC_DIRECT]
+
+    def test_unrelated_counter_is_clean(self):
+        assert not obs_diags(
+            """
+            from collections import Counter
+
+            def f(xs):
+                return Counter(xs)
+            """
+        )
+
+    def test_registry_helper_is_clean(self):
+        assert not obs_diags(
+            """
+            def f(registry):
+                return registry.counter("engine.calls")
+            """
+        )
+
+
+class TestExemptions:
+    def test_observability_package_is_exempt(self):
+        assert not obs_diags(
+            """
+            def f(recorder):
+                recorder.span("whatever.here")
+            """,
+            rel_path="repro/observability/tracing.py",
+        )
+
+    def test_suppression_pragma(self):
+        assert not obs_diags(
+            """
+            def f():
+                with _span("warmup.go"):  # lint: allow(unknown-span-phase)
+                    pass
+            """
+        )

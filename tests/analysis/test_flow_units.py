@@ -1,0 +1,329 @@
+"""Unit/dimension lattice + flow-sensitive unit checker tests."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.flow.unit_rules import (
+    RULE_UNIT_COMPARE,
+    RULE_UNIT_MISMATCH,
+    RULE_UNIT_RETURN,
+    UnitChecker,
+)
+from repro.analysis.flow.units import (
+    BYTES,
+    DIMENSIONLESS,
+    FLOPS,
+    SECONDS,
+    Dim,
+    infer_name,
+    parse_dim,
+    parse_unit_pragma,
+)
+from repro.analysis.selflint import _suppressed
+from repro.errors import ConfigError
+
+
+def unit_diags(src):
+    src = textwrap.dedent(src)
+    tree = ast.parse(src)
+    return UnitChecker("mod.py", src.splitlines(), _suppressed).check_module(
+        tree
+    )
+
+
+def rules_of(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestDimAlgebra:
+    def test_identity_and_equality(self):
+        assert Dim.of(flops=1) == FLOPS
+        assert Dim.of(flops=0) == DIMENSIONLESS
+        assert FLOPS != BYTES
+
+    def test_mul_div_cancel(self):
+        bandwidth = BYTES.div(SECONDS)
+        assert bandwidth.mul(SECONDS) == BYTES
+        assert BYTES.div(BYTES) == DIMENSIONLESS
+
+    def test_pow(self):
+        assert SECONDS.pow(2).div(SECONDS) == SECONDS
+        assert SECONDS.pow(-1) == DIMENSIONLESS.div(SECONDS)
+
+    def test_str_forms(self):
+        assert str(DIMENSIONLESS) == "dimensionless"
+        assert str(FLOPS.div(SECONDS)) == "flops/seconds"
+        assert str(DIMENSIONLESS.div(SECONDS)) == "1/seconds"
+
+
+class TestParseDim:
+    def test_bases_and_aliases(self):
+        assert parse_dim("flops") == FLOPS
+        assert parse_dim("byte") == BYTES
+        assert parse_dim("s") == SECONDS
+        assert parse_dim("dimensionless") == DIMENSIONLESS
+        assert parse_dim("ratio") == DIMENSIONLESS
+
+    def test_compound(self):
+        assert parse_dim("bytes/second") == BYTES.div(SECONDS)
+        assert parse_dim("flops/byte") == FLOPS.div(BYTES)
+        # '/' binds all following terms.
+        assert parse_dim("flops/byte/second") == FLOPS.div(BYTES).div(SECONDS)
+
+    def test_exponent(self):
+        assert parse_dim("seconds^2") == SECONDS.pow(2)
+        assert parse_dim("bytes*seconds^-1") == BYTES.div(SECONDS)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ConfigError):
+            parse_dim("furlongs")
+        with pytest.raises(ConfigError):
+            parse_dim("bytes^x")
+
+
+class TestPragma:
+    def test_bare_form(self):
+        assert parse_unit_pragma("x = f()  # unit: bytes/second") == {
+            None: BYTES.div(SECONDS)
+        }
+
+    def test_named_form(self):
+        got = parse_unit_pragma("a, b = f()  # unit: a=flops, b=seconds")
+        assert got == {"a": FLOPS, "b": SECONDS}
+
+    def test_no_pragma(self):
+        assert parse_unit_pragma("x = f()  # plain comment") is None
+
+
+class TestInferName:
+    def test_exact_and_suffix(self):
+        assert infer_name("latency") == SECONDS
+        assert infer_name("kv_bytes") == BYTES
+        assert infer_name("decode_ms") == SECONDS
+        assert infer_name("hbm_bw") == BYTES.div(SECONDS)
+        assert infer_name("tokens_per_s") == DIMENSIONLESS.div(SECONDS)
+
+    def test_longest_suffix_wins(self):
+        # _bytes_s must resolve as bandwidth, not seconds via _s.
+        assert infer_name("bw_bytes_s") == BYTES.div(SECONDS)
+
+    def test_bare_suffix_is_not_a_match(self):
+        # A name that IS the suffix carries no signal ("_s" alone).
+        assert infer_name("_s") is None
+
+    def test_unseeded(self):
+        assert infer_name("count") is None
+        assert infer_name("num_tokens") is None
+
+
+class TestUnitChecker:
+    def test_add_mismatch(self):
+        diags = unit_diags(
+            """
+            def f(x_bytes, y_flops):
+                return x_bytes + y_flops
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+        assert "(bytes)" in diags[0].message
+        assert "(flops)" in diags[0].message
+
+    def test_compose_through_division_is_clean(self):
+        assert not unit_diags(
+            """
+            def f(x_bytes, t_s):
+                bw = x_bytes / t_s
+                total_bytes = bw * t_s
+                return total_bytes
+            """
+        )
+
+    def test_name_implied_binding_mismatch(self):
+        diags = unit_diags(
+            """
+            def f(x_bytes, t_s):
+                lat_s = x_bytes / t_s
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+        assert "lat_s" in diags[0].message
+
+    def test_compare_across_units(self):
+        diags = unit_diags(
+            """
+            def f(a_s, b_bytes):
+                return a_s < b_bytes
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_COMPARE]
+
+    def test_return_against_declared_name(self):
+        diags = unit_diags(
+            """
+            def total_s(a_bytes):
+                return a_bytes
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_RETURN]
+
+    def test_registry_seeds_call_results(self):
+        diags = unit_diags(
+            """
+            from time import monotonic
+
+            def f():
+                start_bytes = monotonic()
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+        assert not unit_diags(
+            """
+            from time import monotonic
+
+            def f():
+                start_s = monotonic()
+                return start_s
+            """
+        )
+
+    def test_kwarg_name_mismatch(self):
+        diags = unit_diags(
+            """
+            def f(g, b_bytes):
+                g(total_s=b_bytes)
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+        assert "total_s=" in diags[0].message
+
+    def test_aug_assign_mismatch(self):
+        diags = unit_diags(
+            """
+            def f(t_s, b_bytes):
+                t_s += b_bytes
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+
+    def test_min_max_join_mismatch(self):
+        diags = unit_diags(
+            """
+            def f(a_s, b_bytes):
+                return max(a_s, b_bytes)
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+
+    def test_conflicting_join_drops_binding(self):
+        # x is seconds on one path, bytes on the other: the must-join
+        # forgets it, so the later add cannot fire.
+        assert not unit_diags(
+            """
+            def f(flag, a_s, b_bytes):
+                if flag:
+                    x = a_s
+                else:
+                    x = b_bytes
+                y = x + a_s
+                return y
+            """
+        )
+
+    def test_agreeing_join_keeps_binding(self):
+        # Flow-sensitivity: x is seconds on BOTH paths, so the binding
+        # survives the merge and the add against bytes fires.
+        diags = unit_diags(
+            """
+            def f(flag, a_s, b_bytes):
+                if flag:
+                    x = a_s
+                else:
+                    x = a_s * 2
+                return x + b_bytes
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+
+    def test_binding_stable_through_loop(self):
+        assert not unit_diags(
+            """
+            def f(n, step_s):
+                total_s = 0.0
+                for _ in range(n):
+                    total_s = total_s + step_s
+                return total_s
+            """
+        )
+
+    def test_pragma_overrides_opaque_call(self):
+        assert not unit_diags(
+            """
+            def f(opaque, total_bytes):
+                rate = opaque()  # unit: bytes/second
+                t_s = total_bytes / rate
+                return t_s
+            """
+        )
+
+    def test_named_pragma_on_tuple_unpack(self):
+        diags = unit_diags(
+            """
+            def f(g, x_bytes):
+                a, b = g()  # unit: a=flops
+                return a + x_bytes
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_MISMATCH]
+
+    def test_def_line_pragma_declares_return(self):
+        diags = unit_diags(
+            """
+            def rate(x_bytes, t_s):  # unit: bytes/second
+                return x_bytes * t_s
+            """
+        )
+        assert rules_of(diags) == [RULE_UNIT_RETURN]
+
+    def test_suppression_pragma(self):
+        assert not unit_diags(
+            """
+            def f(x_bytes, y_flops):
+                return x_bytes + y_flops  # lint: allow(unit-mismatch)
+            """
+        )
+
+    def test_unknowns_never_fire(self):
+        assert not unit_diags(
+            """
+            def f(a, b, x_bytes):
+                c = a + b
+                d = c * x_bytes
+                return d / a
+            """
+        )
+
+    def test_uninferred_calls_stay_unknown(self):
+        # int.from_bytes returns an int, not a byte count.
+        assert not unit_diags(
+            """
+            def f(raw, t_s):
+                n = int.from_bytes(raw, "big")
+                delay_s = n * t_s
+                return delay_s
+            """
+        )
+
+    def test_diagnostic_metadata(self):
+        (diag,) = unit_diags(
+            """
+            def f(x_bytes, y_flops):
+                return x_bytes + y_flops
+            """
+        )
+        assert diag.severity.name == "ERROR"
+        assert diag.location.file == "mod.py"
+        assert diag.location.line == 3
+        assert diag.paper_ref
+        assert "# unit:" in diag.message

@@ -247,6 +247,58 @@ class TestLint:
         assert main(["lint", "c2", "extra.py"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_flow_lint_repo_is_clean(self, capsys):
+        assert main(["lint", "--flow"]) == 0
+        assert "flow-lint" in capsys.readouterr().out
+
+    def test_flow_lint_fixture_fails(self, capsys):
+        from pathlib import Path
+
+        fixture = str(
+            Path(__file__).parent
+            / "analysis" / "fixtures" / "flow_unit_violation.py"
+        )
+        assert main(["lint", "--flow", fixture]) == 2
+        assert "flow/unit-mismatch" in capsys.readouterr().out
+
+    def test_self_lint_includes_flow_rules(self, capsys):
+        from pathlib import Path
+
+        fixture = str(
+            Path(__file__).parent
+            / "analysis" / "fixtures" / "flow_unit_violation.py"
+        )
+        assert main(["lint", "--self", fixture]) == 2
+        assert "flow/unit-mismatch" in capsys.readouterr().out
+
+    def test_sarif_format(self, capsys):
+        import json
+
+        assert main(["lint", "gpt-neo-2.7b", "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert any(
+            r["ruleId"] == "shape/vocab-divisible" for r in run["results"]
+        )
+
+    def test_sarif_format_flow(self, capsys):
+        import json
+        from pathlib import Path
+
+        fixture = str(
+            Path(__file__).parent
+            / "analysis" / "fixtures" / "flow_unit_violation.py"
+        )
+        assert main(["lint", "--flow", fixture, "--format", "sarif"]) == 2
+        [run] = json.loads(capsys.readouterr().out)["runs"]
+        [result] = run["results"]
+        assert result["ruleId"] == "flow/unit-mismatch"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startColumn"] >= 1
+
 
 class TestParser:
     def test_missing_command_exits(self):
