@@ -36,6 +36,7 @@ from typing import (
 
 from repro.analysis.diagnostics import LintDiagnostic, Location, Severity
 from repro.analysis.flow.cfg import (
+    KIND_LOOP_ITER,
     KIND_WITH_ENTER,
     KIND_WITH_EXIT,
     Instr,
@@ -138,6 +139,30 @@ def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
             stack.append(child)
 
 
+def _instr_nodes(instr: Instr) -> Tuple[ast.AST, ...]:
+    """The AST actually evaluated at this instruction.
+
+    A loop-header instruction carries the whole ``For``/``AsyncFor``
+    statement so the fixpoint can model iteration, but only the target
+    binding and the iterable are evaluated there — the body statements
+    are lowered into their own CFG blocks.  Walking the full statement
+    at the header would replay every body effect (writes, awaits,
+    acquire/release) with the *pre-loop* lock state, flagging
+    correctly-locked writes inside the loop.
+    """
+    node = instr.node
+    if instr.kind == KIND_LOOP_ITER and isinstance(
+        node, (ast.For, ast.AsyncFor)
+    ):
+        # Model the header as the assignment it performs each
+        # iteration (``target <- next(iter)``) so a write-through
+        # target like ``for self.x in ...`` is still seen; the
+        # synthetic node's children are the real ones, so diagnostic
+        # locations stay accurate.
+        return (ast.Assign(targets=[node.target], value=node.iter),)
+    return (node,)
+
+
 class _LockAnalysis(DataflowAnalysis[LockState]):
     """Must-hold analysis for synchronous (threading) locks.
 
@@ -173,18 +198,19 @@ class _LockAnalysis(DataflowAnalysis[LockState]):
             if instr.kind == KIND_WITH_ENTER:
                 return held | {path}
             return held - {path}
-        for sub in _walk_shallow(node):
-            if (
-                isinstance(sub, ast.Call)
-                and isinstance(sub.func, ast.Attribute)
-                and sub.func.attr in ("acquire", "release")
-            ):
-                receiver = _dotted(sub.func.value)
-                if receiver is not None and _is_lockish(receiver):
-                    if sub.func.attr == "acquire":
-                        held = held | {receiver}
-                    else:
-                        held = held - {receiver}
+        for root in _instr_nodes(instr):
+            for sub in _walk_shallow(root):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("acquire", "release")
+                ):
+                    receiver = _dotted(sub.func.value)
+                    if receiver is not None and _is_lockish(receiver):
+                        if sub.func.attr == "acquire":
+                            held = held | {receiver}
+                        else:
+                            held = held - {receiver}
         return held
 
 
@@ -379,11 +405,12 @@ class ConcurrencyChecker:
             if stmt.name == "__init__":
                 continue
             for instr, held in _held_at_instrs(stmt):
-                for write in _writes_in(instr.node, held):
-                    attr = write[0]
-                    if attr in lock_attrs:
-                        continue
-                    writes.setdefault(attr, []).append(write)
+                for root in _instr_nodes(instr):
+                    for write in _writes_in(root, held):
+                        attr = write[0]
+                        if attr in lock_attrs:
+                            continue
+                        writes.setdefault(attr, []).append(write)
 
         out: List[LintDiagnostic] = []
         for attr in sorted(writes):
@@ -416,8 +443,10 @@ class ConcurrencyChecker:
         out: List[LintDiagnostic] = []
         for instr, held in _held_at_instrs(func):
             if held:
-                for sub in _walk_shallow(instr.node):
-                    if isinstance(sub, ast.Await):
+                for root in _instr_nodes(instr):
+                    for sub in _walk_shallow(root):
+                        if not isinstance(sub, ast.Await):
+                            continue
                         diag = self._diag(
                             RULE_LOCK_AWAIT,
                             f"await while holding threading lock "

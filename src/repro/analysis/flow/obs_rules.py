@@ -42,6 +42,7 @@ RULE_METRIC_DIRECT = "flow/metric-direct"
 #: ``fault.fired``).
 KNOWN_PHASES = frozenset(
     {
+        "cluster",
         "engine",
         "runner",
         "serve",

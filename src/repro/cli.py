@@ -384,6 +384,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="per-request deadline in seconds (default: none)",
     )
+    p.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="run the multi-process cluster and serve the JSONL protocol "
+        "over TCP (workers become OS processes; SIGTERM drains, SIGHUP "
+        "rereads --config; port 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="ServeConfig JSON file (overrides the individual flags; with "
+        "--listen, SIGHUP rereads it for a hot reload)",
+    )
+    p.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="JSON fault plan forwarded to every worker process "
+        "(cluster chaos runs; requires --listen)",
+    )
     _add_observability(p)
 
     p = sub.add_parser(
@@ -413,6 +435,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="GPU mix for generated queries (default A100)",
     )
     _add_serve_config(p)
+    p.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive a remote 'repro serve --listen' cluster over TCP "
+        "instead of an in-process server",
+    )
+    p.add_argument(
+        "--client-procs",
+        type=int,
+        default=1,
+        help="independent OS client processes (requires --connect; each "
+        "drives a disjoint slice of the stream; default 1)",
+    )
     p.add_argument(
         "--inject-faults",
         default=None,
@@ -795,12 +831,72 @@ _DEMO_QUERIES = (
 )
 
 
+def _cluster_serve_config(args: argparse.Namespace) -> "ServeConfig":  # noqa: F821
+    """Cluster config: --config file wins, else the individual flags."""
+    from repro.errors import ConfigError
+    from repro.serve import ServeConfig
+
+    if args.config:
+        try:
+            with open(args.config) as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot read serve config {args.config}: {exc}"
+            ) from exc
+        return ServeConfig.from_json(text)
+    return _serve_config(args)
+
+
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    """``repro serve --listen``: the multi-process cluster front-end."""
+    from repro.serve import ServeConfig  # noqa: F401 - config type below
+    from repro.serve.cluster import ClusterServer
+    from repro.serve.loadgen import _parse_address
+
+    listen = args.listen
+    host, port = (
+        _parse_address(listen) if ":" in listen else ("127.0.0.1", int(listen))
+    )
+    config = _cluster_serve_config(args)
+
+    def announce(bound_port: int) -> None:
+        print(
+            f"cluster: listening on {host}:{bound_port} "
+            f"({config.describe()})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    server = ClusterServer(
+        config,
+        host=host or "127.0.0.1",
+        port=port,
+        config_path=args.config,
+        fault_plan_path=args.inject_faults,
+        on_bound=announce,
+    )
+    server.serve_forever(install_signals=True)
+    stats = server.supervisor.cluster_stats()
+    print(
+        f"cluster: drained ({stats['restarts']} restart(s), "
+        f"{stats['shed']} shed, {stats['degraded']} degraded)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError, QueueFullError
     from repro.serve import Advisory, AdvisoryServer, ShapeQuery
 
     import json as _json
 
+    if args.listen is not None:
+        try:
+            return _cmd_serve_listen(args)
+        except ValueError as exc:
+            raise ConfigError(f"bad --listen address: {exc}") from exc
     if args.queries is None:
         raw_queries = list(_DEMO_QUERIES)
     else:
@@ -857,7 +953,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_loadgen_connect(args: argparse.Namespace) -> "LoadReport":  # noqa: F821
+    """``repro loadgen --connect``: drive a remote cluster over TCP."""
+    from repro.serve import (
+        SocketTransport,
+        generate_queries,
+        run_load,
+        run_load_processes,
+    )
+    from repro.serve.loadgen import _parse_address
+
+    if args.client_procs > 1:
+        return run_load_processes(
+            args.connect,
+            args.requests,
+            procs=args.client_procs,
+            clients=args.clients,
+            seed=args.seed,
+            unique=args.unique,
+            gpus=args.gpus,
+            verify=not args.no_verify,
+        )
+    host, port = _parse_address(args.connect)
+    queries = generate_queries(
+        args.requests, seed=args.seed, unique=args.unique, gpus=args.gpus
+    )
+    with SocketTransport(host=host, port=port) as transport:
+        return run_load(
+            transport,
+            queries,
+            clients=args.clients,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
     from repro.resilience import FaultPlan, clear_plan, install_plan
     from repro.serve import (
         AdvisoryServer,
@@ -867,9 +999,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         write_load,
     )
 
-    queries = generate_queries(
-        args.requests, seed=args.seed, unique=args.unique, gpus=args.gpus
-    )
+    if args.client_procs > 1 and not args.connect:
+        raise ConfigError("--client-procs needs --connect (a remote cluster)")
     plan = None
     if args.inject_faults:
         plan = FaultPlan.load(args.inject_faults)
@@ -879,14 +1010,21 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             f"{args.inject_faults} (seed {plan.seed})"
         )
     try:
-        with AdvisoryServer(_serve_config(args)) as server:
-            report = run_load(
-                server,
-                queries,
-                clients=args.clients,
-                seed=args.seed,
-                verify=not args.no_verify,
+        if args.connect:
+            report = _cmd_loadgen_connect(args)
+        else:
+            queries = generate_queries(
+                args.requests, seed=args.seed, unique=args.unique,
+                gpus=args.gpus,
             )
+            with AdvisoryServer(_serve_config(args)) as server:
+                report = run_load(
+                    server,
+                    queries,
+                    clients=args.clients,
+                    seed=args.seed,
+                    verify=not args.no_verify,
+                )
     finally:
         if plan is not None:
             clear_plan()

@@ -20,6 +20,9 @@ needs string matching::
         +-- QueueFullError         admission control rejected the request
         +-- DeadlineExceededError  request expired before dispatch
         +-- ServerClosedError      request submitted to a closed server
+        +-- LoadShedError          cluster shed a low-priority request
+        +-- ClusterError           multi-process serve tier failed
+            +-- WorkerDiedError        a worker process died mid-request
 
 The resilience four back the :mod:`repro.resilience` execution layer: a
 :class:`~repro.resilience.execute.TaskOutcome` carries the exception
@@ -124,3 +127,21 @@ class DeadlineExceededError(ServeError):
 
 class ServerClosedError(ServeError):
     """A request was submitted to a server that has been closed."""
+
+
+class LoadShedError(ServeError):
+    """The cluster front-end shed a low-priority request under sustained
+    backpressure.  Deliberate overload protection, not a bug — the
+    advisory carries ``retryable=True`` so clients back off and retry."""
+
+
+class ClusterError(ServeError):
+    """The multi-process serve tier failed to complete an operation
+    (spawn, handshake, or protocol violation on a worker pipe)."""
+
+
+class WorkerDiedError(ClusterError):
+    """A worker process died (crash, SIGKILL, or torn pipe) while a
+    request was in flight on it.  The supervisor's dispatcher retries
+    the request on a live worker; this surfaces only when every retry
+    lane is exhausted."""

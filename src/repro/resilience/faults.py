@@ -11,7 +11,10 @@ whose seeded :class:`FaultSpec` entries then fire at those sites:
   :class:`~repro.errors.FaultInjectionError`),
 - ``delay`` — sleep ``delay_s`` (drives deadline/timeout paths),
 - ``corrupt`` — overwrite the file named by the site's ``path`` context
-  with deterministic garbage (drives cache-quarantine paths).
+  with deterministic garbage (drives cache-quarantine paths),
+- ``kill`` — SIGKILL the *current process* (drives the cluster
+  supervisor's crash-recovery path; only meaningful inside a worker
+  process, where the supervisor observes the death and restarts it).
 
 Every spec is deterministic: it targets a site name, optionally a
 ``match`` substring against the site's context values, skips its first
@@ -31,7 +34,9 @@ A plan is JSON round-trippable::
 from __future__ import annotations
 
 import json
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -52,9 +57,12 @@ KNOWN_SITES = (
     "cache.disk_put",
     "autotune.search",
     "calibration.fit",
+    "cluster.worker",
+    "cluster.heartbeat",
+    "cluster.conn",
 )
 
-_KINDS = ("raise", "delay", "corrupt")
+_KINDS = ("raise", "delay", "corrupt", "kill")
 
 #: Exceptions a plan may name without a dotted path.
 _NAMED_EXCEPTIONS: Dict[str, type] = {
@@ -256,6 +264,10 @@ class FaultPlan:
             if path is not None:
                 _corrupt_file(Path(path), self.seed)
             return
+        if spec.kind == "kill":
+            # Uncatchable by design: a crashed worker leaves no goodbye.
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - SIGKILL never returns
         exc_cls = _resolve_exception(spec.exception)
         message = spec.message or (
             f"injected fault at {site} ({context or 'no context'})"
@@ -340,6 +352,12 @@ def iter_sites() -> Iterator[Tuple[str, str]]:
         "cache.disk_put": "DiskCache.put, after writing an entry (corrupt target)",
         "autotune.search": "search_dimension, before scoring candidates",
         "calibration.fit": "run_calibration, before each constant fit",
+        "cluster.worker": "worker process, before answering one query "
+                          "(kill here = crash mid-request)",
+        "cluster.heartbeat": "worker process, before answering a ping "
+                             "(delay here = stalled heartbeat)",
+        "cluster.conn": "front-end, per accepted client line "
+                        "(raise here = torn socket)",
     }
     for site in KNOWN_SITES:
         yield site, docs[site]

@@ -1,7 +1,11 @@
-"""Synchronous client facade over :class:`~repro.serve.server.AdvisoryServer`.
+"""Synchronous client facade over any advisory transport.
 
-The server's native surface is async (futures); this client is the
-ergonomic blocking wrapper callers use from scripts and tests::
+The ergonomic blocking wrapper callers use from scripts and tests —
+against the in-process :class:`~repro.serve.server.AdvisoryServer`,
+the multi-process :class:`~repro.serve.supervisor.Supervisor`, or a
+remote cluster through :class:`~repro.serve.netclient.
+SocketTransport`, all interchangeably (anything satisfying
+:class:`~repro.serve.dispatch.Transport`)::
 
     with AdvisoryServer() as server:
         client = AdvisoryClient(server)
@@ -9,50 +13,45 @@ ergonomic blocking wrapper callers use from scripts and tests::
         tf = client.tflops(2048, 50304, 2560, gpu="H100")
         verdict = client.lint("gpt3-2.7b")              # exit_code, fixits
 
-Failure handling is typed: a rejected advisory re-raises the
-:class:`~repro.errors.ServeError` subclass named by its
-``error_type`` (queue-full rejections already raise at submission), a
-failed one raises :class:`~repro.errors.ServeError`, so callers never
-parse message strings.
+    client = AdvisoryClient(SocketTransport(port=9037))  # same calls
+
+Failure handling is typed through :func:`~repro.serve.dispatch.
+unwrap_advisory`: a non-ok advisory re-raises the
+:class:`~repro.errors.ServeError` subclass named by its ``error_type``
+(queue-full rejections already raise at submission), so callers never
+parse message strings — locally or across the wire.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Mapping, Optional
 
-from repro.errors import DeadlineExceededError, ServeError
+from repro.serve.dispatch import Transport, unwrap_advisory as _unwrap
 from repro.serve.protocol import Advisory, ShapeQuery
-from repro.serve.server import AdvisoryServer
 
 __all__ = ["AdvisoryClient"]
 
-_TYPED_ERRORS = {
-    "DeadlineExceededError": DeadlineExceededError,
-}
-
-
-def _unwrap(advisory: Advisory) -> Dict[str, Any]:
-    if advisory.ok:
-        return advisory.payload
-    exc_cls = _TYPED_ERRORS.get(advisory.error_type or "", ServeError)
-    raise exc_cls(advisory.error or f"advisory {advisory.status}")
-
 
 class AdvisoryClient:
-    """Blocking convenience calls against one in-process server."""
+    """Blocking convenience calls against one advisory transport."""
 
     def __init__(
-        self, server: AdvisoryServer, timeout_s: Optional[float] = 30.0
+        self, transport: Transport, timeout_s: Optional[float] = 30.0
     ) -> None:
-        self.server = server
+        self.transport = transport
         #: Default per-call wait bound (seconds); ``None`` waits forever.
         self.timeout_s = timeout_s
+
+    @property
+    def server(self) -> Transport:
+        """The underlying transport (historical name)."""
+        return self.transport
 
     def advise(
         self, query: ShapeQuery, timeout_s: Optional[float] = None
     ) -> Advisory:
         """The raw advisory for one query (no unwrapping)."""
-        return self.server.request(
+        return self.transport.request(
             query, timeout_s=timeout_s if timeout_s is not None else self.timeout_s
         )
 

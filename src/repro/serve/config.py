@@ -38,6 +38,22 @@ class ServeConfig:
     ``compute_timeout_s`` parameterize the
     :class:`~repro.resilience.execute.RetryPolicy` and per-attempt
     watchdog deadline wrapped around every batched engine evaluation.
+
+    The ``heartbeat_*`` / ``restart_*`` / ``shed_*`` / ``drain_s`` /
+    ``degrade_local`` block parameterizes the multi-process cluster
+    tier (:mod:`repro.serve.cluster`): the supervisor pings each worker
+    every ``heartbeat_s`` seconds and declares it hung after
+    ``heartbeat_misses`` consecutive pongs slower than
+    ``heartbeat_timeout_s``; crashed/hung workers restart with
+    exponential backoff from ``restart_backoff_s``, but a worker that
+    crashes ``restart_budget`` times within ``restart_window_s``
+    seconds is a crash loop and stays down.  The front-end sheds
+    queries with ``priority <= shed_priority`` once cluster-wide
+    in-flight depth has exceeded ``shed_depth`` for ``shed_after``
+    consecutive admissions (sustained backpressure, not a blip), and
+    — when ``degrade_local`` is on — answers from an in-process
+    fallback engine if every worker is down.  ``drain_s`` bounds the
+    graceful-shutdown wait for in-flight requests on SIGTERM.
     """
 
     workers: int = 2
@@ -50,6 +66,17 @@ class ServeConfig:
     retries: int = 0
     retry_backoff_s: float = 0.01
     compute_timeout_s: Optional[float] = None
+    heartbeat_s: float = 0.25
+    heartbeat_timeout_s: float = 1.0
+    heartbeat_misses: int = 3
+    restart_backoff_s: float = 0.1
+    restart_budget: int = 5
+    restart_window_s: float = 30.0
+    shed_depth: int = 512
+    shed_priority: int = 0
+    shed_after: int = 2
+    drain_s: float = 5.0
+    degrade_local: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -82,6 +109,50 @@ class ServeConfig:
             raise ConfigError(
                 "compute_timeout_s must be positive or None, "
                 f"got {self.compute_timeout_s}"
+            )
+        if self.heartbeat_s <= 0:
+            raise ConfigError(
+                f"heartbeat_s must be positive, got {self.heartbeat_s}"
+            )
+        if self.heartbeat_timeout_s <= 0:
+            raise ConfigError(
+                f"heartbeat_timeout_s must be positive, "
+                f"got {self.heartbeat_timeout_s}"
+            )
+        if self.heartbeat_misses < 1:
+            raise ConfigError(
+                f"heartbeat_misses must be >= 1, got {self.heartbeat_misses}"
+            )
+        if self.restart_backoff_s < 0:
+            raise ConfigError(
+                f"restart_backoff_s must be >= 0, got {self.restart_backoff_s}"
+            )
+        if self.restart_budget < 1:
+            raise ConfigError(
+                f"restart_budget must be >= 1, got {self.restart_budget}"
+            )
+        if self.restart_window_s <= 0:
+            raise ConfigError(
+                f"restart_window_s must be positive, "
+                f"got {self.restart_window_s}"
+            )
+        if self.shed_depth < 1:
+            raise ConfigError(
+                f"shed_depth must be >= 1, got {self.shed_depth}"
+            )
+        if not 0 <= self.shed_priority <= 9:
+            raise ConfigError(
+                f"shed_priority must be in [0, 9], got {self.shed_priority}"
+            )
+        if self.shed_after < 1:
+            raise ConfigError(
+                f"shed_after must be >= 1, got {self.shed_after}"
+            )
+        if self.drain_s < 0:
+            raise ConfigError(f"drain_s must be >= 0, got {self.drain_s}")
+        if not isinstance(self.degrade_local, bool):
+            raise ConfigError(
+                f"degrade_local must be a bool, got {self.degrade_local!r}"
             )
 
     # -- JSON round-trip ----------------------------------------------------
@@ -118,6 +189,16 @@ class ServeConfig:
             raise ConfigError(f"malformed serve config JSON: {exc}") from exc
         return cls.from_dict(data)
 
+    def worker_config(self) -> "ServeConfig":
+        """The in-worker server config: one shard per worker process.
+
+        Cluster-level sharding happens in the front-end (one worker
+        *process* per shard); inside each worker the embedded
+        :class:`~repro.serve.server.AdvisoryServer` runs a single
+        dispatch shard with the same batching/cache/retry knobs.
+        """
+        return dataclasses.replace(self, workers=1)
+
     def describe(self) -> str:
         deadline = (
             f"{self.deadline_s:g}s" if self.deadline_s is not None else "none"
@@ -125,5 +206,8 @@ class ServeConfig:
         return (
             f"{self.workers} worker(s), batch<={self.max_batch}, "
             f"queue<={self.max_queue}/shard, linger {self.linger_s * 1e3:g}ms, "
-            f"deadline {deadline}, cache ttl {self.cache_ttl_s:g}s"
+            f"deadline {deadline}, cache ttl {self.cache_ttl_s:g}s, "
+            f"heartbeat {self.heartbeat_s:g}s, "
+            f"restart budget {self.restart_budget}/{self.restart_window_s:g}s, "
+            f"shed depth {self.shed_depth} (priority<={self.shed_priority})"
         )

@@ -14,19 +14,31 @@ onto one engine row, distinct ones merge into one vectorized call, and
 the report's ``coalesce_ratio`` (requests dispatched per engine call)
 measures the win.
 
-:func:`run_load` drives the queries through a server from ``clients``
+:func:`run_load` drives the queries through any
+:class:`~repro.serve.dispatch.Transport` — the in-process server, the
+multi-process supervisor, or a remote cluster via
+:class:`~repro.serve.netclient.SocketTransport` — from ``clients``
 threads, then (optionally but by default) **verifies** every distinct
 ok answer bit-for-bit against a fresh, private
 :class:`~repro.engine.core.ShapeEngine` — the served numbers must be
 exactly what a direct engine call returns, proving batching, dedup,
-sharding, and the TTL cache change *how* answers are computed, never
-*what* they are.
+sharding, the TTL cache, worker processes, and crash failover change
+*how* answers are computed, never *what* they are.
+
+:func:`run_load_processes` scales the same wall across OS boundaries:
+it spawns ``procs`` genuinely separate client *processes* (each one
+``python -m repro.serve.loadgen --connect``), gives each a disjoint
+slice of the same seeded stream, and verifies the union of their
+answers centrally — the cluster equivalent of the single-process wall.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import random
+import subprocess
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -34,15 +46,17 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError, QueueFullError
+from repro.errors import ClusterError, ConfigError, ReproError
+from repro.serve.dispatch import Transport, error_to_advisory
 from repro.serve.protocol import Advisory, ShapeQuery
-from repro.serve.server import AdvisoryServer
 
 __all__ = [
     "LoadReport",
     "generate_queries",
+    "main",
     "render_load",
     "run_load",
+    "run_load_processes",
     "verify_against_engine",
     "write_load",
 ]
@@ -120,6 +134,9 @@ class LoadReport:
     failed: int = 0
     rejected_queue_full: int = 0
     rejected_deadline: int = 0
+    shed: int = 0
+    degraded: int = 0
+    reconnects: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
     throughput_rps: float = 0.0
@@ -135,6 +152,15 @@ class LoadReport:
     clients: int = 0
     server: Dict[str, Any] = field(default_factory=dict)
     config: Dict[str, Any] = field(default_factory=dict)
+    #: The (query, advisory) pairs behind the ok count — kept so a
+    #: parent process can re-verify a child's answers centrally; never
+    #: serialized by :meth:`to_dict`.
+    ok_pairs: List[Tuple[ShapeQuery, Advisory]] = field(
+        default_factory=list, repr=False
+    )
+    #: Client-side round-trip seconds, one per answered request (for
+    #: exact percentile merging across processes); not serialized.
+    latencies: List[float] = field(default_factory=list, repr=False)
 
     @property
     def passed(self) -> bool:
@@ -149,7 +175,8 @@ class LoadReport:
             k: getattr(self, k)
             for k in (
                 "requests", "ok", "failed", "rejected_queue_full",
-                "rejected_deadline", "cache_hits", "engine_calls",
+                "rejected_deadline", "shed", "degraded", "reconnects",
+                "cache_hits", "engine_calls",
                 "coalesce_ratio", "verified_rows", "verify_mismatches",
                 "seed", "clients", "server", "config",
             )
@@ -225,30 +252,60 @@ def verify_against_engine(
     return checked, mismatches
 
 
+def _transport_stats(server: Transport) -> Dict[str, Any]:
+    """Best-effort serving counters for any transport flavour.
+
+    The in-process server exposes ``stats()`` (a ServerStats), the
+    supervisor ``worker_stats()``/``cluster_stats()``, and the socket
+    transport ``server_stats()`` (the front-end's aggregate); plain
+    transports expose nothing and that is fine — the report's server
+    section is observability, not correctness.
+    """
+    stats_fn = getattr(server, "stats", None)
+    if callable(stats_fn):
+        return dict(stats_fn().to_dict())
+    remote_fn = getattr(server, "server_stats", None)
+    if callable(remote_fn):
+        try:
+            remote = remote_fn()
+        except (ReproError, OSError):
+            return {}
+        merged = dict(remote.get("workers", {}))
+        merged["cluster"] = remote.get("cluster", {})
+        return merged
+    worker_fn = getattr(server, "worker_stats", None)
+    if callable(worker_fn):
+        merged = dict(worker_fn())
+        merged["cluster"] = server.cluster_stats()  # type: ignore[attr-defined]
+        return merged
+    return {}
+
+
 def run_load(
-    server: AdvisoryServer,
+    server: Transport,
     queries: Sequence[ShapeQuery],
     clients: int = 8,
     seed: int = 0,
     verify: bool = True,
     timeout_s: Optional[float] = 60.0,
 ) -> LoadReport:
-    """Drive ``queries`` through ``server`` from ``clients`` threads.
+    """Drive ``queries`` through any transport from ``clients`` threads.
 
-    The server must be started.  Returns the :class:`LoadReport`;
-    never raises for per-request failures (they are counted), only for
-    setup errors.
+    The transport must be ready to answer (server started / cluster
+    listening).  Returns the :class:`LoadReport`; never raises for
+    per-request failures — a raising transport call is folded into a
+    typed error advisory and counted like one that crossed the wire.
     """
     if clients < 1:
         raise ConfigError(f"clients must be >= 1, got {clients}")
-    outcomes: List[Tuple[ShapeQuery, Optional[Advisory], float]] = []
+    outcomes: List[Tuple[ShapeQuery, Advisory, float]] = []
 
-    def drive(query: ShapeQuery) -> Tuple[ShapeQuery, Optional[Advisory], float]:
+    def drive(query: ShapeQuery) -> Tuple[ShapeQuery, Advisory, float]:
         t0 = time.perf_counter()
         try:
             advisory = server.request(query, timeout_s=timeout_s)
-        except QueueFullError:
-            return query, None, time.perf_counter() - t0
+        except ReproError as exc:
+            advisory = error_to_advisory(query, exc)
         return query, advisory, time.perf_counter() - t0
 
     t_start = time.perf_counter()
@@ -256,44 +313,247 @@ def run_load(
         outcomes = list(pool.map(drive, queries))
     wall_s = time.perf_counter() - t_start
 
+    config_obj = getattr(server, "config", None)
     report = LoadReport(
         requests=len(queries), seed=seed, clients=clients,
         wall_s=wall_s,
         throughput_rps=len(queries) / wall_s if wall_s > 0 else 0.0,
-        config=server.config.to_dict(),
+        config=config_obj.to_dict() if config_obj is not None else {},
     )
-    latencies: List[float] = []
-    ok_pairs: List[Tuple[ShapeQuery, Advisory]] = []
     for query, advisory, elapsed in outcomes:
-        if advisory is None:
+        if advisory.error_type == "QueueFullError":
             report.rejected_queue_full += 1
             continue
-        latencies.append(elapsed)
+        report.latencies.append(elapsed)
         if advisory.ok:
             report.ok += 1
-            ok_pairs.append((query, advisory))
+            report.ok_pairs.append((query, advisory))
             if advisory.source == "cache":
                 report.cache_hits += 1
+            if advisory.source == "degraded":
+                report.degraded += 1
         elif advisory.error_type == "DeadlineExceededError":
             report.rejected_deadline += 1
+        elif advisory.error_type == "LoadShedError":
+            report.shed += 1
         else:
             report.failed += 1
-    latencies.sort()
-    report.p50_s = _percentile(latencies, 0.50)
-    report.p95_s = _percentile(latencies, 0.95)
-    report.p99_s = _percentile(latencies, 0.99)
-    report.max_s = latencies[-1] if latencies else 0.0
+    report.latencies.sort()
+    report.p50_s = _percentile(report.latencies, 0.50)
+    report.p95_s = _percentile(report.latencies, 0.95)
+    report.p99_s = _percentile(report.latencies, 0.99)
+    report.max_s = report.latencies[-1] if report.latencies else 0.0
+    report.reconnects = int(getattr(server, "reconnects", 0))
 
-    stats = server.stats()
-    report.server = stats.to_dict()
-    report.engine_calls = stats.engine_calls
-    report.coalesce_ratio = stats.coalesce_ratio
+    report.server = _transport_stats(server)
+    report.engine_calls = int(report.server.get("engine_calls", 0))
+    coalesce = report.server.get("coalesce_ratio")
+    if coalesce is None and report.engine_calls:
+        coalesce = (
+            report.server.get("shape_dispatched", 0) / report.engine_calls
+        )
+    report.coalesce_ratio = float(coalesce or 0.0)
 
     if verify:
         report.verified_rows, report.verify_mismatches = (
-            verify_against_engine(ok_pairs)
+            verify_against_engine(report.ok_pairs)
         )
     return report
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    """Split ``host:port`` (raising :class:`ConfigError` on junk)."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"address must be host:port, got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ConfigError(f"bad port in address {address!r}") from exc
+    return host, port
+
+
+def _pairs_to_wire(
+    pairs: Sequence[Tuple[ShapeQuery, Advisory]],
+) -> List[List[Dict[str, Any]]]:
+    return [[q.to_dict(), a.to_dict()] for q, a in pairs]
+
+
+def _pairs_from_wire(
+    raw: Sequence[Sequence[Dict[str, Any]]],
+) -> List[Tuple[ShapeQuery, Advisory]]:
+    return [
+        (ShapeQuery.from_dict(q), Advisory.from_dict(a)) for q, a in raw
+    ]
+
+
+def run_load_processes(
+    address: str,
+    requests: int,
+    procs: int = 2,
+    clients: int = 4,
+    seed: int = 0,
+    unique: int = 48,
+    gpus: Sequence[str] = ("A100",),
+    verify: bool = True,
+    timeout_s: Optional[float] = 60.0,
+    proc_timeout_s: float = 600.0,
+) -> LoadReport:
+    """The multi-process wall: OS-process clients against one cluster.
+
+    Spawns ``procs`` independent ``python -m repro.serve.loadgen``
+    client processes, each connecting its own sockets to ``address``
+    and driving a *disjoint slice* of the same seeded stream (process
+    ``i`` takes ``queries[i::procs]``, so the union is exactly the
+    single-process stream).  Child answers are merged and verified
+    centrally against one fresh engine — bit-identical across process
+    boundaries, crashes, and failover, or the report fails.
+    """
+    if procs < 1:
+        raise ConfigError(f"procs must be >= 1, got {procs}")
+    _parse_address(address)  # fail fast before spawning anything
+    from repro.serve.supervisor import _worker_env
+
+    common = [
+        sys.executable, "-m", "repro.serve.loadgen",
+        "--connect", address,
+        "--requests", str(requests),
+        "--seed", str(seed),
+        "--unique", str(unique),
+        "--clients", str(clients),
+        "--gpus", ",".join(gpus),
+        "--procs", str(procs),
+    ]
+    if timeout_s is not None:
+        common += ["--timeout-s", str(timeout_s)]
+    env = _worker_env()
+    children = [
+        subprocess.Popen(  # noqa: S603 - fixed argv, no shell
+            common + ["--proc-index", str(index)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        for index in range(procs)
+    ]
+    outputs: List[Dict[str, Any]] = []
+    for index, child in enumerate(children):
+        try:
+            stdout, stderr = child.communicate(timeout=proc_timeout_s)
+        except subprocess.TimeoutExpired:
+            for straggler in children:
+                if straggler.poll() is None:
+                    straggler.kill()
+            raise ClusterError(
+                f"loadgen client {index} did not finish within "
+                f"{proc_timeout_s:g}s"
+            ) from None
+        if child.returncode != 0:
+            raise ClusterError(
+                f"loadgen client {index} exited {child.returncode}: "
+                f"{stderr.strip()[-500:]}"
+            )
+        try:
+            outputs.append(json.loads(stdout))
+        except ValueError as exc:
+            raise ClusterError(
+                f"loadgen client {index} wrote malformed output: {exc}"
+            ) from exc
+
+    merged = LoadReport(seed=seed, clients=procs * clients)
+    for output in outputs:
+        child_report = output.get("report", {})
+        for key in (
+            "requests", "ok", "failed", "rejected_queue_full",
+            "rejected_deadline", "shed", "degraded", "reconnects",
+            "cache_hits",
+        ):
+            setattr(
+                merged, key,
+                getattr(merged, key) + int(child_report.get(key, 0)),
+            )
+        merged.wall_s = max(merged.wall_s, float(child_report.get("wall_s", 0.0)))
+        merged.latencies.extend(
+            float(v) for v in output.get("latencies", [])
+        )
+        merged.ok_pairs.extend(_pairs_from_wire(output.get("pairs", [])))
+    merged.throughput_rps = (
+        merged.requests / merged.wall_s if merged.wall_s > 0 else 0.0
+    )
+    merged.latencies.sort()
+    merged.p50_s = _percentile(merged.latencies, 0.50)
+    merged.p95_s = _percentile(merged.latencies, 0.95)
+    merged.p99_s = _percentile(merged.latencies, 0.99)
+    merged.max_s = merged.latencies[-1] if merged.latencies else 0.0
+
+    from repro.serve.netclient import SocketTransport
+
+    host, port = _parse_address(address)
+    try:
+        with SocketTransport(host=host, port=port) as probe:
+            merged.server = _transport_stats(probe)
+    except (ReproError, OSError):
+        merged.server = {}  # cluster already gone; counts still stand
+    merged.engine_calls = int(merged.server.get("engine_calls", 0))
+    if merged.engine_calls:
+        merged.coalesce_ratio = (
+            merged.server.get("shape_dispatched", 0) / merged.engine_calls
+        )
+
+    if verify:
+        merged.verified_rows, merged.verify_mismatches = (
+            verify_against_engine(merged.ok_pairs)
+        )
+    return merged
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """One client process of the multi-process wall (JSON to stdout)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="cluster loadgen client (spawned by run_load_processes)",
+    )
+    parser.add_argument("--connect", required=True, help="host:port")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--unique", type=int, default=48)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--gpus", default="A100")
+    parser.add_argument("--timeout-s", type=float, default=None)
+    parser.add_argument("--procs", type=int, default=1)
+    parser.add_argument("--proc-index", type=int, default=0)
+    args = parser.parse_args(argv)
+    if not 0 <= args.proc_index < args.procs:
+        raise ConfigError(
+            f"proc-index {args.proc_index} outside [0, {args.procs})"
+        )
+    host, port = _parse_address(args.connect)
+    stream = generate_queries(
+        args.requests, seed=args.seed, unique=args.unique,
+        gpus=tuple(g for g in args.gpus.split(",") if g),
+    )
+    mine = stream[args.proc_index::args.procs]
+
+    from repro.serve.netclient import SocketTransport
+
+    with SocketTransport(host=host, port=port) as transport:
+        report = run_load(
+            transport, mine, clients=args.clients, seed=args.seed,
+            verify=False, timeout_s=args.timeout_s,
+        )
+    json.dump(
+        {
+            "report": report.to_dict(),
+            "latencies": report.latencies,
+            "pairs": _pairs_to_wire(report.ok_pairs),
+        },
+        sys.stdout,
+    )
+    sys.stdout.write("\n")
+    return 0
 
 
 def render_load(report: LoadReport) -> str:
@@ -303,8 +563,10 @@ def render_load(report: LoadReport) -> str:
         f"seed {report.seed}",
         f"outcome: {report.ok} ok, {report.failed} failed, "
         f"{report.rejected_queue_full} queue-full, "
-        f"{report.rejected_deadline} deadline-expired "
-        f"({report.cache_hits} cache hits)",
+        f"{report.rejected_deadline} deadline-expired, "
+        f"{report.shed} shed "
+        f"({report.cache_hits} cache hits, {report.degraded} degraded, "
+        f"{report.reconnects} reconnects)",
         f"wall: {report.wall_s * 1e3:.0f} ms   "
         f"throughput: {report.throughput_rps:.0f} req/s",
         f"latency: p50 {report.p50_s * 1e3:.2f} ms   "
@@ -331,3 +593,7 @@ def write_load(report: LoadReport, path: str) -> None:
     with open(path, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

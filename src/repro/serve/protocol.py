@@ -59,6 +59,11 @@ class ShapeQuery:
     model: Optional[str] = None
     config_items: Tuple[Tuple[str, Any], ...] = ()
     pipeline_stages: int = 1
+    #: Load-shedding class: 0 = best-effort (shed first under sustained
+    #: backpressure), larger = more important.  Never part of the batch
+    #: or cache key — priority changes *whether* a query is admitted,
+    #: not what the answer is.
+    priority: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
@@ -81,6 +86,10 @@ class ShapeQuery:
         if self.pipeline_stages < 1:
             raise ConfigError(
                 f"pipeline_stages must be >= 1, got {self.pipeline_stages}"
+            )
+        if not 0 <= self.priority <= 9:
+            raise ConfigError(
+                f"priority must be in [0, 9], got {self.priority}"
             )
 
     @property
@@ -129,6 +138,8 @@ class ShapeQuery:
             if self.config_items:
                 out["config"] = self.lint_config()
             out["pipeline_stages"] = self.pipeline_stages
+        if self.priority != 1:
+            out["priority"] = self.priority
         return out
 
     @classmethod
@@ -138,10 +149,14 @@ class ShapeQuery:
                 f"query must be an object, got {type(data).__name__}"
             )
         kind = data.get("kind", "evaluate")
-        common = {
-            "gpu": str(data.get("gpu", "A100")),
-            "dtype": str(data.get("dtype", "fp16")),
-        }
+        try:
+            common = {
+                "gpu": str(data.get("gpu", "A100")),
+                "dtype": str(data.get("dtype", "fp16")),
+                "priority": int(data.get("priority", 1)),
+            }
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"bad query priority: {exc}") from exc
         if kind in SHAPE_KINDS:
             try:
                 return cls(
@@ -174,12 +189,19 @@ class Advisory:
     """The service's answer to one query.
 
     ``status`` is ``"ok"`` (payload valid), ``"rejected"`` (admission
-    control or deadline dropped it; ``error_type`` names the
-    :class:`~repro.errors.ServeError` subclass) or ``"failed"`` (the
-    engine evaluation behind it exhausted retries).  ``source`` is
-    ``"engine"`` for a batch-dispatched answer and ``"cache"`` for a
-    TTL-cache hit.  ``queue_wait_s`` / ``batch_size`` / ``shard``
-    describe the serving path for observability assertions.
+    control, load shedding, or a deadline dropped it; ``error_type``
+    names the :class:`~repro.errors.ServeError` subclass) or
+    ``"failed"`` (the engine evaluation behind it exhausted retries).
+    ``source`` is ``"engine"`` for a batch-dispatched answer,
+    ``"cache"`` for a TTL-cache hit, and ``"degraded"`` when the
+    cluster front-end answered from its in-process fallback engine
+    because every worker was down.  ``queue_wait_s`` / ``batch_size``
+    / ``shard`` describe the serving path for observability
+    assertions.  ``retryable`` is set on non-ok advisories crossing
+    the network: ``True`` for transient conditions (backpressure,
+    shedding, worker churn) where a client should back off and retry,
+    ``False`` for deterministic failures (bad query, model error)
+    where retrying can never help.
     """
 
     query: ShapeQuery
@@ -191,6 +213,7 @@ class Advisory:
     shard: int = 0
     queue_wait_s: float = 0.0
     batch_size: int = 0
+    retryable: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -210,7 +233,35 @@ class Advisory:
         else:
             out["error"] = self.error
             out["error_type"] = self.error_type
+            if self.retryable is not None:
+                out["retryable"] = self.retryable
         return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Advisory":
+        """Decode one advisory from its wire dict (inverse of to_dict)."""
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"advisory must be an object, got {type(data).__name__}"
+            )
+        query_raw = data.get("query")
+        if query_raw is None:
+            raise ConfigError("advisory missing 'query'")
+        try:
+            return cls(
+                query=ShapeQuery.from_dict(query_raw),
+                status=str(data.get("status", "ok")),
+                payload=dict(data.get("payload") or {}),
+                error=data.get("error"),
+                error_type=data.get("error_type"),
+                source=str(data.get("source", "engine")),
+                shard=int(data.get("shard", 0)),
+                queue_wait_s=float(data.get("queue_wait_s", 0.0)),
+                batch_size=int(data.get("batch_size", 0)),
+                retryable=data.get("retryable"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"bad advisory object: {exc}") from exc
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)

@@ -63,6 +63,7 @@ from repro.observability import span as _span
 from repro.resilience.execute import RetryPolicy, run_one
 from repro.serve.batcher import PendingRequest, RequestQueue, plan_batch
 from repro.serve.config import ServeConfig
+from repro.serve.dispatch import RETRYABLE_ERRORS, is_retryable
 from repro.serve.protocol import Advisory, ShapeQuery
 
 __all__ = ["AdvisoryServer", "ServerStats", "shard_for"]
@@ -378,6 +379,7 @@ class AdvisoryServer:
             Advisory(
                 query=query, status="failed", error=str(exc),
                 error_type=type(exc).__name__, source="validation",
+                retryable=is_retryable(exc),
             )
         )
         return future
@@ -401,7 +403,7 @@ class AdvisoryServer:
             item,
             Advisory(
                 query=item.query, status="rejected", error=str(exc),
-                error_type=type(exc).__name__,
+                error_type=type(exc).__name__, retryable=is_retryable(exc),
             ),
         )
 
@@ -510,6 +512,7 @@ class AdvisoryServer:
                     Advisory(
                         query=item.query, status="failed", error=message,
                         error_type=outcome.error_type or ServeError.__name__,
+                        retryable=outcome.error_type in RETRYABLE_ERRORS,
                         shard=shard, batch_size=batch_size,
                     ),
                 )
@@ -559,7 +562,7 @@ class AdvisoryServer:
                     Advisory(
                         query=query, status="failed", error=str(exc),
                         error_type=type(exc).__name__, shard=shard,
-                        batch_size=batch_size,
+                        batch_size=batch_size, retryable=is_retryable(exc),
                     ),
                 )
                 return

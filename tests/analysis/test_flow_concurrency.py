@@ -162,6 +162,82 @@ class TestUnguardedWrite:
             """
         )
 
+    def test_locked_write_inside_loop_body_is_clean(self):
+        # Regression: the loop-header instruction carries the whole For
+        # statement; the checker must not replay body writes with the
+        # pre-loop (lock-free) state.
+        assert not conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump_all(self, items):
+                    for item in items:
+                        with self._lock:
+                            self._count += 1
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+            """
+        )
+
+    def test_loop_target_write_is_still_seen(self):
+        # The for-target binding *is* evaluated at the header — an
+        # unlocked `for self.x in ...` still mixes with a locked write.
+        diags = conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cur = None
+
+                def scan(self, items):
+                    for self._cur in items:
+                        pass
+
+                def reset(self):
+                    with self._lock:
+                        self._cur = None
+            """
+        )
+        assert rules_of(diags) == [RULE_UNGUARDED_WRITE]
+
+    def test_acquire_inside_loop_does_not_leak_to_header(self):
+        # acquire()/release() in the loop body must not be applied at
+        # the header instruction (pre-loop state would wrongly gain the
+        # lock and mask a genuinely unlocked iterable-expression write).
+        diags = conc_diags(
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def work(self, items):
+                    for item in items:
+                        self._lock.acquire()
+                        self._n += 1
+                        self._lock.release()
+
+                def unsafe(self):
+                    self._n = 0
+
+                def safe(self):
+                    with self._lock:
+                        self._n = 1
+            """
+        )
+        assert RULE_UNGUARDED_WRITE in rules_of(diags)
+
     def test_suppression_pragma(self):
         assert not conc_diags(
             """

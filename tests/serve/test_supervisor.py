@@ -1,0 +1,236 @@
+"""Supervision tree behaviour: spawn, heartbeat, crash recovery,
+crash-loop budget, degraded mode, hot-reload, and shedding.
+
+These tests drive real worker *processes* (the same ``python -m
+repro.serve.worker`` the production supervisor spawns), so they lean on
+polling helpers with generous deadlines rather than sleeps of fixed
+length — worker boot time is interpreter + imports and varies with
+machine load.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import (
+    ClusterError,
+    LoadShedError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve import AdvisoryServer, ServeConfig, ShapeQuery, Supervisor
+
+#: Worker boot is interpreter start + imports; generous for loaded CI.
+_BOOT_S = 60.0
+
+
+def _query(**kw):
+    base = dict(kind="latency", m=256, n=256, k=256, gpu="A100")
+    base.update(kw)
+    return ShapeQuery(**base)
+
+
+def _fast_config(**kw):
+    base = dict(
+        workers=2,
+        cache_ttl_s=0,
+        heartbeat_s=0.05,
+        heartbeat_timeout_s=0.25,
+        heartbeat_misses=3,
+        restart_backoff_s=0.01,
+        restart_budget=2,
+        restart_window_s=30.0,
+        drain_s=10.0,
+    )
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+def _wait_for(predicate, timeout_s=_BOOT_S, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestLifecycle:
+    def test_request_matches_in_process_server(self):
+        query = _query()
+        with AdvisoryServer(ServeConfig(workers=1, cache_ttl_s=0)) as local:
+            expected = local.request(query, timeout_s=_BOOT_S).payload
+        with Supervisor(_fast_config()) as sup:
+            advisory = sup.request(query, timeout_s=_BOOT_S)
+        assert advisory.ok
+        assert advisory.source != "degraded"
+        assert advisory.payload == expected  # bit-identical across the pipe
+
+    def test_start_is_idempotent_and_close_is_terminal(self):
+        sup = Supervisor(_fast_config(workers=1))
+        assert sup.start() is sup
+        assert sup.start() is sup
+        assert sup.live_workers() == 1
+        sup.close()
+        sup.close()  # second close is a no-op
+        with pytest.raises(ServerClosedError):
+            sup.request(_query())
+        with pytest.raises(ServerClosedError):
+            sup.start()
+
+    def test_stats_shape(self):
+        with Supervisor(_fast_config()) as sup:
+            sup.request(_query(), timeout_s=_BOOT_S)
+            stats = sup.cluster_stats()
+            assert stats["workers"] == 2
+            assert stats["live"] == 2
+            assert stats["down"] == []
+            assert stats["restarts"] == 0
+            worker_totals = sup.worker_stats()
+            assert worker_totals.get("served", 0) >= 1
+
+
+class TestCrashRecovery:
+    def test_sigkill_worker_restarts_and_requests_survive(self):
+        with Supervisor(_fast_config()) as sup:
+            sup.request(_query(), timeout_s=_BOOT_S)
+            victim = next(p for p in sup.worker_pids() if p is not None)
+            os.kill(victim, signal.SIGKILL)
+            # Failover: requests during the outage land on the sibling.
+            for _ in range(5):
+                assert sup.request(_query(), timeout_s=_BOOT_S).ok
+            assert _wait_for(lambda: sup.live_workers() == 2)
+            stats = sup.cluster_stats()
+            assert stats["restarts"] >= 1
+            assert stats["down"] == []
+            assert victim not in sup.worker_pids()
+
+    def test_crash_loop_exhausts_budget_and_degrades(self):
+        config = _fast_config(workers=1, restart_budget=1, degrade_local=True)
+        with Supervisor(config) as sup:
+            sup.request(_query(), timeout_s=_BOOT_S)
+
+            def kill_current():
+                pids = [p for p in sup.worker_pids() if p is not None]
+                for pid in pids:
+                    os.kill(pid, signal.SIGKILL)
+                return bool(pids)
+
+            # First death consumes the only budgeted restart; the
+            # second marks the worker down for good.
+            kill_current()
+            assert _wait_for(lambda: sup.cluster_stats()["restarts"] >= 1)
+            assert _wait_for(kill_current)
+            assert _wait_for(lambda: sup.cluster_stats()["down"] == [0])
+            # Degraded mode still answers, bit-identically, and says so.
+            advisory = sup.request(_query(), timeout_s=_BOOT_S)
+            assert advisory.ok
+            assert advisory.source == "degraded"
+            assert sup.cluster_stats()["degraded"] >= 1
+            # The crash loop stays down: no restart resurrects it.
+            assert sup.live_workers() == 0
+
+    def test_all_workers_down_without_degrade_raises_typed(self):
+        config = _fast_config(
+            workers=1, restart_budget=1, degrade_local=False,
+        )
+        with Supervisor(config) as sup:
+            sup.request(_query(), timeout_s=_BOOT_S)
+            first = next(p for p in sup.worker_pids() if p is not None)
+            os.kill(first, signal.SIGKILL)
+            # Wait for the budgeted restart to produce a *new* pid
+            # before the second kill, so two distinct deaths land.
+            assert _wait_for(
+                lambda: any(
+                    p not in (None, first) for p in sup.worker_pids()
+                )
+            )
+            second = next(
+                p for p in sup.worker_pids() if p not in (None, first)
+            )
+            os.kill(second, signal.SIGKILL)
+            assert _wait_for(lambda: sup.cluster_stats()["down"] == [0])
+            with pytest.raises((ClusterError, ServeError)):
+                sup.request(_query(), timeout_s=_BOOT_S)
+
+    def test_hung_worker_is_detected_and_replaced(self):
+        config = _fast_config(
+            workers=1, heartbeat_s=0.05, heartbeat_timeout_s=0.2,
+            heartbeat_misses=2, restart_budget=5,
+        )
+        with Supervisor(config) as sup:
+            sup.request(_query(), timeout_s=_BOOT_S)
+            victim = next(p for p in sup.worker_pids() if p is not None)
+            os.kill(victim, signal.SIGSTOP)  # alive but unresponsive
+            try:
+                assert _wait_for(
+                    lambda: sup.cluster_stats()["restarts"] >= 1
+                )
+                assert _wait_for(lambda: sup.live_workers() == 1)
+                assert victim not in sup.worker_pids()
+            finally:
+                try:
+                    os.kill(victim, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass  # already SIGKILLed by the monitor
+            assert sup.request(_query(), timeout_s=_BOOT_S).ok
+
+
+class TestHotReload:
+    def test_reload_adopts_policy_but_pins_worker_count(self):
+        with Supervisor(_fast_config(workers=2, shed_depth=512)) as sup:
+            new = _fast_config(workers=8, shed_depth=64)
+            sup.reload(new)
+            assert sup.config.shed_depth == 64
+            assert sup.config.workers == 2  # shard function is fixed
+            assert sup.live_workers() == 2
+
+    def test_reload_from_json_rejects_invalid_and_keeps_old(self):
+        config = _fast_config(workers=1, shed_depth=512)
+        with Supervisor(config) as sup:
+            before = sup.config
+            assert sup.reload_from_json('{"workers": -3}') is False
+            assert sup.config is before
+            assert sup.reload_from_json("{not json") is False
+            assert sup.config is before
+            assert sup.reload_from_json('{"shed_depth": 128}') is True
+            assert sup.config.shed_depth == 128
+            assert sup.request(_query(), timeout_s=_BOOT_S).ok
+
+
+class TestLoadShedding:
+    def test_sustained_backpressure_sheds_low_priority_only(self):
+        config = _fast_config(
+            workers=1, shed_depth=1, shed_after=1, shed_priority=3,
+        )
+        sup = Supervisor(config)  # not started: _admit is pre-dispatch
+        try:
+            # One admitted request holds the in-flight depth at the
+            # shed threshold; the next low-priority admission sheds.
+            sup._admit(_query(priority=9))
+            with pytest.raises(LoadShedError):
+                sup._admit(_query(priority=0))
+            # At the boundary: priority == shed_priority is shed...
+            with pytest.raises(LoadShedError):
+                sup._admit(_query(priority=3))
+            # ...but higher priorities always pass.
+            sup._admit(_query(priority=4))
+            assert sup.cluster_stats()["shed"] == 2
+        finally:
+            sup.close()
+
+    def test_blip_below_shed_after_is_not_shed(self):
+        config = _fast_config(
+            workers=1, shed_depth=1, shed_after=3, shed_priority=9,
+        )
+        sup = Supervisor(config)
+        try:
+            sup._admit(_query())  # depth 0 -> 1
+            sup._admit(_query())  # over-depth streak 1
+            sup._admit(_query())  # streak 2: still below shed_after
+            with pytest.raises(LoadShedError):
+                sup._admit(_query())  # streak 3: sheds
+        finally:
+            sup.close()
