@@ -55,6 +55,7 @@ KNOWN_PHASES = frozenset(
         "faults",
         "journal",
         "cache",
+        "kernels",
     }
 )
 

@@ -9,11 +9,14 @@ source rather than running it:
   (:func:`repro.engine.default_engine`), which is memoized and
   vectorized; a scalar call per iteration silently forfeits both.
 - ``self/engine-eval-in-loop`` — an engine batch method (``evaluate``
-  / ``latency`` / ``tflops``) called on a :class:`ShapeEngine` (or a
-  ``default_engine()`` result) inside a loop or comprehension.  A grid
-  loop that calls the engine once per iteration forfeits the SoA
-  whole-grid path: build one :class:`~repro.engine.ShapeGrid` covering
-  the sweep and call ``evaluate_grid`` once.
+  / ``latency`` / ``tflops`` / ``evaluate_grid`` / ``evaluate_tiles``)
+  called on a :class:`ShapeEngine` (or a ``default_engine()`` result)
+  inside a loop or comprehension.  A grid loop that calls the engine
+  once per iteration forfeits the SoA whole-grid path: build one
+  :class:`~repro.engine.ShapeGrid` covering the sweep and call
+  ``evaluate_grid`` once — and a per-candidate Python loop around
+  ``evaluate_grid`` itself is the same mistake one level up
+  (``evaluate_tiles`` owns that loop).
 - ``self/calibration-constant-guard`` — a calibration-mutable constant
   (module-level ``_EFF_*`` in ``repro.gpu``) that the cache-key module
   does not fold into :func:`repro.engine.cache.model_version`.  Such a
@@ -99,6 +102,10 @@ class _ScalarLoopVisitor(ast.NodeVisitor):
     other way (tuple unpacking, factories) are out of scope — precision
     over recall, so the rule can block CI.
     """
+
+    #: Method names that count as a hit on a tracked receiver;
+    #: subclasses widen this set.
+    _METHODS = _SCALAR_METHODS
 
     def __init__(self) -> None:
         self._scopes: List[Set[str]] = [set()]
@@ -223,7 +230,7 @@ class _ScalarLoopVisitor(ast.NodeVisitor):
         if (
             self._loop_depth > 0
             and isinstance(node.func, ast.Attribute)
-            and node.func.attr in _SCALAR_METHODS
+            and node.func.attr in self._METHODS
         ):
             receiver = self._receiver(node.func)
             if receiver is not None:
@@ -239,9 +246,14 @@ class _EngineLoopVisitor(_ScalarLoopVisitor):
     Same binding machinery as :class:`_ScalarLoopVisitor`, retargeted
     at :class:`ShapeEngine` receivers — including the inline
     ``default_engine().evaluate(...)`` form, which binds no name.
+    Additionally flags ``evaluate_grid`` / ``evaluate_tiles`` inside a
+    loop: one whole-grid call per loop iteration (e.g. per candidate
+    tile) is the scalar-in-loop mistake at grid granularity — the
+    engine's own batched sweep (``evaluate_tiles``) owns that loop.
     """
 
     _CTOR_NAMES = frozenset({"ShapeEngine", "default_engine"})
+    _METHODS = _SCALAR_METHODS | frozenset({"evaluate_grid", "evaluate_tiles"})
 
     @staticmethod
     def _is_gemm_model_ctor(value: ast.AST) -> bool:
@@ -377,7 +389,8 @@ class SelfLinter:
                     Severity.WARNING,
                     f"engine call `{call}(...)` inside a loop; build one "
                     "ShapeGrid covering the whole sweep and call "
-                    "engine.evaluate_grid once instead",
+                    "engine.evaluate_grid once instead (for per-candidate "
+                    "tile sweeps, engine.evaluate_tiles owns the loop)",
                     Location(file=self._rel(path), line=lineno, column=col),
                 )
             )

@@ -21,9 +21,13 @@ Verbs::
                                               the dynamically-batched service
     repro loadgen  [--requests N] [--seed S]  deterministic load benchmark of
                    [--clients N] [--output P] the service (BENCH_serve.json)
+    repro tune-kernels [--gpu A100 ...]       tune per-(GPU, dtype) kernel
+                   [--out DIR] [--wall]       parameter tables; --check gates
+                   [--check]                  golden-table drift
     repro list-models / list-gpus             show registries
 
-``run``, ``bench``, ``calibrate``, ``serve``, and ``loadgen`` accept
+``run``, ``bench``, ``calibrate``, ``serve``, ``loadgen``, and
+``tune-kernels`` accept
 ``--trace out.jsonl``
 (stream a structured span trace) and ``--metrics`` (print the counter /
 histogram summary afterwards); tracing is off — and costs nothing —
@@ -101,7 +105,9 @@ def _add_serve_config(parser: argparse.ArgumentParser) -> None:
 
 
 #: Verbs that accept --trace/--metrics (main() wraps their dispatch).
-_OBSERVABLE_COMMANDS = ("run", "bench", "calibrate", "serve", "loadgen")
+_OBSERVABLE_COMMANDS = (
+    "run", "bench", "calibrate", "serve", "loadgen", "tune-kernels",
+)
 
 
 @contextmanager
@@ -434,6 +440,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="GPU",
         help="GPU mix for generated queries (default A100)",
     )
+    p.add_argument(
+        "--kernel-share",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="fraction of requests that ask kernel_params instead of a "
+        "shape advisory (default 0.25)",
+    )
     _add_serve_config(p)
     p.add_argument(
         "--connect",
@@ -464,6 +478,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_serve.json",
         help="JSON output path, or '-' to skip writing (default BENCH_serve.json)",
+    )
+    _add_observability(p)
+
+    p = sub.add_parser(
+        "tune-kernels",
+        help="tune per-(GPU, dtype) kernel-parameter tables by batched "
+        "analytical search (versioned, checksummed JSON artifacts)",
+    )
+    p.add_argument(
+        "--gpu",
+        dest="gpus",
+        nargs="+",
+        default=["A100"],
+        metavar="GPU",
+        help="GPUs to tune a table for (default A100)",
+    )
+    p.add_argument("--dtype", default="fp16", help="operand dtype (default fp16)")
+    p.add_argument(
+        "--out",
+        default="kernels",
+        metavar="DIR",
+        help="table artifact directory (default ./kernels); point "
+        "REPRO_KERNEL_TABLES here to serve from the tables",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="narrower tuning grid (CI smoke mode)",
+    )
+    p.add_argument(
+        "--wall",
+        action="store_true",
+        help="after tuning, run the differential wall against the "
+        "discrete-event SM simulator (Kendall-tau + top-1 floors)",
+    )
+    p.add_argument(
+        "--wall-seed", type=int, default=0, help="validation-shape seed"
+    )
+    p.add_argument(
+        "--wall-count", type=int, default=12, help="validation shapes per GPU"
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="gate instead of write: re-tune and diff against the stored "
+        "tables in --out, exiting 1 with a ranked explanation on drift",
+    )
+    p.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite the stored tables after an intentional model change "
+        "(same as the default write mode; spelled out for CI scripts)",
     )
     _add_observability(p)
     return parser
@@ -827,6 +893,7 @@ _DEMO_QUERIES = (
     {"kind": "latency", "m": 2048, "n": 8192, "k": 8192, "gpu": "H100"},
     {"kind": "tflops", "m": 1000, "n": 1111, "k": 2049},
     {"kind": "latency", "m": 4096, "n": 4096, "k": 4096},
+    {"kind": "kernel_params", "m": 4096, "n": 4096, "k": 4096},
     {"kind": "lint", "model": "gpt3-2.7b"},
 )
 
@@ -972,11 +1039,13 @@ def _cmd_loadgen_connect(args: argparse.Namespace) -> "LoadReport":  # noqa: F82
             seed=args.seed,
             unique=args.unique,
             gpus=args.gpus,
+            kernel_share=args.kernel_share,
             verify=not args.no_verify,
         )
     host, port = _parse_address(args.connect)
     queries = generate_queries(
-        args.requests, seed=args.seed, unique=args.unique, gpus=args.gpus
+        args.requests, seed=args.seed, unique=args.unique, gpus=args.gpus,
+        kernel_share=args.kernel_share,
     )
     with SocketTransport(host=host, port=port) as transport:
         return run_load(
@@ -1015,7 +1084,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         else:
             queries = generate_queries(
                 args.requests, seed=args.seed, unique=args.unique,
-                gpus=args.gpus,
+                gpus=args.gpus, kernel_share=args.kernel_share,
             )
             with AdvisoryServer(_serve_config(args)) as server:
                 report = run_load(
@@ -1035,6 +1104,55 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         write_load(report, args.output)
         print(f"wrote {args.output}")
     return 0 if report.passed else 1
+
+
+def cmd_tune_kernels(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import KernelTableError
+    from repro.kernels import (
+        TUNE_DIMS,
+        TUNE_DIMS_QUICK,
+        KernelTable,
+        compare_tables,
+        run_wall,
+        tune_table,
+    )
+
+    dims = TUNE_DIMS_QUICK if args.quick else TUNE_DIMS
+    out = Path(args.out)
+    failures = 0
+    for gpu in args.gpus:
+        table = tune_table(gpu, args.dtype, dims=dims)
+        path = out / f"{table.gpu}-{table.dtype}.json"
+        if args.check:
+            try:
+                stored = KernelTable.from_json(path.read_text())
+            except OSError as exc:
+                raise KernelTableError(
+                    f"no stored table to check at {path} "
+                    f"(tune one first): {exc}"
+                ) from exc
+            diffs = compare_tables(stored, table)
+            if diffs:
+                failures += 1
+                print(f"{path}: DRIFT ({len(diffs)} difference(s))")
+                for line in diffs:
+                    print(f"  {line}")
+            else:
+                print(f"{path}: ok ({stored.describe()})")
+        else:
+            out.mkdir(parents=True, exist_ok=True)
+            path.write_text(table.to_json())
+            print(f"wrote {path} ({table.describe()})")
+        if args.wall:
+            report = run_wall(
+                table, seed=args.wall_seed, count=args.wall_count
+            )
+            print(report.describe())
+            if not report.passed:
+                failures += 1
+    return 1 if failures else 0
 
 
 def cmd_list_gpus(_args: argparse.Namespace) -> int:
@@ -1065,6 +1183,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
+    "tune-kernels": cmd_tune_kernels,
 }
 
 

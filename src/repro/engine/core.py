@@ -188,6 +188,53 @@ class ShapeEngine:
             )
         return GridResult(grid, batch)
 
+    def evaluate_tiles(
+        self,
+        grid: ShapeGrid,
+        gpu,
+        dtype: "str | DType" = DType.FP16,
+        candidates: Optional[Sequence[TileConfig]] = None,
+        bw_efficiency: float = _BW_EFFICIENCY,
+    ) -> List[Tuple[TileConfig, GridResult]]:
+        """Evaluate a whole grid once per pinned tile candidate.
+
+        The batched primitive behind the kernel-parameter autotuner
+        (:mod:`repro.kernels`): for each candidate the *entire* grid is
+        evaluated as one vectorized call with the tile pinned, so the
+        result is a dense (candidate x shape) latency surface without a
+        single per-shape Python iteration.  The loop below is over tile
+        candidates — the policy axis — never over shapes, and each
+        (tile, grid) pair is independently two-level cached, so
+        re-tuning against an unchanged model is pure cache hits.
+
+        ``candidates`` defaults to every tile that fits ``gpu`` for
+        ``dtype`` (:func:`~repro.gpu.tiles.candidate_tiles`); pass a
+        subset to restrict the search space.  Candidate order is
+        preserved in the returned pairs, which makes downstream argmin
+        tie-breaks deterministic.
+        """
+        spec = get_gpu(gpu)
+        parsed = DType.parse(dtype)
+        pool = (
+            tuple(candidates)
+            if candidates is not None
+            else candidate_tiles(spec, parsed)
+        )
+        with _span(
+            "engine.evaluate_tiles", shapes=len(grid), tiles=len(pool),
+            gpu=spec.name,
+        ):
+            return [
+                (
+                    tile,
+                    self.evaluate_grid(
+                        grid, spec, parsed, tile=tile,
+                        bw_efficiency=bw_efficiency,
+                    ),
+                )
+                for tile in pool
+            ]
+
     def memo_columns(self, kind: str, key, compute) -> "dict[str, np.ndarray]":
         """Two-level cached columnar result of a pure computation.
 

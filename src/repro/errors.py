@@ -107,6 +107,13 @@ class CheckpointError(ReproError):
     """A sweep journal cannot be used (wrong sweep id, unwritable path)."""
 
 
+class KernelTableError(ReproError):
+    """A kernel-parameter table artifact is unusable: malformed JSON,
+    a failed checksum, a schema the reader does not speak, or a stale
+    model version.  Serving falls back to the analytical search; table
+    producers (``repro tune-kernels``) surface it as an error."""
+
+
 class ServeError(ReproError):
     """The shape-advisory service could not answer a request.
 

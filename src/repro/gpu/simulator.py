@@ -117,8 +117,9 @@ class SMSimulator:
         spec, dtype = self.spec, self.dtype
 
         tile = self.fixed_tile or select_tile(m, n, k, spec, dtype, batch=batch)
-        # Feasibility check (raises when the tile does not fit the SM).
-        blocks_per_sm(spec, tile.m, tile.n, tile.k_stage, tile.threads, dtype)
+        # Occupancy (raises when the tile does not fit the SM); the
+        # resident-block count sizes the L2 reuse window below.
+        occ = blocks_per_sm(spec, tile.m, tile.n, tile.k_stage, tile.threads, dtype)
         align_eff = gemm_alignment_efficiency(m, n, k, dtype, spec)
         duration = self._block_duration(tile, k, align_eff)
 
@@ -139,7 +140,8 @@ class SMSimulator:
             heapq.heappush(heap, (end, slot))
 
         dram = effective_dram_bytes(
-            m, n, k, tile.m, tile.n, spec, dtype, batch, wave_blocks=slots
+            m, n, k, tile.m, tile.n, spec, dtype, batch,
+            wave_blocks=slots * occ.blocks_per_sm,
         )
         # Mirror the analytic model's occupancy-limited bandwidth (see
         # GemmModel.evaluate): partial waves run at reduced memory-level

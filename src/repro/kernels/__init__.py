@@ -1,0 +1,59 @@
+"""Kernel-parameter autotuning: tuned (tile, wave) tables per (GPU, dtype).
+
+The engine answers "how fast is this shape"; this package answers the
+inverse question a compiler or runtime asks per GEMM — *which kernel
+parameters should run it* (the tritonBLAS direction, PAPERS.md).  The
+pieces:
+
+- :mod:`~repro.kernels.search` — batched analytical search: one SoA
+  grid of tuning shapes evaluated once per pinned tile candidate
+  through :meth:`~repro.engine.core.ShapeEngine.evaluate_tiles`, argmin
+  across the candidate axis, bucketed into a lookup table.
+- :mod:`~repro.kernels.table` — the versioned, checksummed JSON
+  artifact (:class:`KernelTable`) those searches export, with an
+  explanatory ranked diff (:func:`compare_tables`) for golden-drift
+  gating.
+- :mod:`~repro.kernels.registry` — :class:`KernelParamResolver`, the
+  serving-side lookup: loaded tables first, deterministic analytical
+  fallback on a miss.  ``repro serve`` answers ``kernel_params``
+  queries through it on every transport.
+- :mod:`~repro.kernels.wall` — the differential test wall: tuned picks
+  and the analytical candidate ranking must agree with the
+  discrete-event SM simulator (Kendall-tau and top-1 agreement floors).
+"""
+
+from repro.kernels.registry import (
+    TABLES_ENV,
+    KernelParamResolver,
+    load_tables,
+)
+from repro.kernels.search import (
+    TUNE_BATCHES,
+    TUNE_DIMS,
+    TUNE_DIMS_QUICK,
+    tune_table,
+)
+from repro.kernels.table import (
+    SCHEMA_VERSION,
+    KernelEntry,
+    KernelTable,
+    compare_tables,
+)
+from repro.kernels.wall import WallReport, run_wall, validation_shapes
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TABLES_ENV",
+    "TUNE_BATCHES",
+    "TUNE_DIMS",
+    "TUNE_DIMS_QUICK",
+    "KernelEntry",
+    "KernelParamResolver",
+    "KernelTable",
+    "WallReport",
+    "compare_tables",
+    "load_tables",
+    "run_wall",
+    "tune_table",
+    "validation_shapes",
+]

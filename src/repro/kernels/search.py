@@ -1,0 +1,214 @@
+"""Batched analytical search producing tuned kernel-parameter tables.
+
+:func:`tune_table` is the whole tuner: build *one*
+:class:`~repro.engine.grid.ShapeGrid` covering every tuning shape for a
+(GPU, dtype) pair, evaluate it once per pinned tile candidate through
+:meth:`~repro.engine.core.ShapeEngine.evaluate_tiles` (the SoA
+whole-grid path — no per-shape Python anywhere), take the argmin across
+the candidate axis, and export the per-bucket winners as a
+:class:`~repro.kernels.table.KernelTable`.
+
+The tuning grid is the set of bucket representatives: every power of
+two in the tuned octave range for m/n/k, crossed with the tuned batch
+points.  Because representatives are exactly one per bucket, the table
+is a total function over its octave range and a clean *miss* outside
+it — which is where :func:`best_for_shape`, the deterministic
+analytical fallback the resolver uses, takes over with the same argmin
+over the same candidate pool at the exact query shape.
+
+Determinism: candidate order comes from
+:func:`~repro.gpu.tiles.candidate_tiles` (fixed), ``np.argmin`` breaks
+ties toward the earlier candidate, and the grid is a pure function of
+the arguments — so for a fixed engine model version, tuning twice
+yields byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.core import ShapeEngine, default_engine
+from repro.engine.grid import ShapeGrid
+from repro.engine.cache import model_version
+from repro.errors import KernelTableError
+from repro.gpu.specs import get_gpu
+from repro.gpu.tiles import TileConfig, candidate_tiles
+from repro.kernels.table import SCHEMA_VERSION, KernelEntry, KernelTable
+from repro.observability import span as _span
+from repro.types import DType
+
+__all__ = [
+    "TUNE_BATCHES",
+    "TUNE_DIMS",
+    "TUNE_DIMS_QUICK",
+    "best_for_shape",
+    "tune_grid",
+    "tune_table",
+]
+
+#: Default m/n/k tuning points: one power of two per octave, 64..8192.
+TUNE_DIMS: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: The CI smoke grid: a narrower octave range, same structure.
+TUNE_DIMS_QUICK: Tuple[int, ...] = (256, 512, 1024, 2048)
+
+#: Default batch tuning points (single GEMMs and a batched-BMM regime).
+TUNE_BATCHES: Tuple[int, ...] = (1, 8)
+
+
+def _validate_points(name: str, points: Sequence[int]) -> Tuple[int, ...]:
+    out = tuple(int(p) for p in points)
+    if not out:
+        raise KernelTableError(f"{name} tuning points must be non-empty")
+    for p in out:
+        if p < 1 or p & (p - 1):
+            raise KernelTableError(
+                f"{name} tuning points must be powers of two (one bucket "
+                f"representative per octave), got {p}"
+            )
+    if len(set(out)) != len(out):
+        raise KernelTableError(f"duplicate {name} tuning point in {out}")
+    return out
+
+
+def tune_grid(
+    dims: Sequence[int] = TUNE_DIMS,
+    batches: Sequence[int] = TUNE_BATCHES,
+) -> ShapeGrid:
+    """The SoA tuning grid: full cross product of representatives."""
+    dims = _validate_points("dim", dims)
+    batches = _validate_points("batch", batches)
+    mesh = np.stack(
+        [
+            a.ravel()
+            for a in np.meshgrid(batches, dims, dims, dims, indexing="ij")
+        ],
+        axis=1,
+    ).astype(np.int64)
+    return ShapeGrid.from_columns(
+        batch=mesh[:, 0], m=mesh[:, 1], n=mesh[:, 2], k=mesh[:, 3]
+    )
+
+
+def _argmin_entries(
+    grid: ShapeGrid,
+    sweep: "Sequence[Tuple[TileConfig, object]]",
+) -> Tuple[KernelEntry, ...]:
+    """Per-shape winners (and runners-up) from a per-tile sweep."""
+    latency = np.stack(
+        [result.batch.latency_s for _tile, result in sweep]
+    )  # (candidates, shapes)
+    tflops = np.stack([result.batch.tflops for _tile, result in sweep])
+    waves = np.stack([result.batch.waves for _tile, result in sweep])
+    blocks = np.stack([result.batch.blocks for _tile, result in sweep])
+    best = np.argmin(latency, axis=0)
+    shapes = grid.shapes
+    cols = np.arange(len(grid))
+    # Runner-up: mask the winner out and argmin again (vectorized).
+    masked = latency.copy()
+    masked[best, cols] = np.inf
+    second = np.argmin(masked, axis=0)
+    entries = []
+    for row in range(len(grid)):
+        tile = sweep[best[row]][0]
+        win_latency = float(latency[best[row], row])
+        second_latency = float(masked[second[row], row])
+        has_second = np.isfinite(second_latency)
+        entries.append(
+            KernelEntry(
+                batch=int(shapes[row, 0]),
+                m=int(shapes[row, 1]),
+                n=int(shapes[row, 2]),
+                k=int(shapes[row, 3]),
+                tile=tile.name,
+                tile_m=tile.m,
+                tile_n=tile.n,
+                k_stage=tile.k_stage,
+                threads=tile.threads,
+                waves=int(waves[best[row], row]),
+                blocks=int(blocks[best[row], row]),
+                latency_s=win_latency,
+                tflops=float(tflops[best[row], row]),
+                runner_up=sweep[second[row]][0].name if has_second else None,
+                margin=(
+                    second_latency / win_latency
+                    if has_second and win_latency > 0
+                    else 1.0
+                ),
+            )
+        )
+    return tuple(entries)
+
+
+def tune_table(
+    gpu: str,
+    dtype: str = "fp16",
+    engine: Optional[ShapeEngine] = None,
+    dims: Sequence[int] = TUNE_DIMS,
+    batches: Sequence[int] = TUNE_BATCHES,
+) -> KernelTable:
+    """Tune one (GPU, dtype) table by batched analytical search.
+
+    One whole-grid evaluation per candidate tile; everything else is
+    NumPy reductions over the (candidate x shape) latency surface.
+    """
+    spec = get_gpu(gpu)
+    parsed = DType.parse(dtype)
+    eng = engine if engine is not None else default_engine()
+    grid = tune_grid(dims=dims, batches=batches)
+    pool = candidate_tiles(spec, parsed)
+    with _span(
+        "kernels.tune", gpu=spec.name, dtype=parsed.name,
+        shapes=len(grid), tiles=len(pool),
+    ):
+        sweep = eng.evaluate_tiles(grid, spec, parsed, candidates=pool)
+        entries = _argmin_entries(grid, sweep)
+    return KernelTable(
+        gpu=spec.name,
+        dtype=parsed.name,
+        model_version=model_version(),
+        schema=SCHEMA_VERSION,
+        provenance=tuple(
+            sorted(
+                {
+                    "tuner": "repro.kernels.search",
+                    "dims": list(_validate_points("dim", dims)),
+                    "batches": list(_validate_points("batch", batches)),
+                    "candidates": [t.name for t in pool],
+                    "shapes": len(grid),
+                }.items()
+            )
+        ),
+        entries=entries,
+    )
+
+
+def best_for_shape(
+    batch: int,
+    m: int,
+    n: int,
+    k: int,
+    gpu: str,
+    dtype: str = "fp16",
+    engine: Optional[ShapeEngine] = None,
+) -> KernelEntry:
+    """The analytical fallback: argmin over candidates at one exact shape.
+
+    Used by the resolver on table misses and usable standalone; the
+    pick is computed with the *same* per-tile pinned evaluation the
+    tuner uses, so a fallback answer at a representative shape is
+    identical to the table entry tuned there.
+    """
+    spec = get_gpu(gpu)
+    parsed = DType.parse(dtype)
+    eng = engine if engine is not None else default_engine()
+    grid = ShapeGrid.from_columns(
+        batch=np.asarray([batch], dtype=np.int64),
+        m=np.asarray([m], dtype=np.int64),
+        n=np.asarray([n], dtype=np.int64),
+        k=np.asarray([k], dtype=np.int64),
+    )
+    sweep = eng.evaluate_tiles(grid, spec, parsed)
+    return _argmin_entries(grid, sweep)[0]

@@ -116,6 +116,34 @@ class AdvisoryClient:
         )
         return float(payload["tflops"])
 
+    # -- kernel params ------------------------------------------------------
+
+    def kernel_params(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        batch: int = 1,
+        gpu: str = "A100",
+        dtype: str = "fp16",
+    ) -> Dict[str, Any]:
+        """Tuned kernel parameters for one GEMM (table or fallback).
+
+        The payload names the tile geometry, wave/block counts,
+        predicted latency/throughput, the runner-up with its margin,
+        and provenance (``table_hit``, ``table_checksum``,
+        ``model_version``) — see
+        :meth:`repro.kernels.registry.KernelParamResolver.resolve`.
+        """
+        return _unwrap(
+            self.advise(
+                ShapeQuery(
+                    kind="kernel_params", m=m, n=n, k=k, batch=batch,
+                    gpu=gpu, dtype=dtype,
+                )
+            )
+        )
+
     # -- lint ---------------------------------------------------------------
 
     def lint(

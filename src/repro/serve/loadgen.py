@@ -70,6 +70,10 @@ _DIM_POOL = (
 
 _KINDS = ("latency", "tflops", "evaluate")
 
+#: Default fraction of generated requests asking for kernel parameters
+#: (the tuned-table path) instead of a shape advisory.
+_KERNEL_SHARE = 0.25
+
 
 def generate_queries(
     requests: int,
@@ -77,12 +81,16 @@ def generate_queries(
     unique: int = 48,
     gpus: Sequence[str] = ("A100",),
     batch_max: int = 8,
+    kernel_share: float = _KERNEL_SHARE,
 ) -> List[ShapeQuery]:
     """Build a reproducible, heavily-duplicated request stream.
 
     ``unique`` bounds the distinct shape pool the ``requests`` draws
     come from; with ``requests >> unique`` most requests duplicate an
-    earlier shape, which is what exercises the dedup path.
+    earlier shape, which is what exercises the dedup path.  A
+    ``kernel_share`` fraction of requests asks ``kernel_params`` for
+    its shape instead of a shape advisory, so one stream exercises both
+    the batched engine path and the tuned-table passthrough.
     """
     if requests < 1:
         raise ConfigError(f"requests must be >= 1, got {requests}")
@@ -90,6 +98,10 @@ def generate_queries(
         raise ConfigError(f"unique must be >= 1, got {unique}")
     if not gpus:
         raise ConfigError("gpus must be non-empty")
+    if not 0.0 <= kernel_share <= 1.0:
+        raise ConfigError(
+            f"kernel_share must be in [0, 1], got {kernel_share}"
+        )
     rng = random.Random(seed)
     pool: List[Tuple[int, int, int, int]] = []
     seen = set()
@@ -106,9 +118,14 @@ def generate_queries(
     queries = []
     for _ in range(requests):
         batch, m, n, k = rng.choice(pool)
+        kind = (
+            "kernel_params"
+            if rng.random() < kernel_share
+            else rng.choice(_KINDS)
+        )
         queries.append(
             ShapeQuery(
-                kind=rng.choice(_KINDS),
+                kind=kind,
                 m=m, n=n, k=k, batch=batch,
                 gpu=rng.choice(tuple(gpus)),
             )
@@ -209,15 +226,21 @@ def verify_against_engine(
     dtype)``, evaluates each distinct shape once per ``(gpu, dtype)``
     through a brand-new :class:`~repro.engine.core.ShapeEngine`
     (memory-only, no shared state with the server), and compares the
-    served floats for exact equality.  Returns ``(rows_checked,
-    mismatches)``.
+    served floats for exact equality.  ``kernel_params`` advisories are
+    re-resolved through a fresh
+    :class:`~repro.kernels.registry.KernelParamResolver` built from the
+    same environment and compared payload-for-payload.  Returns
+    ``(rows_checked, mismatches)``.
     """
     from repro.engine.core import ShapeEngine
 
     distinct: Dict[Tuple[Any, ...], Tuple[ShapeQuery, Advisory]] = {}
+    kernel_pairs: Dict[Tuple[Any, ...], Tuple[ShapeQuery, Advisory]] = {}
     for query, advisory in pairs:
         if advisory.ok and query.is_shape_query:
             distinct.setdefault(query.cache_key(), (query, advisory))
+        elif advisory.ok and query.is_kernel_query:
+            kernel_pairs.setdefault(query.cache_key(), (query, advisory))
     by_target: Dict[Tuple[str, str], List[Tuple[ShapeQuery, Advisory]]] = {}
     for query, advisory in distinct.values():
         by_target.setdefault((query.gpu, query.dtype), []).append(
@@ -248,6 +271,19 @@ def verify_against_engine(
                 bad |= payload.get("tile") != result.tile(row).name
                 bad |= payload.get("bound") != str(result.bound[row])
             if bad:
+                mismatches += 1
+
+    if kernel_pairs:
+        from repro.kernels.registry import KernelParamResolver
+
+        resolver = KernelParamResolver.from_env(engine=engine)
+        for query, advisory in kernel_pairs.values():
+            checked += 1
+            expect = resolver.resolve(
+                query.batch, query.m, query.n, query.k,
+                query.gpu, query.dtype,
+            )
+            if advisory.payload != expect:
                 mismatches += 1
     return checked, mismatches
 
@@ -400,6 +436,7 @@ def run_load_processes(
     verify: bool = True,
     timeout_s: Optional[float] = 60.0,
     proc_timeout_s: float = 600.0,
+    kernel_share: float = _KERNEL_SHARE,
 ) -> LoadReport:
     """The multi-process wall: OS-process clients against one cluster.
 
@@ -425,6 +462,7 @@ def run_load_processes(
         "--clients", str(clients),
         "--gpus", ",".join(gpus),
         "--procs", str(procs),
+        "--kernel-share", str(kernel_share),
     ]
     if timeout_s is not None:
         common += ["--timeout-s", str(timeout_s)]
@@ -522,6 +560,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--unique", type=int, default=48)
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--gpus", default="A100")
+    parser.add_argument("--kernel-share", type=float, default=_KERNEL_SHARE)
     parser.add_argument("--timeout-s", type=float, default=None)
     parser.add_argument("--procs", type=int, default=1)
     parser.add_argument("--proc-index", type=int, default=0)
@@ -534,6 +573,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     stream = generate_queries(
         args.requests, seed=args.seed, unique=args.unique,
         gpus=tuple(g for g in args.gpus.split(",") if g),
+        kernel_share=args.kernel_share,
     )
     mine = stream[args.proc_index::args.procs]
 

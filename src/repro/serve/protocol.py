@@ -6,6 +6,9 @@ the paper argues should be answered *before* training starts:
 - ``evaluate`` — full modeled performance of one (batched) GEMM shape
   (latency, TFLOP/s, selected tile, compute/memory bound, waves).
 - ``latency`` / ``tflops`` — the single-number projections of the same.
+- ``kernel_params`` — the tuned kernel parameters for one GEMM: best
+  (tile, wave) from the loaded per-(GPU, dtype) tables
+  (:mod:`repro.kernels`), analytical fallback on a table miss.
 - ``lint`` — the co-design shape linter's verdict for a transformer
   config (preset name or inline JSON object), including the quantified
   nearest-compliant fix-its.
@@ -30,13 +33,25 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError, ShapeError
 
-__all__ = ["QUERY_KINDS", "SHAPE_KINDS", "Advisory", "ShapeQuery"]
+__all__ = [
+    "KERNEL_KINDS",
+    "QUERY_KINDS",
+    "SHAPE_KINDS",
+    "Advisory",
+    "ShapeQuery",
+]
 
 #: Kinds answered through the batched engine path.
 SHAPE_KINDS = ("evaluate", "latency", "tflops")
 
+#: Kinds answered from the tuned kernel-parameter tables (GEMM-dim
+#: queries like the shape kinds, but resolved per-query through the
+#: :class:`~repro.kernels.registry.KernelParamResolver`, not coalesced
+#: into engine batches).
+KERNEL_KINDS = ("kernel_params",)
+
 #: Every kind the service answers.
-QUERY_KINDS = SHAPE_KINDS + ("lint",)
+QUERY_KINDS = SHAPE_KINDS + KERNEL_KINDS + ("lint",)
 
 
 @dataclass(frozen=True)
@@ -71,7 +86,7 @@ class ShapeQuery:
                 f"unknown query kind {self.kind!r}; "
                 f"expected one of {', '.join(QUERY_KINDS)}"
             )
-        if self.is_shape_query:
+        if self.is_shape_query or self.is_kernel_query:
             if min(self.m, self.n, self.k, self.batch) <= 0:
                 raise ShapeError(
                     f"GEMM dims must be positive: "
@@ -96,6 +111,10 @@ class ShapeQuery:
     def is_shape_query(self) -> bool:
         return self.kind in SHAPE_KINDS
 
+    @property
+    def is_kernel_query(self) -> bool:
+        return self.kind in KERNEL_KINDS
+
     def shape_tuple(self) -> Tuple[int, int, int, int]:
         """The engine row this query evaluates: ``(batch, m, n, k)``."""
         return (self.batch, self.m, self.n, self.k)
@@ -113,6 +132,8 @@ class ShapeQuery:
         """Response-cache identity (kind-specific, unlike the batch key)."""
         if self.is_shape_query:
             return ("shape", self.kind) + self.batch_key()
+        if self.is_kernel_query:
+            return ("kernel",) + self.batch_key()
         return (
             "lint",
             self.model,
@@ -130,7 +151,7 @@ class ShapeQuery:
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"kind": self.kind, "gpu": self.gpu, "dtype": self.dtype}
-        if self.is_shape_query:
+        if self.is_shape_query or self.is_kernel_query:
             out.update(m=self.m, n=self.n, k=self.k, batch=self.batch)
         else:
             if self.model is not None:
@@ -157,7 +178,7 @@ class ShapeQuery:
             }
         except (TypeError, ValueError) as exc:
             raise ConfigError(f"bad query priority: {exc}") from exc
-        if kind in SHAPE_KINDS:
+        if kind in SHAPE_KINDS or kind in KERNEL_KINDS:
             try:
                 return cls(
                     kind=kind,

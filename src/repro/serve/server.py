@@ -153,6 +153,7 @@ class ServerStats:
     batches: int = 0
     max_batch_size: int = 0
     lint_served: int = 0
+    kernel_served: int = 0
 
     @property
     def rejected(self) -> int:
@@ -182,7 +183,7 @@ class ServerStats:
                 "served", "failed", "rejected_queue_full", "rejected_deadline",
                 "rejected_closed", "engine_calls", "engine_rows",
                 "coalesced_duplicates", "batches", "max_batch_size",
-                "lint_served",
+                "lint_served", "kernel_served",
             )
         }
         out["coalesce_ratio"] = round(self.coalesce_ratio, 3)
@@ -235,6 +236,12 @@ class AdvisoryServer:
         self._batch_seq = 0
         self._closed = False
         self._started = False
+        # kernel_params resolver: built on first use (tables come from
+        # REPRO_KERNEL_TABLES); a load failure is remembered and served
+        # as a typed failed advisory instead of crash-looping a worker.
+        self._kernel_lock = threading.Lock()
+        self._kernel_resolver: Optional[Any] = None
+        self._kernel_error: Optional[ReproError] = None
         self._policy = RetryPolicy(
             retries=self.config.retries,
             backoff_s=self.config.retry_backoff_s,
@@ -463,7 +470,10 @@ class AdvisoryServer:
             for call in calls:
                 self._run_engine_call(shard, batch_no, call, len(live))
             for item in passthrough:
-                self._run_lint(shard, item, len(live))
+                if item.query.is_kernel_query:
+                    self._run_kernel(shard, item, len(live))
+                else:
+                    self._run_lint(shard, item, len(live))
 
     def _run_engine_call(
         self, shard: int, batch_no: int, call: Any, batch_size: int
@@ -587,4 +597,61 @@ class AdvisoryServer:
         self._count("lint_served")
         _metrics().counter("serve.served").inc()
         _metrics().counter("serve.lint_served").inc()
+        self._resolve(item, advisory)
+
+    def _kernel_params_resolver(self) -> Any:
+        """The shared kernel-table resolver, built once from the env.
+
+        Raises the remembered :class:`~repro.errors.KernelTableError`
+        on every call after a failed build, so a bad table directory
+        yields typed failed advisories instead of a worker crash loop.
+        """
+        from repro.kernels.registry import KernelParamResolver
+
+        with self._kernel_lock:
+            if self._kernel_error is not None:
+                raise self._kernel_error
+            if self._kernel_resolver is None:
+                try:
+                    self._kernel_resolver = KernelParamResolver.from_env(
+                        engine=self._engine
+                    )
+                except ReproError as exc:
+                    self._kernel_error = exc
+                    raise
+            return self._kernel_resolver
+
+    def _run_kernel(
+        self, shard: int, item: PendingRequest, batch_size: int
+    ) -> None:
+        query = item.query
+        with _span("serve.kernel", shard=shard, gpu=query.gpu):
+            try:
+                resolver = self._kernel_params_resolver()
+                payload = resolver.resolve(
+                    query.batch, query.m, query.n, query.k,
+                    query.gpu, query.dtype,
+                )
+            except ReproError as exc:
+                self._count("failed")
+                _metrics().counter("serve.failed").inc()
+                self._resolve(
+                    item,
+                    Advisory(
+                        query=query, status="failed", error=str(exc),
+                        error_type=type(exc).__name__, shard=shard,
+                        batch_size=batch_size, retryable=is_retryable(exc),
+                    ),
+                )
+                return
+        advisory = Advisory(
+            query=query, status="ok", payload=payload, source="engine",
+            shard=shard, queue_wait_s=time.monotonic() - item.enqueued_at_s,
+            batch_size=batch_size,
+        )
+        self._cache.put(self._cache_key(query), payload)
+        self._count("served")
+        self._count("kernel_served")
+        _metrics().counter("serve.served").inc()
+        _metrics().counter("serve.kernel_served").inc()
         self._resolve(item, advisory)

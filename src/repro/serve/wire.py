@@ -21,6 +21,11 @@ Message shapes (``op`` defaults to ``"query"`` when absent, so a bare
 ``id`` correlates responses with requests: the front-end answers
 queries concurrently, so responses on one connection may arrive out of
 submission order.
+
+The codec is query-kind agnostic: ``kernel_params`` queries and their
+tuned-table advisories ride the same frames as shape and lint queries,
+which is what makes kernel answers bit-identical across the pipe and
+TCP transports (the payload is one JSON object either way).
 """
 
 from __future__ import annotations

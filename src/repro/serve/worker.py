@@ -18,7 +18,10 @@ single in-process dispatch shard via
 
 Workers inherit the parent environment, so the PR-6 mmap warm cache
 (``REPRO_ENGINE_CACHE_DIR``) is shared across the whole cluster: the
-first worker to evaluate a shape warms every later one.
+first worker to evaluate a shape warms every later one.  The tuned
+kernel tables (``REPRO_KERNEL_TABLES``, :mod:`repro.kernels`) ride the
+same mechanism: every worker loads the same artifacts, so a
+``kernel_params`` answer does not depend on which worker served it.
 
 Fault sites: ``cluster.worker`` fires before each query is admitted
 (a ``kill`` spec here is a crash mid-request) and ``cluster.heartbeat``

@@ -1,5 +1,7 @@
 """Tests for the AST self-lint pass (prong 2)."""
 
+import random
+import textwrap
 from pathlib import Path
 
 import pytest
@@ -60,6 +62,70 @@ class TestEngineLoopRule:
 
     def test_clean_patterns_pass(self, fixture_linter):
         report = fixture_linter.lint([FIXTURES / "engine_loop_clean.py"])
+        assert "self/engine-eval-in-loop" not in rule_ids(report)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seeded_mutation_of_the_tuner_is_flagged(self, seed, tmp_path):
+        # Seeded-mutation proof for the rule extension: rewrite the
+        # tuner's single whole-grid sweep into the per-candidate
+        # evaluate_grid/evaluate_tiles loop the rule exists to catch,
+        # varying the binding name and loop form per seed, and assert
+        # the linter flags every variant.
+        rng = random.Random(seed)
+        name = rng.choice(["eng", "engine", "tuner_engine"])
+        method = rng.choice(["evaluate_grid", "evaluate_tiles"])
+        loop = rng.choice(
+            [
+                "    sweep = []\n"
+                "    for tile in pool:\n"
+                f"        sweep.append({name}.{method}"
+                "(grid, spec, dtype, tile=tile))\n"
+                "    return sweep\n",
+                f"    return [{name}.{method}(grid, spec, dtype, tile=t) "
+                "for t in pool]\n",
+            ]
+        )
+        source = (
+            "from repro.engine.core import ShapeEngine\n\n\n"
+            "def tune(grid, spec, dtype, pool):\n"
+            f"    {name} = ShapeEngine()\n" + loop
+        )
+        root = tmp_path / "mutant"
+        root.mkdir()
+        (root / "search.py").write_text(source)
+        report = SelfLinter(root=root).lint()
+        hits = [
+            d for d in report.findings()
+            if d.rule_id == "self/engine-eval-in-loop"
+        ]
+        assert len(hits) == 1, source
+        assert "evaluate_tiles owns the loop" in hits[0].message
+
+    def test_whole_grid_sweep_outside_loops_is_clean(self, tmp_path):
+        # The shipped tuner's actual shape: one evaluate_tiles call,
+        # no loop around it.  Must stay clean under the extended rule.
+        source = textwrap.dedent(
+            """\
+            from repro.engine.core import ShapeEngine
+
+
+            def tune(grid, spec, dtype, pool):
+                engine = ShapeEngine()
+                return engine.evaluate_tiles(grid, spec, dtype, candidates=pool)
+            """
+        )
+        root = tmp_path / "clean"
+        root.mkdir()
+        (root / "search.py").write_text(source)
+        report = SelfLinter(root=root).lint()
+        assert "self/engine-eval-in-loop" not in rule_ids(report)
+
+    def test_real_tuner_module_is_clean(self):
+        import repro.kernels.search
+
+        report = SelfLinter().lint(
+            [Path(repro.kernels.search.__file__)]
+        )
         assert "self/engine-eval-in-loop" not in rule_ids(report)
 
 
