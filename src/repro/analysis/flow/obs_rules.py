@@ -56,6 +56,7 @@ KNOWN_PHASES = frozenset(
         "journal",
         "cache",
         "kernels",
+        "trainstep",
     }
 )
 

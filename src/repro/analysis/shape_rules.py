@@ -85,6 +85,7 @@ class ShapeLinter:
         out += self.rule_heads_tp(cfg)
         out += self.rule_microbatch_wave(cfg)
         out += self.rule_layers_pipeline(cfg, pipeline_stages)
+        out += self.rule_memory_capacity(cfg, pipeline_stages)
         return out
 
     def lint_grid(
@@ -592,5 +593,99 @@ class ShapeLinter:
                     note="changes depth and parameter count",
                 ),
                 paper_ref="Sec VI-B",
+            )
+        ]
+
+    def rule_memory_capacity(
+        self, cfg: TransformerConfig, pipeline_stages: int = 1
+    ) -> List[LintDiagnostic]:
+        """The training step must fit the target GPU's HBM under the
+        config's own (t, p) — a shape rule like any other, since the
+        fix is the same levers: t, p, b, or checkpointing.
+
+        Severity policy: every outcome is an OK-level advisory —
+        fits, fits-with-checkpointing, or the minimum tensor degree
+        that would fit (surface them with ``--min-severity ok``).
+        Capacity is *enforced* by the planner's typed
+        :class:`~repro.errors.CapacityError` wall and ``repro estimate
+        --enforce`` — the linter judges shapes, and a 13B preset at
+        its default t=1 is a fine shape that simply needs sharding,
+        not a lint finding.
+        """
+        from repro.core.memory import MemoryBudget
+        from repro.trainstep.memory import estimate_memory
+
+        budget = MemoryBudget.for_gpu(self.spec)
+        loc = _loc(cfg, "tp_degree")
+        plain = estimate_memory(
+            cfg, pipeline_stages=pipeline_stages, checkpointing="none"
+        )
+        if plain.fits(budget):
+            return [
+                LintDiagnostic(
+                    "shape/memory-capacity",
+                    Severity.OK,
+                    f"training step fits: peak "
+                    f"{plain.peak_bytes / 1e9:.1f} GB "
+                    f"({plain.peak_phase}) of "
+                    f"{budget.usable_bytes / 1e9:.1f} GB usable on "
+                    f"{self.spec.name}",
+                    loc,
+                    paper_ref="Sec VII-A",
+                )
+            ]
+        ckpt = estimate_memory(
+            cfg, pipeline_stages=pipeline_stages, checkpointing="full"
+        )
+        if ckpt.fits(budget):
+            return [
+                LintDiagnostic(
+                    "shape/memory-capacity",
+                    Severity.OK,
+                    f"training step fits only with full activation "
+                    f"checkpointing: peak {plain.peak_bytes / 1e9:.1f} GB "
+                    f"({plain.peak_phase}) without vs "
+                    f"{ckpt.peak_bytes / 1e9:.1f} GB with, against "
+                    f"{budget.usable_bytes / 1e9:.1f} GB usable on "
+                    f"{self.spec.name}; checkpointing costs one extra "
+                    "forward pass per layer",
+                    loc,
+                    paper_ref="Sec VII-A",
+                )
+            ]
+        peak = ckpt.phase(ckpt.peak_phase)
+        suggested = cfg.tp_degree
+        while suggested < 64:
+            suggested *= 2
+            if cfg.hidden_size % suggested:
+                continue
+            trial = estimate_memory(
+                cfg,
+                tp=suggested,
+                pipeline_stages=pipeline_stages,
+                checkpointing="full",
+            )
+            if trial.fits(budget):
+                break
+        return [
+            LintDiagnostic(
+                "shape/memory-capacity",
+                Severity.OK,
+                f"training step cannot fit {self.spec.name} at "
+                f"t={cfg.tp_degree} even with full checkpointing: "
+                f"{peak.phase} phase needs {peak.total_bytes / 1e9:.1f} GB "
+                f"against {budget.usable_bytes / 1e9:.1f} GB usable "
+                "(weights + Adam state alone overflow); shard with "
+                "tensor/pipeline parallelism",
+                loc,
+                fixit=FixIt(
+                    field="tp_degree",
+                    current=cfg.tp_degree,
+                    suggested=suggested,
+                    note="smallest power-of-two degree whose full-"
+                    "checkpointing step fits (each doubling halves "
+                    "per-rank parameter and optimizer bytes)",
+                ),
+                paper_ref="Sec VII-A",
             )
         ]

@@ -24,10 +24,14 @@ Verbs::
     repro tune-kernels [--gpu A100 ...]       tune per-(GPU, dtype) kernel
                    [--out DIR] [--wall]       parameter tables; --check gates
                    [--check]                  golden-table drift
+    repro estimate <model> [--gpu A100]       training-step runtime + memory
+                   [--tp T] [--pp P] [--json] rollup; --checkpointing
+                   [--checkpointing POLICY]   {none,full,auto}; --enforce
+                   [--enforce]                exits 2 on a capacity overflow
     repro list-models / list-gpus             show registries
 
-``run``, ``bench``, ``calibrate``, ``serve``, ``loadgen``, and
-``tune-kernels`` accept
+``run``, ``bench``, ``calibrate``, ``serve``, ``loadgen``,
+``tune-kernels``, and ``estimate`` accept
 ``--trace out.jsonl``
 (stream a structured span trace) and ``--metrics`` (print the counter /
 histogram summary afterwards); tracing is off — and costs nothing —
@@ -107,6 +111,7 @@ def _add_serve_config(parser: argparse.ArgumentParser) -> None:
 #: Verbs that accept --trace/--metrics (main() wraps their dispatch).
 _OBSERVABLE_COMMANDS = (
     "run", "bench", "calibrate", "serve", "loadgen", "tune-kernels",
+    "estimate",
 )
 
 
@@ -345,9 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--min-severity",
-        choices=("info", "warning", "error"),
+        choices=("ok", "info", "warning", "error"),
         default="info",
-        help="hide findings below this severity (default info)",
+        help="hide findings below this severity (default info; "
+        "'ok' also shows passing checks and capacity advisories)",
     )
 
     p = sub.add_parser(
@@ -530,6 +536,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="rewrite the stored tables after an intentional model change "
         "(same as the default write mode; spelled out for CI scripts)",
+    )
+    _add_observability(p)
+
+    p = sub.add_parser(
+        "estimate",
+        help="training-step runtime + memory rollup (fwd/bwd/optimizer "
+        "phases, per-module table, peak-memory timeline)",
+    )
+    p.add_argument("model", help="model preset name")
+    _add_gpu(p)
+    p.add_argument("--dtype", default="fp16", help="operand dtype (default fp16)")
+    p.add_argument(
+        "--tp", type=int, default=None, metavar="T",
+        help="tensor-parallel degree (default: the preset's)",
+    )
+    p.add_argument(
+        "--pp", type=int, default=1, metavar="P",
+        help="pipeline stages for the memory timeline (default 1)",
+    )
+    p.add_argument(
+        "--microbatch", type=int, default=None, metavar="B",
+        help="override the preset's microbatch size",
+    )
+    p.add_argument(
+        "--checkpointing",
+        choices=("none", "full", "auto"),
+        default="none",
+        help="activation checkpointing policy; 'auto' picks 'none' when "
+        "the step fits the GPU and falls back to 'full' (default none)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the estimate as JSON"
+    )
+    p.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit 2 with a typed capacity error naming the overflowing "
+        "phase if the chosen policy does not fit the GPU",
     )
     _add_observability(p)
     return parser
@@ -827,6 +871,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
 
     min_severity = {
+        "ok": Severity.OK,
         "info": Severity.INFO,
         "warning": Severity.WARNING,
         "error": Severity.ERROR,
@@ -1165,6 +1210,48 @@ def cmd_list_gpus(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_estimate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.core.memory import MemoryBudget
+    from repro.trainstep import (
+        TrainStepEstimator,
+        estimate_memory,
+        estimate_to_json,
+        render_estimate,
+    )
+
+    overrides = {}
+    if args.tp is not None:
+        overrides["tp_degree"] = args.tp
+    if args.microbatch is not None:
+        overrides["microbatch"] = args.microbatch
+    cfg = get_model(args.model, **overrides)
+    budget = MemoryBudget.for_gpu(args.gpu)
+    policy = args.checkpointing
+    if policy == "auto":
+        # Checkpointing only ever costs time, so prefer "none" and fall
+        # back to "full" when the activations alone blow the budget.
+        probe = estimate_memory(cfg, pipeline_stages=args.pp, checkpointing="none")
+        policy = "none" if probe.fits(budget) else "full"
+    estimator = TrainStepEstimator(gpu=args.gpu, dtype=args.dtype)
+    est = estimator.estimate(cfg, pipeline_stages=args.pp, checkpointing=policy)
+    if args.enforce:
+        est.memory.require_fits(budget)
+    if args.json:
+        print(_json.dumps(estimate_to_json(est), indent=2))
+    else:
+        print(render_estimate(est))
+        if not est.memory.fits(budget):
+            print(
+                f"\nWARNING: peak {est.memory.peak_bytes / 1e9:.1f} GB "
+                f"({est.memory.peak_phase}) exceeds the "
+                f"{budget.usable_bytes / 1e9:.1f} GB usable on {est.gpu}; "
+                "raise --tp/--pp or try --checkpointing full"
+            )
+    return 0
+
+
 _COMMANDS = {
     "analyze": cmd_analyze,
     "rules": cmd_rules,
@@ -1184,6 +1271,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
     "tune-kernels": cmd_tune_kernels,
+    "estimate": cmd_estimate,
 }
 
 

@@ -10,6 +10,7 @@ needs string matching::
     +-- ShapeError           malformed GEMM/BMM shape
     +-- GPUModelError        GPU performance model cannot evaluate
     +-- ParallelismError     infeasible parallel decomposition
+    |   +-- CapacityError        a plan's peak memory exceeds the GPU
     +-- ExperimentError      unknown/failed harness experiment
     +-- CalibrationError     constant fitting failed
     +-- CacheError           disk-cache entry unreadable/unwritable
@@ -70,6 +71,30 @@ class ParallelismError(ReproError):
     dimensions, or when a pipeline stage assignment is impossible for the
     requested number of stages.
     """
+
+
+class CapacityError(ParallelismError):
+    """A (t, p) plan does not fit the per-GPU memory budget.
+
+    Raised by the planner's capacity checks when the training-step
+    memory estimator (:mod:`repro.trainstep.memory`) says the plan's
+    peak phase overflows the GPU.  Carries the overflowing phase and
+    the modelled sizes so callers can handle it without parsing the
+    message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str = "",
+        required_bytes: float = 0.0,
+        budget_bytes: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.phase = phase
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
 
 
 class ExperimentError(ReproError):

@@ -489,3 +489,24 @@ register(
         check_fn=ext.check_ext_pipeline_sim,
     )
 )
+
+from repro.harness import experiments_trainstep as trainstep  # noqa: E402
+
+register(
+    Experiment(
+        id="ext_trainstep",
+        title="Training-step phase shares across the zoo",
+        paper_ref="extension (whole-step co-design)",
+        run_fn=trainstep.run_ext_trainstep,
+        check_fn=trainstep.check_ext_trainstep,
+    )
+)
+register(
+    Experiment(
+        id="ext_capacity",
+        title="Planner capacity wall: fits/rejects matrix",
+        paper_ref="extension (Sec VII-A memory)",
+        run_fn=trainstep.run_ext_capacity,
+        check_fn=trainstep.check_ext_capacity,
+    )
+)

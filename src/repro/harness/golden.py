@@ -36,7 +36,16 @@ if TYPE_CHECKING:
 #: The headline experiments the golden wall pins (fig1/fig2 throughput
 #: comparisons, fig5 tiling, fig7 alignment, fig12 attention sizing,
 #: and the Sec VII-B 2.7B retune case study).
-GOLDEN_EXPERIMENTS = ("fig1", "fig2", "fig5", "fig7", "fig12", "case_gpt3")
+GOLDEN_EXPERIMENTS = (
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig7",
+    "fig12",
+    "case_gpt3",
+    "ext_trainstep",
+    "ext_capacity",
+)
 
 #: Where snapshots live relative to the repo root.
 DEFAULT_GOLDEN_DIR = Path("tests") / "golden"

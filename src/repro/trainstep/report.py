@@ -1,0 +1,125 @@
+"""Text and JSON rendering of a training-step estimate.
+
+The CLI's ``repro estimate`` verb prints :func:`render_estimate`; the
+``--json`` path emits :func:`estimate_to_json` (stable key order, plain
+Python scalars) so the golden snapshots and the CI smoke job can diff
+it without parsing a table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.trainstep.memory import TrainStepMemory
+from repro.trainstep.step import TrainStepEstimate
+
+_GB = 1024.0**3
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s"
+    return f"{seconds * 1e3:8.3f} ms"
+
+
+def render_estimate(est: TrainStepEstimate) -> str:
+    """Human-readable rollup: phases, per-module runtime, memory."""
+    lines: List[str] = []
+    lines.append(
+        f"train step: {est.model} on {est.gpu}/{est.dtype}  "
+        f"t={est.tp} p={est.pipeline_stages} ckpt={est.checkpointing}"
+    )
+    lines.append(
+        f"  total {_fmt_s(est.total_s)}  "
+        f"{est.tokens_per_second:,.0f} tok/s  "
+        f"{est.tflops:.1f} TFLOP/s (whole step)"
+    )
+    lines.append("")
+    lines.append(f"  {'phase':<12} {'time':>12} {'share':>7} {'PFLOPs':>10}")
+    total = est.total_s or 1.0
+    for p in est.phases:
+        lines.append(
+            f"  {p.phase:<12} {_fmt_s(p.seconds):>12} "
+            f"{100.0 * p.seconds / total:6.1f}% {p.flops / 1e15:10.3f}"
+        )
+    lines.append("")
+    lines.append(
+        f"  {'module':<22} {'fwd':>11} {'bwd':>11} {'recomp':>11} {'share':>7}"
+    )
+    gemm_total = est.gemm_s or 1.0
+    for m in sorted(est.modules, key=lambda m: -m.total_s):
+        lines.append(
+            f"  {m.module:<22} {_fmt_s(m.forward_s):>11} "
+            f"{_fmt_s(m.backward_s):>11} {_fmt_s(m.recompute_s):>11} "
+            f"{100.0 * m.total_s / gemm_total:6.1f}%"
+        )
+    lines.append("")
+    lines.extend(_render_memory(est.memory))
+    return "\n".join(lines)
+
+
+def _render_memory(mem: TrainStepMemory) -> List[str]:
+    lines = [
+        f"  memory per GPU (t={mem.tp}, p={mem.pipeline_stages}, "
+        f"ckpt={mem.checkpointing}): peak "
+        f"{mem.peak_bytes / _GB:.2f} GiB in {mem.peak_phase}"
+    ]
+    lines.append(
+        f"  {'phase':<12} {'params':>9} {'grads':>9} {'opt':>9} "
+        f"{'acts':>9} {'total':>9}"
+    )
+    for ph in mem.phases:
+        lines.append(
+            f"  {ph.phase:<12} {ph.parameter_bytes / _GB:8.2f}G "
+            f"{ph.gradient_bytes / _GB:8.2f}G "
+            f"{ph.optimizer_state_bytes / _GB:8.2f}G "
+            f"{ph.activation_bytes / _GB:8.2f}G "
+            f"{ph.total_bytes / _GB:8.2f}G"
+        )
+    return lines
+
+
+def estimate_to_json(est: TrainStepEstimate) -> Dict[str, Any]:
+    """Stable, scalar-only dict for ``--json`` output and goldens."""
+    return {
+        "model": est.model,
+        "gpu": est.gpu,
+        "dtype": est.dtype,
+        "tp": est.tp,
+        "pipeline_stages": est.pipeline_stages,
+        "checkpointing": est.checkpointing,
+        "tokens": est.tokens,
+        "total_s": est.total_s,
+        "tokens_per_second": est.tokens_per_second,
+        "tflops": est.tflops,
+        "phases": [
+            {"phase": p.phase, "seconds": p.seconds, "flops": p.flops}
+            for p in est.phases
+        ],
+        "modules": [
+            {
+                "module": m.module,
+                "forward_s": m.forward_s,
+                "backward_s": m.backward_s,
+                "recompute_s": m.recompute_s,
+                "flops": m.flops,
+            }
+            for m in est.modules
+        ],
+        "memory": {
+            "peak_bytes": est.memory.peak_bytes,
+            "peak_phase": est.memory.peak_phase,
+            "phases": [
+                {
+                    "phase": ph.phase,
+                    "parameter_bytes": ph.parameter_bytes,
+                    "gradient_bytes": ph.gradient_bytes,
+                    "optimizer_state_bytes": ph.optimizer_state_bytes,
+                    "activation_bytes": ph.activation_bytes,
+                    "kv_cache_bytes": ph.kv_cache_bytes,
+                    "total_bytes": ph.total_bytes,
+                }
+                for ph in est.memory.phases
+            ],
+        },
+    }

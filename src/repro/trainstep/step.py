@@ -1,0 +1,328 @@
+"""Whole-train-step runtime estimator, priced through ONE grid call.
+
+The estimator expands a configuration's training step — every forward
+GEMM, its mechanically-derived dgrad/wgrad pair, and (under full
+checkpointing) the recompute pass — into a single columnar
+:class:`~repro.engine.grid.ShapeGrid` with ``module`` / ``phase`` /
+``count`` annotation columns, prices the whole grid in **one**
+:meth:`~repro.engine.core.ShapeEngine.evaluate_grid` call, and rolls
+the result up per phase and per module with NumPy reductions.  No
+scalar engine call and no per-shape Python loop exists on this path
+(the self-lint's ``engine-eval-in-loop`` rule enforces it), which is
+what makes the differential wall (:mod:`repro.trainstep.wall`) able to
+demand bit-identical totals against a per-record scalar accumulation.
+
+The optimizer phase is not a GEMM: it is priced as one streaming pass
+over the rank's unique parameter elements at
+:data:`ADAM_TRAFFIC_BYTES_PER_PARAM` bytes each (the same traffic model
+as :mod:`repro.core.training`), with FLOPs from
+:data:`repro.transformer.trace.ADAM_FLOPS_PER_PARAM` so the whole-step
+flop conservation law covers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import TransformerConfig
+from repro.core.gemms import backward_gemms_for, layer_gemms, logit_gemm
+from repro.engine.core import ShapeEngine, default_engine
+from repro.engine.grid import ShapeGrid
+from repro.errors import ConfigError
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.observability import span as _span
+from repro.trainstep.memory import TrainStepMemory, estimate_memory
+from repro.transformer.trace import ADAM_FLOPS_PER_PARAM
+from repro.types import DType, teraflops
+
+#: Phase labels, in step-execution order (recompute only under
+#: ``checkpointing="full"``).
+PHASE_FORWARD = "forward"
+PHASE_BACKWARD = "backward"
+PHASE_RECOMPUTE = "recompute"
+PHASE_OPTIMIZER = "optimizer"
+
+#: Bytes of optimizer traffic per parameter for mixed-precision Adam:
+#: read+write fp32 master weight, m, v (6 x 4 B) plus the fp16 weight
+#: write and gradient read (2 x 2 B).  Mirrors
+#: ``repro.core.training._ADAM_BYTES_PER_PARAM``.
+ADAM_TRAFFIC_BYTES_PER_PARAM = 28
+
+#: Achievable fraction of peak HBM bandwidth for streaming pointwise
+#: passes (mirrors ``repro.core.training._POINTWISE_BW_EFFICIENCY``).
+POINTWISE_BW_EFFICIENCY = 0.75
+
+
+def training_grid(
+    cfg: TransformerConfig, checkpointing: str = "none"
+) -> ShapeGrid:
+    """The whole training step as one annotated shape grid.
+
+    One row per distinct (module, phase) GEMM with a ``count`` column
+    carrying its per-step repetition (L for layer operators, 1 for the
+    logit triple).  Row order is deterministic — forward layer ops,
+    their backward pairs, the optional recompute pass, then the logit
+    triple — and the differential wall relies on it: both the grid path
+    and the scalar path reduce the same row order with the same
+    ``np.sum``, so equal per-row latencies force bit-identical totals.
+    """
+    if checkpointing not in ("none", "full"):
+        raise ConfigError(
+            f"unknown checkpointing policy {checkpointing!r} "
+            "(choose 'none' or 'full')"
+        )
+    per_layer = layer_gemms(cfg)
+    L = cfg.num_layers
+    modules: List[str] = []
+    phases: List[str] = []
+    counts: List[int] = []
+    shapes: List[Tuple[int, int, int, int]] = []
+
+    def add(op, phase: str, count: int) -> None:
+        modules.append(op.module)
+        phases.append(phase)
+        counts.append(count)
+        shapes.append((op.batch, op.m, op.n, op.k))
+
+    for op in per_layer:
+        add(op, PHASE_FORWARD, L)
+    for op in per_layer:
+        for bop in backward_gemms_for(op):
+            add(bop, PHASE_BACKWARD, L)
+    if checkpointing == "full":
+        # Recompute re-executes every layer forward GEMM once during
+        # backward; the logit/embedding are never checkpointed.
+        for op in per_layer:
+            add(op, PHASE_RECOMPUTE, L)
+    logit = logit_gemm(cfg)
+    add(logit, PHASE_FORWARD, 1)
+    for bop in backward_gemms_for(logit):
+        add(bop, PHASE_BACKWARD, 1)
+
+    arr = np.asarray(shapes, dtype=np.int64)
+    return ShapeGrid.from_columns(
+        batch=arr[:, 0],
+        m=arr[:, 1],
+        n=arr[:, 2],
+        k=arr[:, 3],
+        module=np.array(modules),
+        phase=np.array(phases),
+        count=np.asarray(counts, dtype=np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Runtime + FLOPs of one training-step phase on one rank.
+
+    ``seconds`` is modelled wall-clock time [s]; ``flops`` is the
+    multiply-add count (dimensionless work, not a rate).
+    """
+
+    phase: str
+    seconds: float
+    flops: int
+
+
+@dataclass(frozen=True)
+class ModuleCost:
+    """Per-module runtime rollup (dgrad/wgrad folded into the base
+    module label)."""
+
+    module: str
+    forward_s: float
+    backward_s: float
+    recompute_s: float
+    flops: int
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s + self.recompute_s
+
+
+@dataclass(frozen=True)
+class TrainStepEstimate:
+    """One rank's modelled training step: runtime phases, per-module
+    rollup, and the memory timeline."""
+
+    model: str
+    gpu: str
+    dtype: str
+    tp: int
+    pipeline_stages: int
+    checkpointing: str
+    tokens: int
+    phases: Tuple[PhaseCost, ...]
+    modules: Tuple[ModuleCost, ...]
+    memory: TrainStepMemory
+
+    def phase(self, name: str) -> PhaseCost:
+        for p in self.phases:
+            if p.phase == name:
+                return p
+        raise KeyError(f"unknown phase {name!r}")
+
+    @property
+    def phase_names(self) -> Tuple[str, ...]:
+        return tuple(p.phase for p in self.phases)
+
+    @property
+    def total_s(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+    @property
+    def gemm_s(self) -> float:
+        return sum(
+            p.seconds for p in self.phases if p.phase != PHASE_OPTIMIZER
+        )
+
+    @property
+    def flops(self) -> int:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.tokens / self.total_s if self.total_s else 0.0
+
+    @property
+    def tflops(self) -> float:
+        return teraflops(self.flops, self.total_s) if self.total_s else 0.0
+
+    @property
+    def backward_to_forward_flops(self) -> float:  # unit: dimensionless
+        """Backward/forward FLOP ratio (exactly 2.0 for pure GEMM nets)."""
+        fwd = self.phase(PHASE_FORWARD).flops
+        return self.phase(PHASE_BACKWARD).flops / fwd if fwd else 0.0
+
+
+class TrainStepEstimator:
+    """Prices one training step per (t, p) rank via the batch engine."""
+
+    def __init__(
+        self,
+        gpu: "str | GPUSpec" = "A100",
+        dtype: "str | DType" = DType.FP16,
+        engine: Optional[ShapeEngine] = None,
+    ) -> None:
+        self.spec = get_gpu(gpu)
+        self.dtype = DType.parse(dtype)
+        self._engine = engine
+
+    @property
+    def engine(self) -> ShapeEngine:
+        return self._engine if self._engine is not None else default_engine()
+
+    def optimizer_cost(self, memory: TrainStepMemory) -> PhaseCost:
+        """The Adam update as one bandwidth-bound streaming pass over
+        the rank's unique (tied-dedup) parameter elements."""
+        elems = memory.parameter_elements
+        bw = self.spec.mem_bw_bytes_per_s() * POINTWISE_BW_EFFICIENCY
+        return PhaseCost(
+            phase=PHASE_OPTIMIZER,
+            seconds=elems * ADAM_TRAFFIC_BYTES_PER_PARAM / bw,
+            flops=int(round(elems * ADAM_FLOPS_PER_PARAM)),
+        )
+
+    def estimate(
+        self,
+        cfg: TransformerConfig,
+        pipeline_stages: int = 1,
+        checkpointing: str = "none",
+    ) -> TrainStepEstimate:
+        """One rank's step at ``cfg.tp_degree`` tensor parallelism.
+
+        Runtime phases cover the whole model's GEMMs executed serially
+        on one rank (the planner layers its pipeline schedule on top);
+        the memory timeline models the heaviest stage under
+        ``(cfg.tp_degree, pipeline_stages)``.
+        """
+        with _span(
+            "trainstep.estimate",
+            model=cfg.name,
+            gpu=self.spec.name,
+            checkpointing=checkpointing,
+        ) as sp:
+            grid = training_grid(cfg, checkpointing)
+            result = self.engine.evaluate_grid(grid, self.spec, self.dtype)
+            latency = np.asarray(result.batch.latency_s, dtype=np.float64)
+            counts = grid.column("count")
+            seconds = latency * counts.astype(np.float64)
+            flops = (
+                2
+                * grid.column("batch")
+                * grid.column("m")
+                * grid.column("n")
+                * grid.column("k")
+                * counts
+            )
+            phase_col = grid.column("phase")
+
+            memory = estimate_memory(
+                cfg,
+                pipeline_stages=pipeline_stages,
+                checkpointing=checkpointing,
+            )
+            phases: List[PhaseCost] = []
+            order = [PHASE_FORWARD, PHASE_BACKWARD]
+            if checkpointing == "full":
+                order.append(PHASE_RECOMPUTE)
+            for name in order:
+                mask = phase_col == name
+                phases.append(
+                    PhaseCost(
+                        phase=name,
+                        seconds=float(np.sum(seconds[mask])),
+                        flops=int(np.sum(flops[mask])),
+                    )
+                )
+            phases.append(self.optimizer_cost(memory))
+
+            modules = _module_rollup(grid, seconds, flops)
+            sp.set(
+                rows=len(grid),
+                total_s=sum(p.seconds for p in phases),
+            )
+            return TrainStepEstimate(
+                model=cfg.name,
+                gpu=self.spec.name,
+                dtype=self.dtype.name,
+                tp=cfg.tp_degree,
+                pipeline_stages=pipeline_stages,
+                checkpointing=checkpointing,
+                tokens=cfg.tokens_per_microbatch,
+                phases=tuple(phases),
+                modules=modules,
+                memory=memory,
+            )
+
+
+def _module_rollup(
+    grid: ShapeGrid, seconds: np.ndarray, flops: np.ndarray
+) -> Tuple[ModuleCost, ...]:
+    """Group per-row costs by base module, preserving first appearance."""
+    base = np.array([m.split(".")[0] for m in grid.column("module").tolist()])
+    phase_col = grid.column("phase")
+    rollup: Dict[str, List[float]] = {}
+    for name in base.tolist():
+        rollup.setdefault(name, [0.0, 0.0, 0.0, 0.0])
+    for name in rollup:
+        mine = base == name
+        rollup[name][0] = float(np.sum(seconds[mine & (phase_col == PHASE_FORWARD)]))
+        rollup[name][1] = float(np.sum(seconds[mine & (phase_col == PHASE_BACKWARD)]))
+        rollup[name][2] = float(
+            np.sum(seconds[mine & (phase_col == PHASE_RECOMPUTE)])
+        )
+        rollup[name][3] = float(np.sum(flops[mine]))
+    return tuple(
+        ModuleCost(
+            module=name,
+            forward_s=vals[0],
+            backward_s=vals[1],
+            recompute_s=vals[2],
+            flops=int(vals[3]),
+        )
+        for name, vals in rollup.items()
+    )

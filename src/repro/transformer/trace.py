@@ -18,6 +18,17 @@ import numpy as np
 
 from repro.errors import ShapeError
 
+#: Arithmetic cost of one mixed-precision Adam update per parameter:
+#: two moment EMAs (4 flops), bias corrections (2), sqrt + divide +
+#: epsilon (3), the master-weight update (2), and the fp16 cast (1).
+#: The update is bandwidth-bound in practice (see
+#: :mod:`repro.core.training`); this constant exists so a *flop*
+#: conservation law can cover the whole step, optimizer included.
+ADAM_FLOPS_PER_PARAM = 12
+
+#: Suffixes of backward-pass records derived from a forward matmul.
+BACKWARD_SUFFIXES = (".dgrad", ".wgrad")
+
 
 @dataclass(frozen=True)
 class MatmulRecord:
@@ -42,9 +53,59 @@ class MatmulRecord:
     def is_bmm(self) -> bool:
         return self.batch > 1
 
+    @property
+    def phase(self) -> str:
+        """``"forward"`` or ``"backward"`` (by module-label suffix)."""
+        return (
+            "backward"
+            if self.module.endswith(BACKWARD_SUFFIXES)
+            else "forward"
+        )
+
+    @property
+    def base_module(self) -> str:
+        """The forward module label, with any ``.dgrad``/``.wgrad``
+        suffix stripped."""
+        for suffix in BACKWARD_SUFFIXES:
+            if self.module.endswith(suffix):
+                return self.module[: -len(suffix)]
+        return self.module
+
     def shape_tuple(self) -> Tuple[int, int, int, int]:
         """(batch, m, k, n) for order-insensitive comparisons."""
         return (self.batch, self.m, self.k, self.n)
+
+    def backward_pair(self) -> Tuple["MatmulRecord", "MatmulRecord"]:
+        """The two backward matmuls this forward matmul induces.
+
+        For ``y = x @ W`` with x: (m, k) and W: (k, n)::
+
+            dgrad:  dx = dy @ W^T   — (m, n) x (n, k)
+            wgrad:  dW = x^T @ dy   — (k, m) x (m, n)
+
+        Each has exactly this record's FLOP count — the standard
+        "backward costs 2x forward" identity, derived mechanically so
+        the trace never needs to execute a backward pass to price one.
+        Labels and orientations match both the analytic mapping
+        (:func:`repro.core.gemms.backward_gemms_for`) and the traced
+        NumPy backward (:mod:`repro.transformer.backward`).
+        """
+        return (
+            MatmulRecord(
+                module=f"{self.module}.dgrad",
+                m=self.m,
+                k=self.n,
+                n=self.k,
+                batch=self.batch,
+            ),
+            MatmulRecord(
+                module=f"{self.module}.wgrad",
+                m=self.k,
+                k=self.m,
+                n=self.n,
+                batch=self.batch,
+            ),
+        )
 
 
 class OpTrace:
@@ -104,6 +165,42 @@ class OpTrace:
         """Total multiply-add FLOPs across all recorded matmuls."""
         return sum(r.flops for r in self.records)
 
+    # -- training-step derivation ---------------------------------------------
+
+    def backward_records(self) -> List[MatmulRecord]:
+        """The backward-pass matmuls this trace's records induce.
+
+        Derived mechanically via :meth:`MatmulRecord.backward_pair`, in
+        reverse execution order (backpropagation visits modules last to
+        first).  Only forward records are expanded; records that already
+        carry a ``.dgrad``/``.wgrad`` suffix are skipped, so calling
+        this on a trace of a full training step does not derive
+        second-order terms.
+        """
+        out: List[MatmulRecord] = []
+        for rec in reversed(self.records):
+            if rec.phase == "forward":
+                out.extend(rec.backward_pair())
+        return out
+
+    def backward_flops(self) -> int:
+        """FLOPs of the derived backward pass (= 2x forward exactly)."""
+        return sum(r.flops for r in self.backward_records())
+
+    def optimizer_flops(self, param_count: int) -> int:
+        """Adam-update FLOPs for ``param_count`` learned parameters."""
+        if param_count < 0:
+            raise ShapeError(f"param_count must be >= 0, got {param_count}")
+        return param_count * ADAM_FLOPS_PER_PARAM
+
+    def training_flops(self, param_count: int) -> int:
+        """Whole-step FLOPs: forward + derived backward + optimizer."""
+        return (
+            self.flops()
+            + self.backward_flops()
+            + self.optimizer_flops(param_count)
+        )
+
     def by_module(self) -> Dict[str, List[MatmulRecord]]:
         """Records grouped by module label, preserving order."""
         groups: Dict[str, List[MatmulRecord]] = {}
@@ -129,6 +226,24 @@ class OpTrace:
             "module": np.array([r.module for r in self.records]),
             "shape": np.array(
                 [r.shape_tuple() for r in self.records], dtype=np.int64
+            ).reshape(-1, 4),
+        }
+
+    def training_columns(self) -> Dict[str, np.ndarray]:
+        """Columnar export of the whole step: forward + derived backward.
+
+        Like :meth:`to_columns` plus a ``phase`` column, with the
+        mechanically-derived backward records appended after the
+        recorded forward ones.  This is the bridge the training-step
+        estimator (:mod:`repro.trainstep`) uses to price a traced model
+        without executing its backward pass.
+        """
+        records = self.records + self.backward_records()
+        return {
+            "module": np.array([r.module for r in records]),
+            "phase": np.array([r.phase for r in records]),
+            "shape": np.array(
+                [r.shape_tuple() for r in records], dtype=np.int64
             ).reshape(-1, 4),
         }
 

@@ -144,3 +144,48 @@ class TestGrid:
     def test_diagnostics_carry_paper_refs(self, linter):
         report = linter.lint(get_model("gpt-neo-2.7b"))
         assert all(d.paper_ref for d in report.findings())
+
+
+class TestMemoryCapacityRule:
+    """The trainstep-backed capacity advisory (always OK-level: the
+    linter judges shapes; the planner's CapacityError enforces)."""
+
+    def _diags(self, linter, name, **kw):
+        return linter.rule_memory_capacity(get_model(name, **kw))
+
+    def test_small_model_fits_outright(self, linter):
+        [diag] = self._diags(linter, "pythia-160m")
+        assert diag.severity == Severity.OK
+        assert "fits" in diag.message
+        assert diag.paper_ref == "Sec VII-A"
+
+    def test_checkpointing_rescue_is_advisory(self, linter):
+        # c2 at t=4 fits only with full checkpointing on one A100.
+        [diag] = self._diags(linter, "c2", tp_degree=4)
+        assert diag.severity == Severity.OK
+        assert "checkpointing" in diag.message
+
+    def test_cannot_fit_suggests_min_tensor_degree(self, linter):
+        [diag] = self._diags(linter, "gpt3-13b")
+        assert diag.severity == Severity.OK
+        assert diag.fixit is not None
+        assert diag.fixit.field == "tp_degree"
+        suggested = diag.fixit.suggested
+        assert suggested > 1 and suggested & (suggested - 1) == 0
+        # The suggestion must actually fit (with checkpointing).
+        from repro.core.memory import MemoryBudget
+        from repro.trainstep.memory import estimate_memory
+
+        cfg = get_model("gpt3-13b")
+        trial = estimate_memory(cfg, tp=suggested, checkpointing="full")
+        assert trial.fits(MemoryBudget.for_gpu("A100"))
+
+    def test_advisory_never_raises_exit_code(self, linter):
+        for name in ("pythia-160m", "gpt3-13b", "gpt3-175b"):
+            report = linter.lint(get_model(name))
+            assert report.exit_code == 0, report.render_text()
+
+    def test_advisory_visible_at_min_severity_ok(self, linter):
+        report = linter.lint(get_model("gpt3-13b"))
+        assert "memory-capacity" not in report.render_text(Severity.INFO)
+        assert "memory-capacity" in report.render_text(Severity.OK)

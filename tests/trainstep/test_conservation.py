@@ -1,0 +1,143 @@
+"""Hypothesis conservation laws of the training-step estimator.
+
+These properties need no engine evaluation: FLOPs come from the grid's
+integer columns and memory from the closed-form model, so the suite
+sweeps hundreds of random configurations quickly.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import TransformerConfig
+from repro.core.gemms import training_gemms
+from repro.core.memory import MemoryBudget
+from repro.trainstep.memory import estimate_memory, module_param_elements
+from repro.trainstep.step import training_grid
+from repro.transformer.trace import ADAM_FLOPS_PER_PARAM, OpTrace
+
+configs = st.builds(
+    lambda h_mult, a, L, v_mult, s_exp, b: TransformerConfig(
+        name="prop",
+        hidden_size=h_mult * a,
+        num_heads=a,
+        num_layers=L,
+        vocab_size=64 * v_mult,
+        seq_len=2**s_exp,
+        microbatch=b,
+    ),
+    h_mult=st.integers(min_value=8, max_value=128),
+    a=st.sampled_from([2, 4, 8, 16, 32]),
+    L=st.integers(min_value=1, max_value=64),
+    v_mult=st.integers(min_value=4, max_value=512),
+    s_exp=st.integers(min_value=5, max_value=11),
+    b=st.integers(min_value=1, max_value=8),
+)
+
+
+def _grid_phase_flops(cfg, checkpointing="none"):
+    grid = training_grid(cfg, checkpointing)
+    flops = (
+        2
+        * grid.column("batch")
+        * grid.column("m")
+        * grid.column("n")
+        * grid.column("k")
+        * grid.column("count")
+    )
+    phase = grid.column("phase")
+    return {
+        name: int(np.sum(flops[phase == name]))
+        for name in dict.fromkeys(phase.tolist())
+    }
+
+
+class TestFlopConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(configs)
+    def test_step_flops_decompose(self, cfg):
+        """total == fwd + bwd + optimizer, with bwd == 2x fwd."""
+        phases = _grid_phase_flops(cfg)
+        opt = cfg.param_count() * ADAM_FLOPS_PER_PARAM
+        total = phases["forward"] + phases["backward"] + opt
+        assert phases["backward"] == 2 * phases["forward"]
+        assert total == sum(phases.values()) + opt
+
+    @settings(max_examples=60, deadline=None)
+    @given(configs)
+    def test_grid_matches_analytic_expansion(self, cfg):
+        phases = _grid_phase_flops(cfg)
+        assert phases["forward"] + phases["backward"] == sum(
+            op.flops for op in training_gemms(cfg)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(configs)
+    def test_traced_derivation_agrees_per_module(self, cfg):
+        """OpTrace's mechanical 2x derivation holds module by module."""
+        trace = OpTrace()
+        for op in training_gemms(cfg):
+            if not op.module.endswith((".dgrad", ".wgrad")):
+                trace.records.append(_as_record(op))
+        fwd_by_module = {}
+        for rec in trace.records:
+            fwd_by_module[rec.module] = (
+                fwd_by_module.get(rec.module, 0) + rec.flops
+            )
+        bwd_by_module = {}
+        for rec in trace.backward_records():
+            bwd_by_module[rec.base_module] = (
+                bwd_by_module.get(rec.base_module, 0) + rec.flops
+            )
+        for module, fwd in fwd_by_module.items():
+            assert bwd_by_module[module] == 2 * fwd
+
+
+def _as_record(op):
+    from repro.transformer.trace import MatmulRecord
+
+    return MatmulRecord(module=op.module, m=op.m, k=op.k, n=op.n, batch=op.batch)
+
+
+class TestMemoryMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(configs, st.sampled_from([1, 2, 4]), st.sampled_from([1, 2, 4]))
+    def test_peak_non_increasing_in_t_and_p(self, cfg, t, p):
+        base = estimate_memory(cfg, tp=t, pipeline_stages=p)
+        more_t = estimate_memory(cfg, tp=2 * t, pipeline_stages=p)
+        more_p = estimate_memory(cfg, tp=t, pipeline_stages=2 * p)
+        assert more_t.peak_bytes <= base.peak_bytes
+        assert more_p.peak_bytes <= base.peak_bytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(configs, st.sampled_from([1, 2]), st.sampled_from([1, 2, 4]))
+    def test_checkpointing_tradeoff(self, cfg, t, p):
+        """Checkpointing never increases peak memory, never decreases
+        flops."""
+        none = estimate_memory(cfg, tp=t, pipeline_stages=p)
+        full = estimate_memory(cfg, tp=t, pipeline_stages=p, checkpointing="full")
+        assert full.peak_bytes <= none.peak_bytes
+        flops_none = sum(_grid_phase_flops(cfg, "none").values())
+        flops_full = sum(_grid_phase_flops(cfg, "full").values())
+        assert flops_full >= flops_none
+
+    @settings(max_examples=30, deadline=None)
+    @given(configs)
+    def test_param_walk_conserves_total(self, cfg):
+        assert sum(module_param_elements(cfg).values()) == cfg.param_count()
+
+    @settings(max_examples=30, deadline=None)
+    @given(configs)
+    def test_fits_consistent_with_require_fits(self, cfg):
+        from repro.errors import CapacityError
+
+        mem = estimate_memory(cfg)
+        budget = MemoryBudget.for_gpu("A100")
+        if mem.fits(budget):
+            mem.require_fits(budget)  # must not raise
+        else:
+            try:
+                mem.require_fits(budget)
+            except CapacityError as exc:
+                assert exc.phase == mem.peak_phase
+            else:  # pragma: no cover - defensive
+                raise AssertionError("require_fits did not raise")

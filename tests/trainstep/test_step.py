@@ -1,0 +1,133 @@
+"""Tests for the grid-priced training-step runtime estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import get_model
+from repro.core.gemms import training_gemms
+from repro.errors import ConfigError
+from repro.trainstep.report import estimate_to_json, render_estimate
+from repro.trainstep.step import (
+    PHASE_BACKWARD,
+    PHASE_FORWARD,
+    PHASE_OPTIMIZER,
+    PHASE_RECOMPUTE,
+    TrainStepEstimator,
+    training_grid,
+)
+from repro.transformer.trace import ADAM_FLOPS_PER_PARAM
+
+
+@pytest.fixture(scope="module")
+def estimate():
+    return TrainStepEstimator("A100").estimate(get_model("pythia-410m"))
+
+
+class TestTrainingGrid:
+    def test_row_counts(self):
+        cfg = get_model("gpt3-2.7b")
+        grid = training_grid(cfg)
+        # Every forward op appears once, every backward pair twice that.
+        fwd = int(np.sum(grid.column("phase") == PHASE_FORWARD))
+        bwd = int(np.sum(grid.column("phase") == PHASE_BACKWARD))
+        assert bwd == 2 * fwd
+        assert PHASE_RECOMPUTE not in grid.column("phase")
+
+    def test_full_checkpointing_adds_recompute_rows(self):
+        cfg = get_model("gpt3-2.7b")
+        grid = training_grid(cfg, "full")
+        fwd_rows = grid.select(grid.column("phase") == PHASE_FORWARD)
+        rec_rows = grid.select(grid.column("phase") == PHASE_RECOMPUTE)
+        # Recompute re-runs the per-layer forward ops (not the logit).
+        assert len(rec_rows) == len(fwd_rows) - 1
+        np.testing.assert_array_equal(
+            rec_rows.shapes, fwd_rows.shapes[: len(rec_rows)]
+        )
+
+    def test_grid_flops_match_training_gemms(self):
+        """count-weighted grid flops == the fully expanded analytic map."""
+        cfg = get_model("pythia-1b")
+        grid = training_grid(cfg)
+        flops = (
+            2
+            * grid.column("batch")
+            * grid.column("m")
+            * grid.column("n")
+            * grid.column("k")
+            * grid.column("count")
+        )
+        assert int(np.sum(flops)) == sum(op.flops for op in training_gemms(cfg))
+
+    def test_bad_policy_raises(self):
+        with pytest.raises(ConfigError):
+            training_grid(get_model("pythia-70m"), "half")
+
+
+class TestEstimate:
+    def test_phase_order_and_totals(self, estimate):
+        assert estimate.phase_names == (
+            PHASE_FORWARD,
+            PHASE_BACKWARD,
+            PHASE_OPTIMIZER,
+        )
+        assert estimate.total_s == pytest.approx(
+            sum(p.seconds for p in estimate.phases)
+        )
+        assert all(p.seconds > 0 for p in estimate.phases)
+
+    def test_backward_twice_forward_flops(self, estimate):
+        assert (
+            estimate.phase(PHASE_BACKWARD).flops
+            == 2 * estimate.phase(PHASE_FORWARD).flops
+        )
+        assert estimate.backward_to_forward_flops == 2.0
+
+    def test_optimizer_flops_follow_adam_constant(self, estimate):
+        assert estimate.phase(PHASE_OPTIMIZER).flops == int(
+            round(estimate.memory.parameter_elements * ADAM_FLOPS_PER_PARAM)
+        )
+
+    def test_module_rollup_covers_gemm_time(self, estimate):
+        assert sum(m.total_s for m in estimate.modules) == pytest.approx(
+            estimate.gemm_s, rel=1e-9
+        )
+        names = {m.module for m in estimate.modules}
+        assert "qkv_transform" in names and "logit" in names
+
+    def test_checkpointing_costs_time_saves_memory(self):
+        est = TrainStepEstimator("A100")
+        cfg = get_model("pythia-410m")
+        none = est.estimate(cfg)
+        full = est.estimate(cfg, checkpointing="full")
+        assert full.total_s > none.total_s
+        assert full.flops > none.flops
+        assert full.memory.peak_bytes <= none.memory.peak_bytes
+        assert full.phase(PHASE_RECOMPUTE).seconds > 0
+
+    def test_unknown_phase_raises(self, estimate):
+        with pytest.raises(KeyError):
+            estimate.phase("embedding")
+
+    def test_throughput_properties(self, estimate):
+        assert estimate.tokens_per_second > 0
+        assert 0 < estimate.tflops < 1000
+
+
+class TestReport:
+    def test_render_names_phases_and_modules(self, estimate):
+        text = render_estimate(estimate)
+        for token in ("forward", "backward", "optimizer", "qkv_transform", "peak"):
+            assert token in text
+
+    def test_json_round_trips_scalars(self, estimate):
+        payload = estimate_to_json(estimate)
+        assert payload["model"] == "pythia-410m"
+        assert [p["phase"] for p in payload["phases"]] == [
+            "forward",
+            "backward",
+            "optimizer",
+        ]
+        assert payload["memory"]["peak_phase"] == "backward"
+        import json
+
+        json.dumps(payload)  # strictly serializable

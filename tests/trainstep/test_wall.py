@@ -1,0 +1,34 @@
+"""The blocking differential wall: grid path vs scalar brute force."""
+
+import pytest
+
+from repro.trainstep.wall import WALL_MODELS, check_model, run_wall
+
+
+class TestWallCases:
+    @pytest.mark.parametrize("name", WALL_MODELS)
+    def test_bit_identical_per_model(self, name):
+        case = check_model(name)
+        assert case.passed, (
+            f"{name}: phases {case.phase_mismatches}, "
+            f"flops {case.gemm_flops_grid} vs {case.gemm_flops_analytic}"
+        )
+
+    def test_full_checkpointing_parity(self):
+        case = check_model("gpt3-2.7b", checkpointing="full")
+        assert case.passed
+        assert case.checkpointing == "full"
+
+
+class TestWallReport:
+    def test_zoo_wall_blocks(self):
+        """The acceptance gate: every zoo config bit-identical."""
+        report = run_wall()
+        assert report.passed, report.describe()
+        assert len(report.cases) == len(WALL_MODELS) + 2
+
+    def test_describe_names_every_model(self):
+        report = run_wall(models=("pythia-70m", "pythia-160m"))
+        text = report.describe()
+        assert "pythia-70m" in text and "pythia-160m" in text
+        assert "bit-identical" in text

@@ -1,0 +1,133 @@
+"""Tests for the trace's mechanical backward/optimizer derivation.
+
+The estimator never executes a backward pass; it derives one from the
+forward records. These tests pin that derivation against the analytic
+mapping AND against the actually-traced NumPy backward.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TransformerConfig
+from repro.core.gemms import backward_gemms_for, training_gemms
+from repro.errors import ShapeError
+from repro.transformer.backward import loss_and_gradients
+from repro.transformer.model import DecoderModel
+from repro.transformer.trace import (
+    ADAM_FLOPS_PER_PARAM,
+    BACKWARD_SUFFIXES,
+    MatmulRecord,
+    OpTrace,
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced loss+gradients run on a tiny model."""
+    model = DecoderModel(
+        vocab_size=64,
+        max_seq=8,
+        hidden_size=16,
+        num_heads=2,
+        num_layers=2,
+        rng=np.random.default_rng(0),
+    )
+    ids = np.random.default_rng(0).integers(0, 64, size=(8, 2))
+    trace = OpTrace()
+    loss_and_gradients(model, ids, trace)
+    return trace
+
+
+class TestBackwardPair:
+    def test_matches_analytic_mapping(self):
+        """backward_pair agrees with core.gemms.backward_gemms_for on
+        every forward op of a real config: same labels, same shapes."""
+        cfg = TransformerConfig(
+            name="t", hidden_size=256, num_heads=4, num_layers=3, vocab_size=512
+        )
+        for op in training_gemms(cfg):
+            if op.module.endswith(BACKWARD_SUFFIXES):
+                continue
+            rec = MatmulRecord(
+                module=op.module, m=op.m, k=op.k, n=op.n, batch=op.batch
+            )
+            want = [(b.module, b.shape_tuple()) for b in backward_gemms_for(op)]
+            got = [(b.module, b.shape_tuple()) for b in rec.backward_pair()]
+            assert sorted(got) == sorted(want)
+
+    def test_each_half_costs_exactly_forward(self):
+        rec = MatmulRecord(module="mlp_h_to_4h", m=8192, k=2560, n=10240)
+        dgrad, wgrad = rec.backward_pair()
+        assert dgrad.flops == rec.flops
+        assert wgrad.flops == rec.flops
+        assert dgrad.module == "mlp_h_to_4h.dgrad"
+        assert wgrad.module == "mlp_h_to_4h.wgrad"
+        assert dgrad.base_module == wgrad.base_module == "mlp_h_to_4h"
+        assert dgrad.phase == wgrad.phase == "backward"
+
+    def test_bmm_pair_keeps_batch(self):
+        rec = MatmulRecord(module="attention_score", m=8, k=64, n=8, batch=32)
+        for b in rec.backward_pair():
+            assert b.batch == 32
+            assert b.flops == rec.flops
+
+
+class TestDerivedVsTraced:
+    def test_derived_multiset_equals_traced_backward(self, traced):
+        """The mechanical derivation reproduces the backward GEMMs the
+        real NumPy backward actually executed — label for label."""
+        fwd_only = OpTrace()
+        fwd_only.records = [r for r in traced if r.phase == "forward"]
+        got = sorted((r.module, r.shape_tuple()) for r in fwd_only.backward_records())
+        want = sorted(
+            (r.module, r.shape_tuple()) for r in traced if r.phase == "backward"
+        )
+        assert got == want
+
+    def test_reverse_execution_order(self, traced):
+        fwd_only = OpTrace()
+        fwd_only.records = [r for r in traced if r.phase == "forward"]
+        derived = fwd_only.backward_records()
+        # Backprop visits the last forward module first.
+        assert derived[0].base_module == fwd_only.records[-1].module
+        assert derived[-1].base_module == fwd_only.records[0].module
+
+    def test_backward_records_skip_backward_input(self, traced):
+        """Expanding a full-step trace must not derive 2nd-order terms."""
+        derived = traced.backward_records()
+        fwd_count = sum(1 for r in traced if r.phase == "forward")
+        assert len(derived) == 2 * fwd_count
+        assert all(r.phase == "backward" for r in derived)
+
+    def test_backward_flops_exactly_double(self, traced):
+        fwd_only = OpTrace()
+        fwd_only.records = [r for r in traced if r.phase == "forward"]
+        assert fwd_only.backward_flops() == 2 * fwd_only.flops()
+
+
+class TestOptimizerAndColumns:
+    def test_optimizer_flops(self, traced):
+        assert traced.optimizer_flops(1000) == 1000 * ADAM_FLOPS_PER_PARAM
+        assert traced.optimizer_flops(0) == 0
+        with pytest.raises(ShapeError):
+            traced.optimizer_flops(-1)
+
+    def test_training_flops_decompose(self, traced):
+        fwd_only = OpTrace()
+        fwd_only.records = [r for r in traced if r.phase == "forward"]
+        total = fwd_only.training_flops(12345)
+        assert total == (
+            fwd_only.flops()
+            + fwd_only.backward_flops()
+            + 12345 * ADAM_FLOPS_PER_PARAM
+        )
+
+    def test_training_columns_phases(self, traced):
+        fwd_only = OpTrace()
+        fwd_only.records = [r for r in traced if r.phase == "forward"]
+        cols = fwd_only.training_columns()
+        n_fwd = len(fwd_only.records)
+        assert cols["shape"].shape == (3 * n_fwd, 4)
+        assert list(cols["phase"][:n_fwd]) == ["forward"] * n_fwd
+        assert list(cols["phase"][n_fwd:]) == ["backward"] * (2 * n_fwd)
+        assert cols["module"][n_fwd].endswith(BACKWARD_SUFFIXES)
